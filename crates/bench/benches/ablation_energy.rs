@@ -1,0 +1,59 @@
+//! Ablation: energy per frame and energy-delay product (EDP) per
+//! bottleneck per platform. Latency (Fig. 10a) and power (Fig. 10c)
+//! each tell half the story; their product ranks platforms the way an
+//! energy-constrained vehicle actually experiences them.
+
+use adsim_bench::header;
+use adsim_platform::{Component, LatencyModel, Platform};
+
+fn main() {
+    header("Ablation", "Energy per frame and energy-delay product");
+    let model = LatencyModel::paper_calibrated();
+    println!(
+        "{:<6} {:<6} {:>12} {:>10} {:>14} {:>16}",
+        "Comp", "Plat", "latency(ms)", "power(W)", "energy (mJ)", "EDP (mJ*ms)"
+    );
+    for c in Component::BOTTLENECKS {
+        let mut best: Option<(Platform, f64)> = None;
+        for p in Platform::ALL {
+            let lat = model.mean_ms(c, p, 1.0);
+            let pw = model.power_w(c, p);
+            let energy_mj = pw * lat; // W * ms = mJ
+            let edp = energy_mj * lat;
+            println!(
+                "{:<6} {:<6} {:>12.1} {:>10.1} {:>14.1} {:>16.0}",
+                c.abbrev(),
+                p.to_string(),
+                lat,
+                pw,
+                energy_mj,
+                edp
+            );
+            if best.as_ref().is_none_or(|(_, e)| energy_mj < *e) {
+                best = Some((p, energy_mj));
+            }
+        }
+        let (p, e) = best.expect("four platforms");
+        println!("  -> lowest energy for {}: {} at {:.1} mJ/frame\n", c.abbrev(), p, e);
+    }
+    // ASICs win TRA and LOC outright; for DET the published 200 MHz
+    // CNN ASIC is slow enough that the GPU edges it on energy (605 vs
+    // 758 mJ) — the paper's own caveat that the low clock "does not
+    // preclude similar designs with high clock frequencies" (5.1.1).
+    for c in [Component::Tracking, Component::Localization] {
+        let asic = model.power_w(c, Platform::Asic) * model.mean_ms(c, Platform::Asic, 1.0);
+        for p in [Platform::Cpu, Platform::Gpu] {
+            let other = model.power_w(c, p) * model.mean_ms(c, p, 1.0);
+            assert!(asic < other, "{c}: ASIC {asic} vs {p} {other}");
+        }
+    }
+    let det_gpu = model.power_w(Component::Detection, Platform::Gpu)
+        * model.mean_ms(Component::Detection, Platform::Gpu, 1.0);
+    let det_asic = model.power_w(Component::Detection, Platform::Asic)
+        * model.mean_ms(Component::Detection, Platform::Asic, 1.0);
+    assert!(det_gpu < det_asic, "the energy crossover is real: {det_gpu} vs {det_asic}");
+    println!("ASICs minimize energy on TRA and LOC; for DET the GPU narrowly wins");
+    println!("energy because the published CNN ASIC clocks at only 200 MHz — the");
+    println!("nuance behind the paper's remark that faster ASIC designs would");
+    println!("outperform GPUs (5.1.1).");
+}

@@ -1,0 +1,40 @@
+//! Ablation: the §2.4.1 constraint is both a 100 ms deadline and a
+//! ≥10 FPS rate. Replaying a real 10 FPS camera stream (latest-frame
+//! semantics) shows drops, deadline misses and true reaction time per
+//! configuration — latency alone understates the CPU baseline's
+//! failure.
+
+use adsim_bench::header;
+use adsim_core::{replay_stream, ModeledPipeline, PlatformConfig};
+use adsim_platform::Platform;
+
+fn main() {
+    header("Ablation", "Real-time 10 FPS stream replay per configuration");
+    use Platform::*;
+    let configs = [
+        PlatformConfig::all_cpu(),
+        PlatformConfig { detection: Gpu, tracking: Gpu, localization: Cpu },
+        PlatformConfig::uniform(Gpu),
+        PlatformConfig::uniform(Asic),
+        PlatformConfig { detection: Gpu, tracking: Asic, localization: Asic },
+    ];
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "Config", "drop rate", "miss rate", "eff. FPS", "reaction", "meets?"
+    );
+    for cfg in configs {
+        let mut pipe = ModeledPipeline::new(cfg, 0xAB6);
+        let stats = replay_stream(&mut pipe, 20_000, 100.0, 100.0, 1.0);
+        println!(
+            "{:<24} {:>9.1}% {:>9.2}% {:>10.1} {:>10.1}ms {:>8}",
+            cfg.label(),
+            stats.drop_rate() * 100.0,
+            stats.miss_rate() * 100.0,
+            stats.effective_fps,
+            stats.mean_reaction_ms,
+            if stats.meets_constraints(10.0) { "yes" } else { "NO" }
+        );
+    }
+    println!("\nThe CPU baseline drops ~99% of frames: its *reaction time* to a road");
+    println!("event is seconds even though each processed frame eventually finishes.");
+}

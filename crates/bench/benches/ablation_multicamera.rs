@@ -1,0 +1,55 @@
+//! Ablation: the end-to-end vehicle carries 8 cameras, each with its
+//! own computing replica (§5.3). A driving decision needs *all*
+//! replicas' outputs for the same instant, so the system-level frame
+//! latency is the max over 8 samples — which pushes the tail further
+//! out than any single replica's. Platforms with predictable latency
+//! (Finding 4) barely pay for this; heavy-tailed ones pay badly.
+
+use adsim_bench::{fmt_ms, header};
+use adsim_core::{ModeledPipeline, PlatformConfig};
+use adsim_platform::Platform;
+use adsim_stats::LatencyRecorder;
+
+fn main() {
+    header("Ablation", "Single camera vs 8-camera (max-of-replicas) tail");
+    use Platform::*;
+    let configs = [
+        PlatformConfig { detection: Gpu, tracking: Gpu, localization: Cpu },
+        PlatformConfig::uniform(Gpu),
+        PlatformConfig { detection: Gpu, tracking: Asic, localization: Asic },
+        PlatformConfig::uniform(Asic),
+    ];
+    println!(
+        "{:<24} {:>12} {:>14} {:>10}",
+        "Config", "1-cam tail", "8-cam tail", "penalty"
+    );
+    for cfg in configs {
+        let mut pipe = ModeledPipeline::new(cfg, 0xAB5);
+        let mut one = LatencyRecorder::new();
+        let mut eight = LatencyRecorder::new();
+        for _ in 0..60_000 {
+            let mut worst = 0.0f64;
+            for cam in 0..8 {
+                let l = pipe.simulate_frame(1.0).end_to_end();
+                if cam == 0 {
+                    one.record(l);
+                }
+                worst = worst.max(l);
+            }
+            eight.record(worst);
+        }
+        let t1 = one.summary().p99_99;
+        let t8 = eight.summary().p99_99;
+        println!(
+            "{:<24} {:>12} {:>14} {:>9.2}x",
+            cfg.label(),
+            fmt_ms(t1),
+            fmt_ms(t8),
+            t8 / t1
+        );
+    }
+    println!("\nPredictable accelerators (FPGA/ASIC, tight distributions) pay almost");
+    println!("nothing for replication; configurations with CPU localization see the");
+    println!("relocalization spikes of *any* of the 8 replicas — another reason");
+    println!("Finding 4 prefers predictable platforms.");
+}

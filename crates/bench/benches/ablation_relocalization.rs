@@ -1,0 +1,42 @@
+//! Ablation: the mechanism behind Finding 2. LOC's heavy tail comes
+//! from the relocalization fallback (a widened map search when the
+//! motion-model prediction fails). Sweeping the relocalization rate
+//! shows the mean barely moves while the tail explodes.
+
+use adsim_bench::header;
+use adsim_platform::TailShape;
+use adsim_stats::LatencyRecorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    header("Ablation", "Relocalization rate vs localization tail latency");
+    let base_mean = 40.8; // LOC on CPU, Fig. 10a
+    let reloc_cost_factor = 7.2; // widened search does ~7x the work
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "reloc rate", "mean (ms)", "p99 (ms)", "p99.99 (ms)", "tail/mean"
+    );
+    for rate in [0.0, 0.0005, 0.001, 0.004, 0.01, 0.02] {
+        let shape = if rate == 0.0 {
+            TailShape::body(1.2)
+        } else {
+            TailShape::spiky(reloc_cost_factor, rate)
+        };
+        let mut rng = StdRng::seed_from_u64(0xAB4);
+        let rec: LatencyRecorder =
+            (0..300_000).map(|_| shape.sample(&mut rng, base_mean)).collect();
+        let s = rec.summary();
+        println!(
+            "{:>11.2}% {:>12.1} {:>12.1} {:>12.1} {:>12.2}",
+            rate * 100.0,
+            s.mean,
+            s.p99,
+            s.p99_99,
+            s.tail_to_mean_ratio()
+        );
+    }
+    println!("\nAt the paper's observed ~0.4% relocalization rate the mean stays");
+    println!("~41 ms (looks fine!) while p99.99 crosses the 100 ms constraint —");
+    println!("a mean-latency evaluation would certify an unsafe system.");
+}

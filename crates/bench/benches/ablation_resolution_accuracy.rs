@@ -1,0 +1,58 @@
+//! Ablation: the accuracy side of Fig. 13's trade-off. The paper cites
+//! prior work showing higher camera resolution "can significantly
+//! boost the accuracy" (§5.4, VGG16 80.3% -> 87.4% when doubling
+//! resolution); here we *measure* the effect on the real classical
+//! detector: small objects (a 0.9 m pedestrian is ~7 px at HHD) fall
+//! below the detectable size at low resolutions.
+
+use adsim_bench::header;
+use adsim_perception::metrics::{MotAccumulator, TruthBox};
+use adsim_perception::{BlobDetector, Detector};
+use adsim_workload::{Resolution, Scenario, ScenarioKind};
+
+fn main() {
+    header("Ablation", "Detection recall vs camera resolution (measured)");
+    println!("{:<14} {:>10} {:>10} {:>10}", "Resolution", "recall", "MOTP", "truth");
+    let mut recalls = Vec::new();
+    for res in [Resolution::Hhd, Resolution::Hd, Resolution::Fhd, Resolution::Qhd] {
+        let scenario = Scenario::new(ScenarioKind::UrbanDrive, 0xACC);
+        // A classifier needs ~12x12 px of apparent size to identify an
+        // object class — the physical reason resolution buys accuracy.
+        let mut det = BlobDetector::new().with_min_area(150);
+        let mut acc = MotAccumulator::new(0.2);
+        let mut truth_total = 0;
+        let mut stream = scenario.stream(res);
+        for k in 0..15 {
+            stream.seek(k * 8);
+            let frame = stream.next().expect("stream is endless");
+            let found = det.detect(&frame.image);
+            let truth: Vec<TruthBox> = frame
+                .truth_objects
+                .iter()
+                .map(|t| TruthBox { id: t.id, bbox: t.bbox })
+                .collect();
+            truth_total += truth.len();
+            // Score detections as single-frame "tracks".
+            let boxes: Vec<(u64, _)> =
+                found.iter().enumerate().map(|(i, d)| (i as u64, d.bbox)).collect();
+            acc.observe_boxes(&truth, &boxes);
+        }
+        let _ = &mut stream;
+        println!(
+            "{:<14} {:>9.0}% {:>10.2} {:>10}",
+            res.to_string(),
+            acc.recall() * 100.0,
+            acc.motp(),
+            truth_total
+        );
+        recalls.push(acc.recall());
+    }
+    println!();
+    println!("Recall rises with resolution: small objects cross the detectable-size");
+    println!("threshold — the accuracy gain the paper says compute must grow to buy");
+    println!("(Finding 6).");
+    assert!(
+        recalls.last().unwrap() > recalls.first().unwrap(),
+        "QHD must recall strictly more than HHD: {recalls:?}"
+    );
+}

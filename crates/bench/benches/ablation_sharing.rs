@@ -1,0 +1,42 @@
+//! Ablation: dedicated accelerators per engine (the paper's implicit
+//! design) vs time-sharing one device among DET, TRA and LOC — the
+//! cost-reduction a production system would be tempted by.
+
+use adsim_bench::header;
+use adsim_platform::{contention, Component, LatencyModel, Platform};
+
+fn main() {
+    header("Ablation", "Dedicated vs shared accelerator per camera");
+    let model = LatencyModel::paper_calibrated();
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>14}",
+        "Platform", "utilization", "feasible", "inflation", "DET shared(ms)"
+    );
+    for p in Platform::ALL {
+        let a = contention::analyze_sharing(&model, &Component::BOTTLENECKS, p, 10.0);
+        let det = contention::shared_mean_ms(
+            &model,
+            Component::Detection,
+            &Component::BOTTLENECKS,
+            p,
+            10.0,
+        );
+        println!(
+            "{:<10} {:>11.1}% {:>10} {:>12} {:>14}",
+            p.to_string(),
+            a.total_utilization * 100.0,
+            if a.feasible { "yes" } else { "NO" },
+            if a.feasible { format!("{:.2}x", a.mean_inflation) } else { "-".into() },
+            det.map_or("-".into(), |ms| format!("{ms:.1}")),
+        );
+    }
+    println!();
+    println!("A single GPU *can* host all three engines at 10 FPS (37% utilization,");
+    println!("~1.3x queueing inflation) — trading tail headroom for one less device.");
+    println!("FPGAs and CPUs saturate outright; the paper's per-engine accelerators");
+    println!("buy the predictability Finding 4 requires.");
+    let gpu = contention::analyze_sharing(&model, &Component::BOTTLENECKS, Platform::Gpu, 10.0);
+    assert!(gpu.feasible);
+    let fpga = contention::analyze_sharing(&model, &Component::BOTTLENECKS, Platform::Fpga, 10.0);
+    assert!(!fpga.feasible);
+}

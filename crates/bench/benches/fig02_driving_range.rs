@@ -1,0 +1,49 @@
+//! Fig. 2: driving-range reduction from the computing engine alone vs
+//! the entire system in aggregate, for three computing setups on a
+//! Chevy Bolt.
+
+use adsim_bench::{compare, header};
+use adsim_bench::paper;
+use adsim_vehicle::power::{cooling_power_w, storage_power_w};
+use adsim_vehicle::range::ev_range_reduction;
+
+fn main() {
+    header("Fig. 2", "Driving range reduction on a Chevy Bolt");
+    // Computing setups of the figure. Powers follow the platform
+    // draws: 2-socket Xeon host ~200 W, Titan X ~250 W, Stratix V ~25 W.
+    let setups = [("CPU+FPGA", 225.0), ("CPU+GPU", 450.0), ("CPU+3GPUs", 950.0)];
+    let storage = storage_power_w(41_000_000_000_000);
+
+    println!(
+        "{:<12} {:>12} {:>10} | {:>12} {:>10}",
+        "Setup", "Compute(W)", "Range-", "System(W)", "Range-"
+    );
+    for (name, compute_w) in setups {
+        let alone = ev_range_reduction(compute_w);
+        let electrical = compute_w + storage;
+        let system_w = electrical + cooling_power_w(electrical);
+        let system = ev_range_reduction(system_w);
+        println!(
+            "{:<12} {:>12.0} {:>9.1}% | {:>12.0} {:>9.1}%",
+            name,
+            compute_w,
+            alone * 100.0,
+            system_w,
+            system * 100.0
+        );
+    }
+    println!();
+    let alone = ev_range_reduction(950.0 + 50.0); // ~1 kW anchor
+    let electrical = 1_000.0 + storage;
+    let system = ev_range_reduction(electrical + cooling_power_w(electrical));
+    println!(
+        "CPU+3GPUs (~1 kW) compute-only reduction: {}",
+        compare(alone * 100.0, paper::FIG2_COMPUTE_ONLY_REDUCTION * 100.0)
+    );
+    println!(
+        "CPU+3GPUs entire-system reduction:        {}",
+        compare(system * 100.0, paper::FIG2_SYSTEM_REDUCTION * 100.0)
+    );
+    println!("\nFinding: storage + cooling nearly double the compute-only impact.");
+    assert!(system > 1.7 * alone, "cooling/storage magnification must show");
+}

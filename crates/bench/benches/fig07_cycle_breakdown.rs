@@ -1,0 +1,74 @@
+//! Fig. 7: cycle breakdown of DET, TRA and LOC — the DNN portion of
+//! the two perception engines (from the cost analyzer over the full
+//! published architectures) and the Feature-Extraction portion of the
+//! localization engine (measured on the real implementation).
+
+use adsim_bench::{compare, header, paper};
+use adsim_core::build_prior_map;
+use adsim_dnn::models::{goturn_spec, yolo_v2_spec};
+use adsim_platform::Component;
+use adsim_slam::{Localizer, LocalizerConfig};
+use adsim_vision::{OrbExtractor, OrthoCamera, Pose2};
+use adsim_workload::{Scenario, ScenarioKind};
+use std::time::Instant;
+
+fn main() {
+    header("Fig. 7", "Cycle breakdown of the three bottlenecks");
+
+    // DET and TRA: exact FLOP shares of the affine (DNN) layers.
+    let det = yolo_v2_spec(384, 1248).cost().unwrap();
+    let det_dnn = det.flop_fraction(|l| l.kind == "conv2d" || l.kind == "linear");
+    let tra = goturn_spec().cost().unwrap();
+    let tra_dnn = tra.flop_fraction(|l| l.kind == "conv2d" || l.kind == "linear");
+
+    // LOC: wall-clock share of feature extraction, measured by running
+    // the real localizer and the extractor separately on the same
+    // frames.
+    let scenario = Scenario::new(ScenarioKind::UrbanDrive, 7);
+    let camera: OrthoCamera = scenario.camera(adsim_workload::Resolution::Hhd);
+    let poses: Vec<Pose2> = (0..20).map(|i| scenario.pose_at(i * 10)).collect();
+    let map = build_prior_map(scenario.world(), &camera, poses, 300, 25);
+    let orb = OrbExtractor::new(300, 25).with_levels(2);
+    let mut loc = Localizer::new(
+        map,
+        camera,
+        orb,
+        LocalizerConfig { map_update: false, ..Default::default() },
+    );
+    loc.seed_pose(scenario.pose_at(0));
+    let extractor = OrbExtractor::new(300, 25).with_levels(2);
+    let (mut fe_time, mut loc_time) = (0.0, 0.0);
+    for frame in scenario.stream(adsim_workload::Resolution::Hhd).take(30) {
+        let t = Instant::now();
+        let _ = extractor.extract(&frame.image);
+        fe_time += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = loc.localize(&frame.image);
+        loc_time += t.elapsed().as_secs_f64();
+    }
+    let loc_fe = fe_time / loc_time;
+
+    println!("{:<10} {:<22} {:>44}", "Engine", "Dominant kernel", "share vs paper");
+    println!(
+        "{:<10} {:<22} {:>44}",
+        "DET",
+        "DNN",
+        compare(det_dnn * 100.0, paper::fig7_dominant_fraction(Component::Detection) * 100.0)
+    );
+    println!(
+        "{:<10} {:<22} {:>44}",
+        "TRA",
+        "DNN",
+        compare(tra_dnn * 100.0, paper::fig7_dominant_fraction(Component::Tracking) * 100.0)
+    );
+    println!(
+        "{:<10} {:<22} {:>44}",
+        "LOC",
+        "Feature Extraction",
+        compare(loc_fe * 100.0, paper::fig7_dominant_fraction(Component::Localization) * 100.0)
+    );
+    println!("\nIn aggregate the DNN and FE kernels account for >94% of bottleneck");
+    println!("execution, making them the acceleration candidates (paper 3.2).");
+    assert!(det_dnn > 0.99 && tra_dnn > 0.98);
+    assert!(loc_fe > 0.4, "FE should dominate localization, got {loc_fe:.2}");
+}

@@ -1,0 +1,25 @@
+//! Fig. 10a: mean latency of DET/TRA/LOC across CPU/GPU/FPGA/ASIC.
+
+use adsim_bench::{compare, header, paper};
+use adsim_platform::{Component, LatencyModel, Platform};
+use adsim_stats::LatencyRecorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    header("Fig. 10a", "Mean latency across accelerator platforms");
+    let model = LatencyModel::paper_calibrated();
+    let mut rng = StdRng::seed_from_u64(0x10A);
+    println!("{:<6} {:<6} {:>44}", "Comp", "Plat", "measured mean (ms) vs paper");
+    for c in Component::BOTTLENECKS {
+        for p in Platform::ALL {
+            let rec: LatencyRecorder =
+                (0..50_000).map(|_| model.sample_ms(c, p, &mut rng, 1.0)).collect();
+            let mean = rec.summary().mean;
+            println!("{:<6} {:<6} {:>44}", c.abbrev(), p.to_string(), compare(mean, paper::fig10a_mean_ms(c, p)));
+        }
+        println!();
+    }
+    println!("Finding 1: CPUs cannot run the DNN engines under 100 ms; the");
+    println!("FPGA's limited DSP count keeps DET/TRA above the constraint too.");
+}

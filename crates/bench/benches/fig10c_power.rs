@@ -1,0 +1,30 @@
+//! Fig. 10c: power consumption of DET/TRA/LOC across platforms.
+
+use adsim_bench::{compare, header, paper};
+use adsim_platform::{Component, LatencyModel, Platform};
+
+fn main() {
+    header("Fig. 10c", "Power consumption across accelerator platforms");
+    let model = LatencyModel::paper_calibrated();
+    println!("{:<6} {:<6} {:>40}", "Comp", "Plat", "power (W) vs paper");
+    for c in Component::BOTTLENECKS {
+        for p in Platform::ALL {
+            println!(
+                "{:<6} {:<6} {:>40}",
+                c.abbrev(),
+                p.to_string(),
+                compare(model.power_w(c, p), paper::fig10c_power_w(c, p))
+            );
+        }
+        println!();
+    }
+    // Finding 3: specialized hardware is far more efficient.
+    let cpu: f64 = Component::BOTTLENECKS.iter().map(|&c| model.power_w(c, Platform::Cpu)).sum();
+    let asic: f64 =
+        Component::BOTTLENECKS.iter().map(|&c| model.power_w(c, Platform::Asic)).sum();
+    println!(
+        "Finding 3: all-ASIC draws {asic:.1} W vs {cpu:.1} W on CPUs ({:.0}x more efficient).",
+        cpu / asic
+    );
+    assert!(cpu / asic > 5.0);
+}

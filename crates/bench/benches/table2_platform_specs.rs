@@ -1,0 +1,25 @@
+//! Table 2: computing platform specifications.
+
+use adsim_platform::table2;
+
+fn main() {
+    adsim_bench::header("Table 2", "Computing platform specifications");
+    println!(
+        "{:<28} {:<10} {:>9} {:>12} {:>14}",
+        "Model", "Freq", "#Cores", "Memory", "Mem BW"
+    );
+    for r in table2() {
+        println!(
+            "{:<28} {:>6.2} GHz {:>9} {:>12} {:>14}",
+            r.model,
+            r.frequency_ghz,
+            r.cores.map_or("N/A".into(), |c| c.to_string()),
+            r.memory_gb.map_or("N/A".into(), |m| if m < 0.01 {
+                format!("{:.1} KB", m * 1e6)
+            } else {
+                format!("{m:.0} GB")
+            }),
+            r.memory_bw_gbps.map_or("N/A".into(), |b| format!("{b:.1} GB/s")),
+        );
+    }
+}

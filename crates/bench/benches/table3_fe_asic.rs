@@ -1,0 +1,21 @@
+//! Table 3: Feature Extraction (FE) ASIC specifications.
+
+use adsim_platform::FeAsicSpec;
+
+fn main() {
+    adsim_bench::header("Table 3", "Feature Extraction (FE) ASIC specifications");
+    let s = FeAsicSpec::paper();
+    println!("Technology : {}", s.technology);
+    println!("Area       : {:.1} um^2", s.area_um2);
+    println!("Clock Rate : {} GHz ({} ns/cycle)", s.clock_ghz, s.cycle_ns());
+    println!("Power      : {} mW", s.power_mw);
+    println!();
+    println!(
+        "Derived: describing 2000 features (256 binary tests each, one per cycle) takes {:.0} us",
+        s.describe_time_us(2000)
+    );
+    println!(
+        "LUT-based trigonometry gives a {}x latency reduction (paper 4.2.3)",
+        FeAsicSpec::LUT_TRIG_SPEEDUP
+    );
+}

@@ -1,0 +1,108 @@
+//! The paper's Table 1: autonomous driving vehicles under
+//! experimentation at leading industry companies (as of the paper's
+//! writing, early 2018).
+
+/// SAE automation levels (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AutomationLevel {
+    /// Level 0 — no automation.
+    L0,
+    /// Level 1 — driver assistance.
+    L1,
+    /// Level 2 — partial automation.
+    L2,
+    /// Level 3 — conditional automation.
+    L3,
+    /// Level 4 — high automation.
+    L4,
+    /// Level 5 — full automation.
+    L5,
+}
+
+impl AutomationLevel {
+    /// Whether the level is a "highly autonomous vehicle" per the
+    /// paper (levels 3–5, where the system takes full driving
+    /// responsibility under certain conditions).
+    pub fn is_hav(self) -> bool {
+        self >= AutomationLevel::L3
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndustrySurveyRow {
+    /// Manufacturer.
+    pub manufacturer: &'static str,
+    /// Achieved automation level.
+    pub level: AutomationLevel,
+    /// Computing platform.
+    pub platform: &'static str,
+    /// Sensor suite.
+    pub sensors: &'static str,
+}
+
+/// The survey rows, verbatim from Table 1.
+pub fn table1() -> [IndustrySurveyRow; 4] {
+    [
+        IndustrySurveyRow {
+            manufacturer: "Mobileye",
+            level: AutomationLevel::L2,
+            platform: "SoCs",
+            sensors: "camera",
+        },
+        IndustrySurveyRow {
+            manufacturer: "Tesla",
+            level: AutomationLevel::L2,
+            platform: "SoCs + GPUs",
+            sensors: "camera, radar",
+        },
+        IndustrySurveyRow {
+            manufacturer: "Nvidia/Audi",
+            level: AutomationLevel::L3,
+            platform: "SoCs + GPUs",
+            sensors: "lidar, camera, radar",
+        },
+        IndustrySurveyRow {
+            manufacturer: "Waymo",
+            level: AutomationLevel::L3,
+            platform: "SoCs + GPUs",
+            sensors: "lidar, camera, radar",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_hav_boundary() {
+        assert!(AutomationLevel::L2 < AutomationLevel::L3);
+        assert!(!AutomationLevel::L2.is_hav());
+        assert!(AutomationLevel::L3.is_hav());
+        assert!(AutomationLevel::L5.is_hav());
+    }
+
+    #[test]
+    fn nobody_exceeds_level_3() {
+        // The paper's observation: even leading companies only reach
+        // level 2 or 3, motivating the research.
+        for row in table1() {
+            assert!(row.level <= AutomationLevel::L3, "{}", row.manufacturer);
+        }
+    }
+
+    #[test]
+    fn level3_players_all_use_lidar() {
+        for row in table1() {
+            if row.level == AutomationLevel::L3 {
+                assert!(row.sensors.contains("lidar"), "{}", row.manufacturer);
+            }
+        }
+    }
+
+    #[test]
+    fn vision_based_players_exist() {
+        assert!(table1().iter().any(|r| !r.sensors.contains("lidar")));
+    }
+}

@@ -1,0 +1,332 @@
+use crate::cost::NetworkCost;
+use crate::layer::{Activation, Layer};
+use crate::{Result, WeightInit};
+use adsim_tensor::{Shape, Tensor, TensorError};
+
+/// A sequential feed-forward network.
+///
+/// Built with [`NetworkBuilder`], which validates layer compatibility
+/// as layers are appended so that a constructed `Network` can always
+/// run any input matching its declared input shape.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_dnn::{Activation, NetworkBuilder};
+/// use adsim_tensor::Tensor;
+///
+/// let net = NetworkBuilder::new("demo", [1, 1, 8, 8], 42)
+///     .conv(4, 3, 1, 1, Activation::LeakyRelu(0.1))
+///     .max_pool(2, 2)
+///     .flatten()
+///     .linear(10, Activation::None)
+///     .build()
+///     .unwrap();
+/// let out = net.forward(&Tensor::zeros([1, 1, 8, 8])).unwrap();
+/// assert_eq!(out.shape().dims(), &[1, 10]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    name: String,
+    input_shape: Shape,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Assembles a network from pre-validated parts (used by the
+    /// optimization passes in [`crate::fuse`]).
+    pub(crate) fn from_parts(name: String, input_shape: Shape, layers: Vec<Layer>) -> Self {
+        Self { name, input_shape, layers }
+    }
+
+    /// The network's descriptive name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared input shape (batch dimension included).
+    pub fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Output shape obtained by propagating the input shape through
+    /// every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any layer rejects its input shape; cannot
+    /// happen for networks produced by [`NetworkBuilder::build`].
+    pub fn output_shape(&self) -> Result<Shape> {
+        let mut shape = self.input_shape.clone();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape)?;
+        }
+        Ok(shape)
+    }
+
+    /// Runs the network on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `input` does not match
+    /// the declared input shape, or propagates kernel errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        if input.shape() != &self.input_shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "network_forward",
+                lhs: input.shape().clone(),
+                rhs: self.input_shape.clone(),
+            });
+        }
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Exact cost of one forward pass at the declared input shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (impossible for built networks).
+    pub fn cost(&self) -> Result<NetworkCost> {
+        let mut shape = self.input_shape.clone();
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            layers.push(layer.cost(&shape)?);
+            shape = layer.output_shape(&shape)?;
+        }
+        Ok(NetworkCost::from_layers(layers))
+    }
+}
+
+/// Incrementally constructs a [`Network`], validating shapes as layers
+/// are appended and initializing parameters deterministically from the
+/// seed.
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    input_shape: Shape,
+    current: Result<Shape>,
+    layers: Vec<Layer>,
+    init: WeightInit,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with the given name, input shape (NCHW for
+    /// convolutional fronts) and weight seed.
+    pub fn new(name: impl Into<String>, input_shape: impl Into<Shape>, seed: u64) -> Self {
+        let input_shape = input_shape.into();
+        Self {
+            name: name.into(),
+            current: Ok(input_shape.clone()),
+            input_shape,
+            layers: Vec::new(),
+            init: WeightInit::new(seed),
+        }
+    }
+
+    /// Appends a convolution with `out_channels` filters of size
+    /// `k`×`k`, given stride/padding and a fused activation.
+    pub fn conv(
+        mut self,
+        out_channels: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        activation: Activation,
+    ) -> Self {
+        let Ok(shape) = self.current.clone() else { return self };
+        let Ok((_, c_in, _, _)) = shape.as_nchw() else {
+            self.current = Err(TensorError::RankMismatch {
+                op: "conv2d",
+                expected: 4,
+                actual: shape.rank(),
+            });
+            return self;
+        };
+        let fan_in = c_in * k * k;
+        let weight = Tensor::from_vec(
+            [out_channels, c_in, k, k],
+            self.init.uniform(out_channels * fan_in, fan_in),
+        )
+        .expect("weight length matches by construction");
+        let bias = Tensor::from_vec([out_channels], self.init.bias(out_channels))
+            .expect("bias length matches by construction");
+        self.push(Layer::Conv2d { weight, bias: Some(bias), stride, pad, activation })
+    }
+
+    /// Appends a max-pooling layer.
+    pub fn max_pool(self, window: usize, stride: usize) -> Self {
+        self.push(Layer::MaxPool2d { window, stride })
+    }
+
+    /// Appends an inference-time batch-norm layer with identity-ish
+    /// folded statistics (deterministic small perturbations).
+    pub fn batch_norm(mut self) -> Self {
+        let Ok(shape) = self.current.clone() else { return self };
+        let Ok((_, c, _, _)) = shape.as_nchw() else {
+            self.current = Err(TensorError::RankMismatch {
+                op: "batch_norm",
+                expected: 4,
+                actual: shape.rank(),
+            });
+            return self;
+        };
+        let gamma = Tensor::from_vec([c], self.init.uniform(c, 1).iter().map(|v| 1.0 + 0.01 * v).collect())
+            .expect("length matches");
+        let beta = Tensor::from_vec([c], self.init.bias(c)).expect("length matches");
+        let mean = Tensor::from_vec([c], self.init.bias(c)).expect("length matches");
+        let var = Tensor::filled([c], 1.0);
+        self.push(Layer::BatchNorm { gamma, beta, mean, var, eps: 1e-5 })
+    }
+
+    /// Appends a flatten layer.
+    pub fn flatten(self) -> Self {
+        self.push(Layer::Flatten)
+    }
+
+    /// Appends a fully-connected layer with `out_features` outputs.
+    pub fn linear(mut self, out_features: usize, activation: Activation) -> Self {
+        let Ok(shape) = self.current.clone() else { return self };
+        if shape.rank() != 2 {
+            self.current = Err(TensorError::RankMismatch {
+                op: "linear",
+                expected: 2,
+                actual: shape.rank(),
+            });
+            return self;
+        }
+        let in_f = shape.dim(1);
+        let weight =
+            Tensor::from_vec([out_features, in_f], self.init.uniform(out_features * in_f, in_f))
+                .expect("weight length matches by construction");
+        let bias = Tensor::from_vec([out_features], self.init.bias(out_features))
+            .expect("bias length matches by construction");
+        self.push(Layer::Linear { weight, bias: Some(bias), activation })
+    }
+
+    /// Appends a standalone activation.
+    pub fn activate(self, activation: Activation) -> Self {
+        self.push(Layer::Activate(activation))
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shape error encountered while appending
+    /// layers, so misconfigured architectures fail loudly at build time
+    /// rather than at inference time.
+    pub fn build(self) -> Result<Network> {
+        self.current?;
+        Ok(Network { name: self.name, input_shape: self.input_shape, layers: self.layers })
+    }
+
+    fn push(mut self, layer: Layer) -> Self {
+        if let Ok(shape) = self.current.clone() {
+            match layer.output_shape(&shape) {
+                Ok(next) => {
+                    self.current = Ok(next);
+                    self.layers.push(layer);
+                }
+                Err(e) => self.current = Err(e),
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_shapes() {
+        let net = NetworkBuilder::new("t", [1, 3, 16, 16], 1)
+            .conv(8, 3, 1, 1, Activation::Relu)
+            .max_pool(2, 2)
+            .conv(16, 3, 1, 1, Activation::Relu)
+            .max_pool(2, 2)
+            .flatten()
+            .linear(5, Activation::None)
+            .build()
+            .unwrap();
+        assert_eq!(net.output_shape().unwrap().dims(), &[1, 5]);
+        assert_eq!(net.layers().len(), 6);
+    }
+
+    #[test]
+    fn builder_rejects_incompatible_layers() {
+        let err = NetworkBuilder::new("bad", [1, 1, 4, 4], 1)
+            .max_pool(8, 8)
+            .build();
+        assert!(err.is_err());
+        // Linear before flatten on a 4-D tensor is also a build error.
+        let err = NetworkBuilder::new("bad2", [1, 1, 4, 4], 1)
+            .linear(3, Activation::None)
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn forward_validates_input_shape() {
+        let net = NetworkBuilder::new("t", [1, 1, 4, 4], 1)
+            .flatten()
+            .linear(2, Activation::None)
+            .build()
+            .unwrap();
+        assert!(net.forward(&Tensor::zeros([1, 1, 4, 4])).is_ok());
+        assert!(net.forward(&Tensor::zeros([1, 1, 5, 5])).is_err());
+    }
+
+    #[test]
+    fn forward_is_deterministic_across_equal_seeds() {
+        let make = || {
+            NetworkBuilder::new("t", [1, 1, 6, 6], 99)
+                .conv(2, 3, 1, 0, Activation::Tanh)
+                .flatten()
+                .linear(3, Activation::Sigmoid)
+                .build()
+                .unwrap()
+        };
+        let input = Tensor::from_fn([1, 1, 6, 6], |i| (i[2] * 6 + i[3]) as f32 / 36.0);
+        let a = make().forward(&input).unwrap();
+        let b = make().forward(&input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cost_matches_layer_count() {
+        let net = NetworkBuilder::new("t", [1, 1, 8, 8], 1)
+            .conv(4, 3, 1, 1, Activation::Relu)
+            .batch_norm()
+            .max_pool(2, 2)
+            .flatten()
+            .linear(2, Activation::None)
+            .build()
+            .unwrap();
+        let cost = net.cost().unwrap();
+        assert_eq!(cost.layers.len(), 5);
+        assert!(cost.total.flops > 0);
+        let conv_share = cost.flop_fraction(|l| l.kind == "conv2d" || l.kind == "linear");
+        assert!(conv_share > 0.8, "affine layers dominate: {conv_share}");
+    }
+
+    #[test]
+    fn batch_norm_keeps_values_finite() {
+        let net = NetworkBuilder::new("t", [1, 2, 4, 4], 5)
+            .conv(2, 3, 1, 1, Activation::None)
+            .batch_norm()
+            .build()
+            .unwrap();
+        let out = net.forward(&Tensor::filled([1, 2, 4, 4], 0.5)).unwrap();
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+}

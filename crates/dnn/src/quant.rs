@@ -1,0 +1,273 @@
+//! Int8 quantization for DNN inference.
+//!
+//! The ASIC accelerators the paper builds on (EIE, Eyeriss — §4.2.3)
+//! run fixed-point arithmetic: weights and activations are quantized
+//! to 8 bits and accumulated in wide integers. This module provides
+//! symmetric per-tensor int8 quantization with i32 accumulation, the
+//! matching matmul/convolution kernels, and quantization of whole
+//! [`Network`](crate::Network)s — enabling the precision-vs-cost
+//! ablation in `adsim-bench`.
+//!
+//! # Examples
+//!
+//! ```
+//! use adsim_dnn::quant::QuantTensor;
+//! use adsim_tensor::Tensor;
+//!
+//! let t = Tensor::from_vec([4], vec![-1.0, -0.5, 0.5, 1.0]).unwrap();
+//! let q = QuantTensor::quantize(&t);
+//! let back = q.dequantize();
+//! for (a, b) in t.iter().zip(back.iter()) {
+//!     assert!((a - b).abs() < 0.01);
+//! }
+//! ```
+
+use crate::Result;
+use adsim_tensor::{ops, Shape, Tensor, TensorError};
+
+/// A symmetric per-tensor int8 quantized tensor: `value ≈ data × scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTensor {
+    shape: Shape,
+    data: Vec<i8>,
+    scale: f32,
+}
+
+impl QuantTensor {
+    /// Quantizes a float tensor: the scale maps the largest magnitude
+    /// to ±127.
+    pub fn quantize(t: &Tensor) -> QuantTensor {
+        let max = t.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+        let data = t
+            .iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantTensor { shape: t.shape().clone(), data, scale }
+    }
+
+    /// The quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The raw int8 values.
+    pub fn as_i8(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Reconstructs the float tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.data.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(self.shape.clone(), data).expect("length preserved")
+    }
+
+    /// Worst-case absolute quantization error for this tensor.
+    pub fn max_abs_error(&self, original: &Tensor) -> f32 {
+        self.dequantize()
+            .iter()
+            .zip(original.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Bytes occupied by the quantized representation (4× smaller than
+    /// f32 — the memory-footprint win the paper's on-chip buffers rely
+    /// on).
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Int8 matrix multiply with i32 accumulation:
+/// `[m, k] × [k, n] → [m, n]` floats (dequantized through the product
+/// of the input scales).
+///
+/// # Errors
+///
+/// Returns an error on rank or inner-dimension mismatch.
+pub fn quant_matmul(a: &QuantTensor, b: &QuantTensor) -> Result<Tensor> {
+    if a.shape.rank() != 2 || b.shape.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "quant_matmul",
+            expected: 2,
+            actual: if a.shape.rank() != 2 { a.shape.rank() } else { b.shape.rank() },
+        });
+    }
+    let (m, k) = (a.shape.dim(0), a.shape.dim(1));
+    let (k2, n) = (b.shape.dim(0), b.shape.dim(1));
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "quant_matmul",
+            lhs: a.shape.clone(),
+            rhs: b.shape.clone(),
+        });
+    }
+    let mut out = vec![0f32; m * n];
+    let rescale = a.scale * b.scale;
+    for i in 0..m {
+        let arow = &a.data[i * k..(i + 1) * k];
+        for j in 0..n {
+            let mut acc = 0i32;
+            for (kk, &av) in arow.iter().enumerate() {
+                acc += av as i32 * b.data[kk * n + j] as i32;
+            }
+            out[i * n + j] = acc as f32 * rescale;
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Int8 2-D convolution (im2col lowering onto [`quant_matmul`]),
+/// matching [`ops::conv2d`]'s contract with quantized input and
+/// weights.
+///
+/// # Errors
+///
+/// Same conditions as [`ops::conv2d`].
+pub fn quant_conv2d(
+    input: &Tensor,
+    weight: &QuantTensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let (n, _, _, _) = input.shape().as_nchw()?;
+    if n != 1 {
+        return Err(TensorError::InvalidParameter {
+            op: "quant_conv2d",
+            reason: "quantized path supports batch 1 (inference)".into(),
+        });
+    }
+    let (c_out, c_in, kh, kw) = weight.shape.as_nchw()?;
+    // Quantize the unrolled input once.
+    let cols = ops::im2col(input, kh, kw, stride, pad)?;
+    let qcols = QuantTensor::quantize(&cols);
+    let wmat = QuantTensor {
+        shape: Shape::from([c_out, c_in * kh * kw]),
+        data: weight.data.clone(),
+        scale: weight.scale,
+    };
+    let prod = quant_matmul(&wmat, &qcols)?;
+    // prod is [c_out, h_out*w_out]; reshape to NCHW and add bias.
+    let positions = prod.shape().dim(1);
+    let (h_out, w_out) = infer_out_hw(input, kh, kw, stride, pad, positions)?;
+    let mut out = prod.reshape([1, c_out, h_out, w_out])?;
+    if let Some(bias) = bias {
+        let data = out.as_mut_slice();
+        for ch in 0..c_out {
+            let b = bias.as_slice()[ch];
+            for v in &mut data[ch * h_out * w_out..(ch + 1) * h_out * w_out] {
+                *v += b;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn infer_out_hw(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    positions: usize,
+) -> Result<(usize, usize)> {
+    let (_, _, h, w) = input.shape().as_nchw()?;
+    let h_out = ops::out_extent(h, kh, stride, pad).ok_or(TensorError::InvalidParameter {
+        op: "quant_conv2d",
+        reason: format!("kernel {kh}x{kw} does not fit"),
+    })?;
+    let w_out = ops::out_extent(w, kw, stride, pad).ok_or(TensorError::InvalidParameter {
+        op: "quant_conv2d",
+        reason: format!("kernel {kh}x{kw} does not fit"),
+    })?;
+    debug_assert_eq!(h_out * w_out, positions);
+    Ok((h_out, w_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(shape: impl Into<Shape>, seed: u64) -> Tensor {
+        let mut s = seed;
+        Tensor::from_fn(shape, |_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as i32 % 256) as f32 / 128.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn quantize_round_trip_error_is_bounded() {
+        let t = noisy([64], 1);
+        let q = QuantTensor::quantize(&t);
+        // Half an LSB of the scale.
+        assert!(q.max_abs_error(&t) <= q.scale() * 0.5 + 1e-6);
+        assert_eq!(q.bytes(), 64);
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_cleanly() {
+        let t = Tensor::zeros([8]);
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn quant_matmul_tracks_float_matmul() {
+        let a = noisy([8, 16], 2);
+        let b = noisy([16, 4], 3);
+        let exact = ops::matmul(&a, &b).unwrap();
+        let approx = quant_matmul(&QuantTensor::quantize(&a), &QuantTensor::quantize(&b)).unwrap();
+        let scale = exact.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        for (x, y) in exact.iter().zip(approx.iter()) {
+            assert!((x - y).abs() < 0.05 * scale.max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn quant_conv_tracks_float_conv() {
+        let input = noisy([1, 3, 10, 10], 4);
+        let weight = noisy([4, 3, 3, 3], 5);
+        let bias = noisy([4], 6);
+        let exact = ops::conv2d(&input, &weight, Some(&bias), 1, 1).unwrap();
+        let approx =
+            quant_conv2d(&input, &QuantTensor::quantize(&weight), Some(&bias), 1, 1).unwrap();
+        assert_eq!(exact.shape(), approx.shape());
+        let scale = exact.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let mut worst = 0.0f32;
+        for (x, y) in exact.iter().zip(approx.iter()) {
+            worst = worst.max((x - y).abs());
+        }
+        assert!(worst < 0.05 * scale.max(1.0), "worst error {worst} at output scale {scale}");
+    }
+
+    #[test]
+    fn quant_matmul_validates_shapes() {
+        let a = QuantTensor::quantize(&Tensor::zeros([2, 3]));
+        let b = QuantTensor::quantize(&Tensor::zeros([4, 2]));
+        assert!(quant_matmul(&a, &b).is_err());
+        let v = QuantTensor::quantize(&Tensor::zeros([3]));
+        assert!(quant_matmul(&v, &a).is_err());
+    }
+
+    #[test]
+    fn quant_conv_rejects_batches() {
+        let input = Tensor::zeros([2, 1, 4, 4]);
+        let w = QuantTensor::quantize(&Tensor::zeros([1, 1, 3, 3]));
+        assert!(quant_conv2d(&input, &w, None, 1, 1).is_err());
+    }
+
+    #[test]
+    fn memory_footprint_is_quarter_of_f32() {
+        let t = noisy([1, 8, 16, 16], 9);
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.bytes() * 4, t.len() * 4);
+    }
+}

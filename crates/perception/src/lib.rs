@@ -1,0 +1,40 @@
+//! Object detection (DET) and object tracking (TRA) engines.
+//!
+//! These are two of the paper's three computational bottlenecks
+//! (§3.2): a YOLO-style multi-object detector (Fig. 3) and a
+//! GOTURN-style single-object tracker driven from a tracker pool with a
+//! tracked-object table and a ten-frame expiry rule (§3.1.2, Fig. 4).
+//!
+//! Each engine has two interchangeable implementations behind a trait:
+//!
+//! * a **DNN** implementation ([`YoloDetector`], [`GoturnTracker`])
+//!   that runs the reduced-scale networks from `adsim-dnn`, exercising
+//!   the exact compute structure the paper accelerates — but with
+//!   deterministic pseudo-random weights, since trained vision models
+//!   are outside this reproduction's scope (see DESIGN.md);
+//! * a **classical** implementation ([`BlobDetector`],
+//!   [`TemplateTracker`]) that is functionally accurate on the
+//!   synthetic worlds, so the end-to-end pipeline, fusion and planning
+//!   can be validated against ground truth.
+//!
+//! # Examples
+//!
+//! ```
+//! use adsim_perception::{BlobDetector, Detector};
+//! use adsim_vision::GrayImage;
+//!
+//! let mut img = GrayImage::new(160, 120);
+//! img.fill_rect(40, 40, 20, 12, 235); // a vehicle-band blob
+//! let mut det = BlobDetector::new();
+//! let found = det.detect(&img);
+//! assert_eq!(found.len(), 1);
+//! ```
+
+mod detector;
+pub mod metrics;
+mod pool;
+mod tracker;
+
+pub use detector::{BlobDetector, DetCost, Detector, YoloDetector};
+pub use pool::{TrackedObject, TrackerPool, TrackerPoolConfig};
+pub use tracker::{GoturnTracker, TemplateTracker, Tracker};

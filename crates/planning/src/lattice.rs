@@ -1,0 +1,291 @@
+//! Free-space motion planning: A* over a state lattice of motion
+//! primitives, the approach the paper's motion planner uses "when the
+//! vehicle is in a large opening area like parking lot or rural area"
+//! (§3.1.5, citing Pivtoraiko et al.).
+
+use adsim_vision::{geometry::normalize_angle, Point2, Pose2};
+use std::collections::{BinaryHeap, HashMap};
+
+/// A disc obstacle on the ground plane (a fused object plus a safety
+/// margin).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obstacle {
+    /// Center (m).
+    pub center: Point2,
+    /// Radius including safety margin (m).
+    pub radius: f64,
+}
+
+impl Obstacle {
+    /// Creates an obstacle.
+    pub fn new(center: Point2, radius: f64) -> Self {
+        Self { center, radius }
+    }
+}
+
+/// Lattice discretization parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatticeConfig {
+    /// Grid cell size (m).
+    pub cell_m: f64,
+    /// Number of discrete headings (evenly spaced).
+    pub headings: usize,
+    /// Arc length of one motion primitive (m).
+    pub step_m: f64,
+    /// Maximum nodes expanded before giving up.
+    pub max_expansions: usize,
+    /// Distance to the goal that counts as arrival (m).
+    pub goal_tolerance_m: f64,
+}
+
+impl Default for LatticeConfig {
+    fn default() -> Self {
+        Self {
+            cell_m: 1.0,
+            headings: 16,
+            step_m: 2.0,
+            max_expansions: 20_000,
+            goal_tolerance_m: 1.5,
+        }
+    }
+}
+
+/// A planned path through free space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Poses along the path, start first.
+    pub poses: Vec<Pose2>,
+    /// Total arc length (m).
+    pub length_m: f64,
+    /// Nodes expanded by the search (the planner's work metric).
+    pub expansions: usize,
+}
+
+/// State-lattice A* planner.
+///
+/// States are `(x, y, heading)` quantized to the lattice; motion
+/// primitives are straight / left-arc / right-arc steps of
+/// [`LatticeConfig::step_m`] that respect the heading quantization, so
+/// every edge is kinematically drivable at bounded curvature.
+#[derive(Debug, Clone, Default)]
+pub struct LatticePlanner {
+    cfg: LatticeConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct NodeKey {
+    gx: i64,
+    gy: i64,
+    heading: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenEntry {
+    f: f64,
+    key: NodeKey,
+}
+
+impl PartialEq for OpenEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f
+    }
+}
+impl Eq for OpenEntry {}
+impl PartialOrd for OpenEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on f.
+        other.f.partial_cmp(&self.f).expect("costs are finite")
+    }
+}
+
+impl LatticePlanner {
+    /// Creates a planner with the given discretization.
+    pub fn new(cfg: LatticeConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Plans from `start` to within the goal tolerance of `goal`,
+    /// avoiding all `obstacles`. Returns `None` when no path exists
+    /// within the expansion budget.
+    pub fn plan(&self, start: Pose2, goal: Point2, obstacles: &[Obstacle]) -> Option<Path> {
+        let cfg = &self.cfg;
+        if self.hits_obstacle(start.translation(), obstacles) {
+            return None;
+        }
+        let start_key = self.key_of(&start);
+        let mut open = BinaryHeap::new();
+        let mut best_g: HashMap<NodeKey, f64> = HashMap::new();
+        let mut parent: HashMap<NodeKey, (NodeKey, Pose2)> = HashMap::new();
+        let mut poses: HashMap<NodeKey, Pose2> = HashMap::new();
+
+        poses.insert(start_key, start);
+        best_g.insert(start_key, 0.0);
+        open.push(OpenEntry { f: start.translation().distance(&goal), key: start_key });
+
+        let mut expansions = 0;
+        while let Some(OpenEntry { key, .. }) = open.pop() {
+            let pose = poses[&key];
+            let g = best_g[&key];
+            if pose.translation().distance(&goal) <= cfg.goal_tolerance_m {
+                return Some(self.reconstruct(key, &parent, &poses, g, expansions));
+            }
+            expansions += 1;
+            if expansions > cfg.max_expansions {
+                return None;
+            }
+            for next in self.successors(&pose) {
+                if self.hits_obstacle(next.translation(), obstacles)
+                    || self.segment_blocked(&pose, &next, obstacles)
+                {
+                    continue;
+                }
+                let nk = self.key_of(&next);
+                let ng = g + cfg.step_m;
+                if best_g.get(&nk).is_none_or(|&old| ng < old) {
+                    best_g.insert(nk, ng);
+                    poses.insert(nk, next);
+                    parent.insert(nk, (key, next));
+                    open.push(OpenEntry { f: ng + next.translation().distance(&goal), key: nk });
+                }
+            }
+        }
+        None
+    }
+
+    /// The three motion primitives from a pose: straight, arc-left and
+    /// arc-right by one heading increment.
+    fn successors(&self, pose: &Pose2) -> [Pose2; 3] {
+        let dtheta = 2.0 * std::f64::consts::PI / self.cfg.headings as f64;
+        let step = self.cfg.step_m;
+        let go = |turn: f64| {
+            let theta = normalize_angle(pose.theta + turn);
+            // Advance along the average heading for arc-like motion.
+            let mid = pose.theta + turn / 2.0;
+            Pose2::new(pose.x + step * mid.cos(), pose.y + step * mid.sin(), theta)
+        };
+        [go(0.0), go(dtheta), go(-dtheta)]
+    }
+
+    fn key_of(&self, pose: &Pose2) -> NodeKey {
+        let h = (normalize_angle(pose.theta) + std::f64::consts::PI)
+            / (2.0 * std::f64::consts::PI)
+            * self.cfg.headings as f64;
+        NodeKey {
+            gx: (pose.x / self.cfg.cell_m).round() as i64,
+            gy: (pose.y / self.cfg.cell_m).round() as i64,
+            heading: (h.round() as usize) % self.cfg.headings,
+        }
+    }
+
+    fn hits_obstacle(&self, p: Point2, obstacles: &[Obstacle]) -> bool {
+        obstacles.iter().any(|o| o.center.distance(&p) <= o.radius)
+    }
+
+    /// Checks the midpoint of a primitive as a cheap swept-collision
+    /// test (primitives are short relative to obstacle radii).
+    fn segment_blocked(&self, a: &Pose2, b: &Pose2, obstacles: &[Obstacle]) -> bool {
+        let mid = Point2::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
+        self.hits_obstacle(mid, obstacles)
+    }
+
+    fn reconstruct(
+        &self,
+        mut key: NodeKey,
+        parent: &HashMap<NodeKey, (NodeKey, Pose2)>,
+        poses: &HashMap<NodeKey, Pose2>,
+        length: f64,
+        expansions: usize,
+    ) -> Path {
+        let mut out = vec![poses[&key]];
+        while let Some(&(prev, _)) = parent.get(&key) {
+            out.push(poses[&prev]);
+            key = prev;
+        }
+        out.reverse();
+        Path { poses: out, length_m: length, expansions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_in_open_space() {
+        let p = LatticePlanner::default();
+        let path = p.plan(Pose2::identity(), Point2::new(20.0, 0.0), &[]).unwrap();
+        assert!(path.length_m >= 18.0 && path.length_m <= 24.0, "{}", path.length_m);
+        // Path ends near the goal.
+        let end = path.poses.last().unwrap();
+        assert!(end.translation().distance(&Point2::new(20.0, 0.0)) <= 1.5);
+    }
+
+    #[test]
+    fn avoids_a_wall_of_obstacles() {
+        let p = LatticePlanner::default();
+        // A wall at x = 10 with a gap at y = 12.
+        let mut obstacles = Vec::new();
+        for i in -10..10 {
+            if (9..12).contains(&i) {
+                continue;
+            }
+            obstacles.push(Obstacle::new(Point2::new(10.0, i as f64), 1.2));
+        }
+        let goal = Point2::new(20.0, 0.0);
+        let path = p.plan(Pose2::identity(), goal, &obstacles).unwrap();
+        // Must detour: longer than the straight-line distance.
+        assert!(path.length_m > 24.0, "detour length {}", path.length_m);
+        // And never touch an obstacle.
+        for pose in &path.poses {
+            for o in &obstacles {
+                assert!(o.center.distance(&pose.translation()) > o.radius);
+            }
+        }
+    }
+
+    #[test]
+    fn enclosed_goal_is_unreachable() {
+        let p = LatticePlanner::new(LatticeConfig { max_expansions: 5_000, ..Default::default() });
+        let goal = Point2::new(15.0, 0.0);
+        // Ring of obstacles around the goal.
+        let obstacles: Vec<Obstacle> = (0..24)
+            .map(|i| {
+                let a = i as f64 / 24.0 * std::f64::consts::TAU;
+                Obstacle::new(Point2::new(15.0 + 5.0 * a.cos(), 5.0 * a.sin()), 1.5)
+            })
+            .collect();
+        assert!(p.plan(Pose2::identity(), goal, &obstacles).is_none());
+    }
+
+    #[test]
+    fn start_inside_obstacle_fails_fast() {
+        let p = LatticePlanner::default();
+        let obstacles = [Obstacle::new(Point2::new(0.0, 0.0), 2.0)];
+        assert!(p.plan(Pose2::identity(), Point2::new(10.0, 0.0), &obstacles).is_none());
+    }
+
+    #[test]
+    fn paths_are_kinematically_smooth() {
+        let p = LatticePlanner::default();
+        let path = p.plan(Pose2::identity(), Point2::new(10.0, 10.0), &[]).unwrap();
+        let dtheta_max = 2.0 * std::f64::consts::PI / 16.0 + 1e-9;
+        for pair in path.poses.windows(2) {
+            let turn = normalize_angle(pair[1].theta - pair[0].theta).abs();
+            assert!(turn <= dtheta_max, "turn {turn} exceeds one heading increment");
+        }
+    }
+
+    #[test]
+    fn goal_behind_requires_turning_around() {
+        let p = LatticePlanner::default();
+        let goal = Point2::new(-10.0, 0.0);
+        let path = p.plan(Pose2::identity(), goal, &[]).unwrap();
+        // Forward-only primitives: must loop around, well over 10 m.
+        assert!(path.length_m > 15.0, "{}", path.length_m);
+    }
+}

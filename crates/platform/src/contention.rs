@@ -1,0 +1,177 @@
+//! Accelerator sharing and contention.
+//!
+//! The paper's configurations implicitly give each bottleneck its own
+//! device ("each camera is paired with a replica of the computing
+//! engine", §5.1.3). A cost-reduced design might instead time-share
+//! one accelerator among DET, TRA and LOC; this module models the
+//! feasibility and queueing inflation of that choice with an M/D/1-style
+//! first-order model over per-engine utilizations.
+
+use crate::model::{Component, LatencyModel, Platform};
+
+/// Utilization of one device by one engine at a frame rate:
+/// `mean_service_time × arrival_rate`.
+pub fn utilization(model: &LatencyModel, c: Component, p: Platform, fps: f64) -> f64 {
+    assert!(fps > 0.0, "frame rate must be positive");
+    model.mean_ms(c, p, 1.0) / 1_000.0 * fps
+}
+
+/// Result of analyzing a shared device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingAnalysis {
+    /// Total utilization of the shared device.
+    pub total_utilization: f64,
+    /// Whether the device can sustain the offered load at all.
+    pub feasible: bool,
+    /// Latency inflation factor from queueing behind the co-runners
+    /// (`1 / (1 − U_others)` per engine, averaged; 1.0 when dedicated).
+    pub mean_inflation: f64,
+}
+
+/// Analyzes running a set of engines on one shared instance of a
+/// platform at a camera frame rate.
+///
+/// Each engine sees its own service time inflated by waiting behind
+/// the *other* engines' utilization: `T_shared = T / (1 − U_others)` —
+/// the standard server-sharing first-order approximation.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_platform::{contention, Component, LatencyModel, Platform};
+///
+/// let model = LatencyModel::paper_calibrated();
+/// // One GPU shared by all three bottlenecks at 10 FPS.
+/// let a = contention::analyze_sharing(
+///     &model,
+///     &Component::BOTTLENECKS,
+///     Platform::Gpu,
+///     10.0,
+/// );
+/// assert!(a.feasible);
+/// assert!(a.mean_inflation > 1.0);
+/// ```
+pub fn analyze_sharing(
+    model: &LatencyModel,
+    engines: &[Component],
+    p: Platform,
+    fps: f64,
+) -> SharingAnalysis {
+    let utils: Vec<f64> = engines.iter().map(|&c| utilization(model, c, p, fps)).collect();
+    let total: f64 = utils.iter().sum();
+    if total >= 1.0 {
+        return SharingAnalysis {
+            total_utilization: total,
+            feasible: false,
+            mean_inflation: f64::INFINITY,
+        };
+    }
+    let mean_inflation = utils
+        .iter()
+        .map(|u| 1.0 / (1.0 - (total - u)))
+        .sum::<f64>()
+        / utils.len().max(1) as f64;
+    SharingAnalysis { total_utilization: total, feasible: true, mean_inflation }
+}
+
+/// Inflated mean latency (ms) of one engine when sharing a device with
+/// `others` at the given frame rate.
+///
+/// Returns `None` when the combined load saturates the device.
+pub fn shared_mean_ms(
+    model: &LatencyModel,
+    c: Component,
+    others: &[Component],
+    p: Platform,
+    fps: f64,
+) -> Option<f64> {
+    let own = model.mean_ms(c, p, 1.0);
+    let others_util: f64 = others
+        .iter()
+        .filter(|&&o| o != c)
+        .map(|&o| utilization(model, o, p, fps))
+        .sum();
+    let total = others_util + utilization(model, c, p, fps);
+    if total >= 1.0 {
+        return None;
+    }
+    Some(own / (1.0 - others_util))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LatencyModel {
+        LatencyModel::paper_calibrated()
+    }
+
+    #[test]
+    fn utilization_matches_fig10_means() {
+        let m = model();
+        // DET on GPU: 11.2 ms at 10 FPS -> 11.2% busy.
+        let u = utilization(&m, Component::Detection, Platform::Gpu, 10.0);
+        assert!((u - 0.112).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_gpu_is_feasible_at_10fps() {
+        let m = model();
+        let a = analyze_sharing(&m, &Component::BOTTLENECKS, Platform::Gpu, 10.0);
+        // 11.2 + 5.5 + 20.3 ms per 100 ms = 37% busy.
+        assert!(a.feasible);
+        assert!((a.total_utilization - 0.37).abs() < 0.01);
+        assert!(a.mean_inflation > 1.1 && a.mean_inflation < 1.6, "{}", a.mean_inflation);
+    }
+
+    #[test]
+    fn cpu_cannot_share_anything_at_10fps() {
+        let m = model();
+        let a = analyze_sharing(&m, &Component::BOTTLENECKS, Platform::Cpu, 10.0);
+        assert!(!a.feasible, "7.99 s of work per 100 ms frame");
+        assert!(a.mean_inflation.is_infinite());
+    }
+
+    #[test]
+    fn dedicated_engine_sees_no_inflation() {
+        let m = model();
+        let solo = shared_mean_ms(&m, Component::Detection, &[], Platform::Gpu, 10.0).unwrap();
+        assert_eq!(solo, m.mean_ms(Component::Detection, Platform::Gpu, 1.0));
+    }
+
+    #[test]
+    fn co_runners_inflate_latency() {
+        let m = model();
+        let shared = shared_mean_ms(
+            &m,
+            Component::Detection,
+            &Component::BOTTLENECKS,
+            Platform::Gpu,
+            10.0,
+        )
+        .unwrap();
+        let solo = m.mean_ms(Component::Detection, Platform::Gpu, 1.0);
+        assert!(shared > solo * 1.2, "shared {shared} vs solo {solo}");
+    }
+
+    #[test]
+    fn saturated_sharing_returns_none() {
+        let m = model();
+        assert!(shared_mean_ms(
+            &m,
+            Component::Detection,
+            &Component::BOTTLENECKS,
+            Platform::Fpga,
+            10.0,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn higher_fps_raises_utilization() {
+        let m = model();
+        let u10 = utilization(&m, Component::Localization, Platform::Gpu, 10.0);
+        let u30 = utilization(&m, Component::Localization, Platform::Gpu, 30.0);
+        assert!((u30 - 3.0 * u10).abs() < 1e-12);
+    }
+}

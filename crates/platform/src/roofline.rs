@@ -1,0 +1,120 @@
+//! Roofline analysis: compute- vs memory-bound classification.
+//!
+//! Table 2 gives each platform's core count / frequency and memory
+//! bandwidth; the DNN cost analyzer gives each workload's arithmetic
+//! intensity (FLOPs per byte). The roofline model combines them to
+//! explain *why* the platforms behave as Fig. 10 measures: the DNN
+//! engines are strongly compute-bound, so the FPGA's 256 DSPs (not its
+//! 6.4 GB/s of bandwidth) are its bottleneck — exactly Finding 1's
+//! "limited number of DSPs" diagnosis.
+
+use crate::model::Platform;
+
+/// Peak compute and memory bandwidth of one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak arithmetic throughput (GFLOP/s).
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth (GB/s).
+    pub bandwidth_gbps: f64,
+}
+
+impl Roofline {
+    /// First-order peaks derived from Table 2.
+    ///
+    /// * CPU: 16 cores × 3.2 GHz × 8 FLOPs/cycle (AVX2 FMA) ≈ 410.
+    /// * GPU: 3584 cores × 1.4 GHz × 2 (FMA) ≈ 10 000.
+    /// * FPGA: 256 DSPs × 0.8 GHz × 2 ≈ 410.
+    /// * ASIC: representative CNN-accelerator array at 200 MHz
+    ///   (the Table 2 CNN ASIC extrapolated to the needed PE count).
+    pub fn for_platform(p: Platform) -> Roofline {
+        match p {
+            Platform::Cpu => Roofline { peak_gflops: 410.0, bandwidth_gbps: 59.0 },
+            Platform::Gpu => Roofline { peak_gflops: 10_000.0, bandwidth_gbps: 480.0 },
+            Platform::Fpga => Roofline { peak_gflops: 410.0, bandwidth_gbps: 6.4 },
+            Platform::Asic => Roofline { peak_gflops: 2_000.0, bandwidth_gbps: 100.0 },
+        }
+    }
+
+    /// Attainable throughput at a given arithmetic intensity
+    /// (FLOPs/byte): `min(peak, bandwidth × intensity)`.
+    pub fn attainable_gflops(&self, intensity: f64) -> f64 {
+        assert!(intensity >= 0.0, "intensity cannot be negative");
+        self.peak_gflops.min(self.bandwidth_gbps * intensity)
+    }
+
+    /// The ridge point: the intensity above which the platform is
+    /// compute-bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_gflops / self.bandwidth_gbps
+    }
+
+    /// Whether a workload of the given intensity is compute-bound on
+    /// this platform.
+    pub fn is_compute_bound(&self, intensity: f64) -> bool {
+        intensity >= self.ridge_intensity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsim_dnn::models::{goturn_spec, yolo_v2_spec};
+
+    fn intensity_of_yolo() -> f64 {
+        let cost = yolo_v2_spec(384, 1248).cost().unwrap();
+        cost.total.flops as f64
+            / cost.layers.iter().map(|l| l.total_bytes()).sum::<u64>() as f64
+    }
+
+    #[test]
+    fn attainable_is_capped_by_both_roofs() {
+        let r = Roofline { peak_gflops: 100.0, bandwidth_gbps: 10.0 };
+        assert_eq!(r.attainable_gflops(1.0), 10.0, "memory-bound below the ridge");
+        assert_eq!(r.attainable_gflops(100.0), 100.0, "compute-bound above it");
+        assert_eq!(r.ridge_intensity(), 10.0);
+    }
+
+    #[test]
+    fn yolo_is_compute_bound_on_the_fpga() {
+        // Finding 1's diagnosis: the FPGA's DSP count, not bandwidth,
+        // limits DET/TRA.
+        let intensity = intensity_of_yolo();
+        assert!(intensity > 10.0, "conv nets are high intensity: {intensity}");
+        assert!(Roofline::for_platform(Platform::Fpga).is_compute_bound(intensity));
+        assert!(Roofline::for_platform(Platform::Cpu).is_compute_bound(intensity));
+    }
+
+    #[test]
+    fn fpga_attainable_matches_observed_order_of_magnitude() {
+        // Fig. 10a: DET on FPGA takes 369.6 ms for the ~95 GFLOP
+        // workload -> ~257 GFLOP/s effective, which must sit under the
+        // 410 GFLOP/s DSP roof.
+        let gflops = yolo_v2_spec(384, 1248).cost().unwrap().gflops();
+        let effective = gflops / 0.3696;
+        let roof = Roofline::for_platform(Platform::Fpga).peak_gflops;
+        assert!(effective < roof, "effective {effective:.0} vs roof {roof:.0}");
+        assert!(effective > roof * 0.3, "and within 3x of it (well-utilized fabric)");
+    }
+
+    #[test]
+    fn goturn_fc_layers_lower_its_intensity() {
+        // Fully-connected layers stream their weights once, so GOTURN's
+        // overall intensity is below YOLO's conv-only trunk.
+        let yolo = intensity_of_yolo();
+        let cost = goturn_spec().cost().unwrap();
+        let goturn = cost.total.flops as f64
+            / cost.layers.iter().map(|l| l.total_bytes()).sum::<u64>() as f64;
+        assert!(goturn < yolo, "GOTURN {goturn:.1} vs YOLO {yolo:.1} FLOPs/byte");
+    }
+
+    #[test]
+    fn gpu_has_the_highest_roofs() {
+        let gpu = Roofline::for_platform(Platform::Gpu);
+        for p in [Platform::Cpu, Platform::Fpga] {
+            let other = Roofline::for_platform(p);
+            assert!(gpu.peak_gflops > other.peak_gflops);
+            assert!(gpu.bandwidth_gbps > other.bandwidth_gbps);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+use crate::model::Platform;
+
+/// One row of the paper's Table 2 (computing platform specifications).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformSpec {
+    /// Which platform family the row belongs to.
+    pub platform: Platform,
+    /// Device model string.
+    pub model: &'static str,
+    /// Clock frequency (GHz).
+    pub frequency_ghz: f64,
+    /// Core / DSP count, where meaningful.
+    pub cores: Option<u32>,
+    /// On-board / on-chip memory (GB).
+    pub memory_gb: Option<f64>,
+    /// Memory bandwidth (GB/s).
+    pub memory_bw_gbps: Option<f64>,
+}
+
+/// The paper's Table 2, verbatim.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_platform::{table2, Platform};
+///
+/// let rows = table2();
+/// assert_eq!(rows.len(), 6);
+/// assert!(rows.iter().any(|r| r.platform == Platform::Gpu && r.cores == Some(3584)));
+/// ```
+pub fn table2() -> Vec<PlatformSpec> {
+    vec![
+        PlatformSpec {
+            platform: Platform::Cpu,
+            model: "Intel Xeon E5-2630 v3",
+            frequency_ghz: 3.2,
+            cores: Some(16),
+            memory_gb: Some(128.0),
+            memory_bw_gbps: Some(59.0),
+        },
+        PlatformSpec {
+            platform: Platform::Gpu,
+            model: "NVIDIA TitanX (Pascal)",
+            frequency_ghz: 1.4,
+            cores: Some(3584),
+            memory_gb: Some(12.0),
+            memory_bw_gbps: Some(480.0),
+        },
+        PlatformSpec {
+            platform: Platform::Fpga,
+            model: "Altera Stratix V",
+            frequency_ghz: 0.8,
+            // 256 DSPs.
+            cores: Some(256),
+            memory_gb: Some(2.0),
+            memory_bw_gbps: Some(6.4),
+        },
+        PlatformSpec {
+            platform: Platform::Asic,
+            model: "ASIC (CNN), TSMC 65 nm",
+            frequency_ghz: 0.2,
+            cores: None,
+            // 181.5 KB on-chip.
+            memory_gb: Some(181.5e3 / 1e9),
+            memory_bw_gbps: None,
+        },
+        PlatformSpec {
+            platform: Platform::Asic,
+            model: "ASIC (FC), TSMC 45 nm",
+            frequency_ghz: 0.8,
+            cores: None,
+            memory_gb: None,
+            memory_bw_gbps: None,
+        },
+        PlatformSpec {
+            platform: Platform::Asic,
+            model: "ASIC (LOC), ARM 45 nm",
+            frequency_ghz: 4.0,
+            cores: None,
+            memory_gb: None,
+            memory_bw_gbps: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_four_families() {
+        let rows = table2();
+        for p in [Platform::Cpu, Platform::Gpu, Platform::Fpga, Platform::Asic] {
+            assert!(rows.iter().any(|r| r.platform == p), "{p:?} missing");
+        }
+    }
+
+    #[test]
+    fn cpu_row_matches_paper() {
+        let cpu = table2().into_iter().find(|r| r.platform == Platform::Cpu).unwrap();
+        assert_eq!(cpu.frequency_ghz, 3.2);
+        assert_eq!(cpu.cores, Some(16));
+        assert_eq!(cpu.memory_bw_gbps, Some(59.0));
+    }
+
+    #[test]
+    fn gpu_memory_bandwidth_dwarfs_fpga() {
+        let rows = table2();
+        let gpu = rows.iter().find(|r| r.platform == Platform::Gpu).unwrap();
+        let fpga = rows.iter().find(|r| r.platform == Platform::Fpga).unwrap();
+        assert!(gpu.memory_bw_gbps.unwrap() > 50.0 * fpga.memory_bw_gbps.unwrap());
+    }
+
+    #[test]
+    fn loc_asic_clocks_at_4ghz() {
+        let loc = table2().into_iter().find(|r| r.model.contains("LOC")).unwrap();
+        assert_eq!(loc.frequency_ghz, 4.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! On-disk prior-map format.
+//!
+//! The storage constraint (§2.4.3) is about carrying tens of terabytes
+//! of prior map on the vehicle; this module defines the compact binary
+//! record format used to size that storage and to persist maps between
+//! the offline mapping pass and deployment.
+//!
+//! Layout (little-endian): an 8-byte magic, a u32 version, a u64
+//! landmark count, then per landmark: `id: u64`, `x: f64`, `y: f64`,
+//! 32 descriptor bytes — 56 bytes per landmark.
+
+use crate::map::{Landmark, PriorMap};
+use adsim_vision::{Descriptor, Point2};
+
+/// File magic: "ADSIMMAP".
+const MAGIC: &[u8; 8] = b"ADSIMMAP";
+/// Current format version.
+const VERSION: u32 = 1;
+/// Bytes per serialized landmark.
+pub const LANDMARK_RECORD_BYTES: usize = 8 + 8 + 8 + 32;
+
+/// Errors decoding a serialized prior map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapDecodeError {
+    /// Input shorter than the header.
+    TooShort,
+    /// Magic bytes do not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Landmark records are truncated.
+    Truncated {
+        /// Landmarks the header promised.
+        expected: u64,
+        /// Landmarks actually present.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for MapDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapDecodeError::TooShort => write!(f, "input shorter than the map header"),
+            MapDecodeError::BadMagic => write!(f, "not a prior-map file (bad magic)"),
+            MapDecodeError::BadVersion(v) => write!(f, "unsupported map format version {v}"),
+            MapDecodeError::Truncated { expected, found } => {
+                write!(f, "map truncated: header promised {expected} landmarks, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapDecodeError {}
+
+impl PriorMap {
+    /// Serializes the map to the on-disk format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.len() * LANDMARK_RECORD_BYTES);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for lm in self.landmarks() {
+            out.extend_from_slice(&lm.id.to_le_bytes());
+            out.extend_from_slice(&lm.position.x.to_le_bytes());
+            out.extend_from_slice(&lm.position.y.to_le_bytes());
+            out.extend_from_slice(lm.descriptor.as_bytes());
+        }
+        out
+    }
+
+    /// Decodes a map from the on-disk format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MapDecodeError`] for short, foreign, versioned or
+    /// truncated inputs.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PriorMap, MapDecodeError> {
+        if bytes.len() < 20 {
+            return Err(MapDecodeError::TooShort);
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(MapDecodeError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(MapDecodeError::BadVersion(version));
+        }
+        let count = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let body = &bytes[20..];
+        let available = (body.len() / LANDMARK_RECORD_BYTES) as u64;
+        if available < count {
+            return Err(MapDecodeError::Truncated { expected: count, found: available });
+        }
+        let mut landmarks = Vec::with_capacity(count as usize);
+        for i in 0..count as usize {
+            let r = &body[i * LANDMARK_RECORD_BYTES..(i + 1) * LANDMARK_RECORD_BYTES];
+            let id = u64::from_le_bytes(r[0..8].try_into().expect("8 bytes"));
+            let x = f64::from_le_bytes(r[8..16].try_into().expect("8 bytes"));
+            let y = f64::from_le_bytes(r[16..24].try_into().expect("8 bytes"));
+            let desc: [u8; 32] = r[24..56].try_into().expect("32 bytes");
+            landmarks.push(Landmark::new(id, Point2::new(x, y), Descriptor::new(desc)));
+        }
+        Ok(PriorMap::new(landmarks))
+    }
+
+    /// Exact serialized size in bytes.
+    pub fn serialized_bytes(&self) -> usize {
+        20 + self.len() * LANDMARK_RECORD_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage;
+
+    fn sample_map(n: u64) -> PriorMap {
+        (0..n)
+            .map(|i| {
+                Landmark::new(
+                    i,
+                    Point2::new(i as f64 * 3.5, -(i as f64) * 1.25),
+                    Descriptor::new([(i % 251) as u8; 32]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let map = sample_map(100);
+        let bytes = map.to_bytes();
+        assert_eq!(bytes.len(), map.serialized_bytes());
+        let back = PriorMap::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), map.len());
+        assert_eq!(back.landmarks(), map.landmarks());
+        // Spatial queries still work.
+        assert_eq!(back.near(Point2::new(0.0, 0.0), 5.0).len(), map.near(Point2::new(0.0, 0.0), 5.0).len());
+    }
+
+    #[test]
+    fn empty_map_round_trips() {
+        let map = PriorMap::empty();
+        let back = PriorMap::from_bytes(&map.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(PriorMap::from_bytes(&[]).unwrap_err(), MapDecodeError::TooShort);
+        let mut bytes = sample_map(3).to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(PriorMap::from_bytes(&bytes).unwrap_err(), MapDecodeError::BadMagic);
+    }
+
+    #[test]
+    fn decode_rejects_future_versions() {
+        let mut bytes = sample_map(1).to_bytes();
+        bytes[8] = 99;
+        assert!(matches!(
+            PriorMap::from_bytes(&bytes).unwrap_err(),
+            MapDecodeError::BadVersion(99)
+        ));
+    }
+
+    #[test]
+    fn decode_detects_truncation() {
+        let bytes = sample_map(10).to_bytes();
+        let cut = &bytes[..bytes.len() - 30];
+        assert!(matches!(
+            PriorMap::from_bytes(cut).unwrap_err(),
+            MapDecodeError::Truncated { expected: 10, found: 9 }
+        ));
+    }
+
+    #[test]
+    fn size_tracks_the_storage_model_estimate() {
+        // The §2.4.3 storage estimator (64 B/landmark incl. index
+        // overhead) should bracket the raw record size (56 B).
+        let map = sample_map(1_000);
+        let on_disk = map.serialized_bytes() as f64;
+        let estimate = storage::landmark_db_bytes(1_000) as f64;
+        assert!(on_disk < estimate, "raw records fit inside the estimate");
+        assert!(on_disk > 0.8 * estimate, "estimate is not wildly oversized");
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based tests of the robust pose solver.
+
+use adsim_slam::{estimate_pose, Correspondence};
+use adsim_vision::{Point2, Pose2};
+use proptest::prelude::*;
+
+fn pose() -> impl Strategy<Value = Pose2> {
+    (-50.0f64..50.0, -50.0f64..50.0, -3.0f64..3.0).prop_map(|(x, y, t)| Pose2::new(x, y, t))
+}
+
+fn spread_points() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0).prop_map(|(x, y)| Point2::new(x, y)), 6..15)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_correspondences_recover_the_pose(p in pose(), pts in spread_points()) {
+        // Skip degenerate clusters (all points within ~1 cm).
+        let spread = pts.iter().map(|q| q.distance(&pts[0])).fold(0.0f64, f64::max);
+        prop_assume!(spread > 0.5);
+        let corrs: Vec<Correspondence> = pts
+            .iter()
+            .map(|&v| Correspondence { vehicle: v, world: p.transform(v) })
+            .collect();
+        let est = estimate_pose(&corrs, corrs.len().min(6)).expect("solvable");
+        prop_assert!(est.pose.distance(&p) < 1e-6, "{:?} vs {:?}", est.pose, p);
+        prop_assert!(est.pose.heading_error(&p) < 1e-6);
+    }
+
+    #[test]
+    fn minority_outliers_do_not_move_the_solution(
+        p in pose(), pts in spread_points(), ox in 100.0f64..500.0, oy in 100.0f64..500.0,
+    ) {
+        let spread = pts.iter().map(|q| q.distance(&pts[0])).fold(0.0f64, f64::max);
+        prop_assume!(spread > 0.5);
+        let mut corrs: Vec<Correspondence> = pts
+            .iter()
+            .map(|&v| Correspondence { vehicle: v, world: p.transform(v) })
+            .collect();
+        let n_inliers = corrs.len();
+        // Up to 1/3 outliers.
+        for k in 0..n_inliers / 3 {
+            corrs.push(Correspondence {
+                vehicle: Point2::new(k as f64, -(k as f64)),
+                world: Point2::new(ox + 13.0 * k as f64, oy - 7.0 * k as f64),
+            });
+        }
+        let est = estimate_pose(&corrs, n_inliers.min(6)).expect("solvable");
+        prop_assert!(est.pose.distance(&p) < 1e-6);
+        prop_assert!(est.inliers >= n_inliers - 1);
+    }
+}

@@ -1,0 +1,133 @@
+/// One bin of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramBin {
+    /// Inclusive lower bound of the bin (ms).
+    pub lo: f64,
+    /// Exclusive upper bound of the bin (ms); the final bin is inclusive.
+    pub hi: f64,
+    /// Number of samples that fell in this bin.
+    pub count: usize,
+}
+
+/// An equal-width histogram over latency samples.
+///
+/// Used by the characterization harnesses to visualise the latency
+/// distributions whose tails the paper's predictability constraint is
+/// about.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_stats::Histogram;
+///
+/// let h = Histogram::from_samples(&[1.0, 2.0, 2.5, 9.0], 4);
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.bins().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bins: Vec<HistogramBin>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning the
+    /// sample range. Empty input or `bins == 0` yields an empty
+    /// histogram.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        if samples.is_empty() || bins == 0 {
+            return Self { bins: Vec::new(), total: 0 };
+        }
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let mut counts = vec![0usize; bins];
+        for &s in samples {
+            let idx = (((s - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let bins = counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, count)| HistogramBin {
+                lo: lo + i as f64 * width,
+                hi: lo + (i + 1) as f64 * width,
+                count,
+            })
+            .collect();
+        Self { bins, total: samples.len() }
+    }
+
+    /// The bins in ascending order of latency.
+    pub fn bins(&self) -> &[HistogramBin] {
+        &self.bins
+    }
+
+    /// Total number of samples across all bins.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Renders the histogram as an ASCII bar chart, one bin per line.
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.bins.iter().map(|b| b.count).max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for b in &self.bins {
+            let w = b.count * max_width / peak;
+            out.push_str(&format!(
+                "{:>10.2}-{:<10.2} |{:<width$}| {}\n",
+                b.lo,
+                b.hi,
+                "#".repeat(w),
+                b.count,
+                width = max_width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_gives_empty_histogram() {
+        let h = Histogram::from_samples(&[], 10);
+        assert_eq!(h.total(), 0);
+        assert!(h.bins().is_empty());
+    }
+
+    #[test]
+    fn zero_bins_gives_empty_histogram() {
+        let h = Histogram::from_samples(&[1.0], 0);
+        assert!(h.bins().is_empty());
+    }
+
+    #[test]
+    fn counts_sum_to_total() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::from_samples(&samples, 7);
+        assert_eq!(h.bins().iter().map(|b| b.count).sum::<usize>(), 100);
+        assert_eq!(h.total(), 100);
+    }
+
+    #[test]
+    fn identical_samples_land_in_one_bin() {
+        let h = Histogram::from_samples(&[5.0; 20], 4);
+        assert_eq!(h.bins()[0].count, 20);
+        assert_eq!(h.bins().iter().filter(|b| b.count > 0).count(), 1);
+    }
+
+    #[test]
+    fn max_sample_included_in_last_bin() {
+        let h = Histogram::from_samples(&[0.0, 10.0], 10);
+        assert_eq!(h.bins().last().unwrap().count, 1);
+    }
+
+    #[test]
+    fn render_has_one_line_per_bin() {
+        let h = Histogram::from_samples(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(h.render(20).lines().count(), 3);
+    }
+}

@@ -1,0 +1,244 @@
+//! Constant-memory streaming quantile estimation (the P² algorithm).
+//!
+//! The exact [`LatencyRecorder`](crate::LatencyRecorder) keeps every
+//! sample, which is right for offline experiments but not for an
+//! on-vehicle monitor that must watch p99.99 for months within a fixed
+//! memory budget. The P² (piecewise-parabolic) estimator of Jain &
+//! Chlamtac tracks one quantile with five markers and O(1) memory.
+
+/// Streaming estimator of a single quantile using the P² algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_stats::P2Quantile;
+///
+/// let mut q = P2Quantile::new(0.5);
+/// for i in 1..=1001 {
+///     q.observe(i as f64);
+/// }
+/// let median = q.estimate().unwrap();
+/// assert!((median - 501.0).abs() < 20.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    // Marker heights and positions (1-indexed per the paper, stored
+    // 0-indexed).
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the quantile `p` (fraction in `(0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be strictly inside (0, 1)");
+        Self {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The tracked quantile fraction.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of samples observed so far.
+    pub fn count(&self) -> usize {
+        if self.initial.len() < 5 {
+            self.initial.len()
+        } else {
+            self.positions[4] as usize
+        }
+    }
+
+    /// Feeds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is not finite.
+    pub fn observe(&mut self, x: f64) {
+        assert!(x.is_finite(), "samples must be finite");
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                for (h, &v) in self.heights.iter_mut().zip(&self.initial) {
+                    *h = v;
+                }
+            }
+            return;
+        }
+        // Find the cell k containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+        for i in k + 1..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let can_right = self.positions[i + 1] - self.positions[i] > 1.0;
+            let can_left = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (d >= 1.0 && can_right) || (d <= -1.0 && can_left) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, s)
+                };
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    /// Current estimate, or `None` before five samples have arrived.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.initial.len() < 5 {
+            let mut sorted = self.initial.clone();
+            if sorted.is_empty() {
+                return None;
+            }
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            let idx = ((sorted.len() - 1) as f64 * self.p).round() as usize;
+            return Some(sorted[idx]);
+        }
+        Some(self.heights[2])
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + s / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + s) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - s) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_quantile(samples: &mut [f64], p: f64) -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples[((samples.len() - 1) as f64 * p) as usize]
+    }
+
+    #[test]
+    fn tracks_the_median_of_a_uniform_stream() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut est = P2Quantile::new(0.5);
+        let mut all = Vec::new();
+        for _ in 0..20_000 {
+            let x: f64 = rng.gen_range(0.0..100.0);
+            est.observe(x);
+            all.push(x);
+        }
+        let exact = exact_quantile(&mut all, 0.5);
+        let approx = est.estimate().unwrap();
+        assert!((approx - exact).abs() < 2.0, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn tracks_the_p99_of_a_skewed_stream() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut est = P2Quantile::new(0.99);
+        let mut all = Vec::new();
+        for _ in 0..50_000 {
+            // Log-normal-ish latency: exp of a normal via Box-Muller.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let x = (0.4 * z).exp() * 10.0;
+            est.observe(x);
+            all.push(x);
+        }
+        let exact = exact_quantile(&mut all, 0.99);
+        let approx = est.estimate().unwrap();
+        assert!(
+            (approx - exact).abs() / exact < 0.1,
+            "p99 {approx:.2} vs exact {exact:.2}"
+        );
+    }
+
+    #[test]
+    fn early_estimates_degrade_gracefully() {
+        let mut est = P2Quantile::new(0.9);
+        assert!(est.estimate().is_none());
+        est.observe(1.0);
+        est.observe(2.0);
+        assert!(est.estimate().is_some());
+        assert_eq!(est.count(), 2);
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let mut est = P2Quantile::new(0.75);
+        for _ in 0..1_000 {
+            est.observe(42.0);
+        }
+        assert_eq!(est.estimate(), Some(42.0));
+    }
+
+    #[test]
+    fn estimate_is_always_within_observed_range() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut est = P2Quantile::new(0.95);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for _ in 0..5_000 {
+            let x: f64 = rng.gen_range(-50.0..50.0);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            est.observe(x);
+            let e = est.estimate().unwrap();
+            assert!(e >= lo - 1e-9 && e <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn extreme_quantiles_rejected() {
+        P2Quantile::new(1.0);
+    }
+}

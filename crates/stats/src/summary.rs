@@ -1,0 +1,103 @@
+/// A point-in-time summary of a latency distribution.
+///
+/// All values are in milliseconds. Produced by
+/// [`LatencyRecorder::summary`](crate::LatencyRecorder::summary).
+///
+/// # Examples
+///
+/// ```
+/// use adsim_stats::LatencyRecorder;
+///
+/// let rec: LatencyRecorder = (1..=100).map(f64::from).collect();
+/// let s = rec.summary();
+/// println!("{s}");
+/// assert_eq!(s.count, 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean (ms).
+    pub mean: f64,
+    /// Median (ms).
+    pub p50: f64,
+    /// 95th percentile (ms).
+    pub p95: f64,
+    /// 99th percentile (ms).
+    pub p99: f64,
+    /// 99.9th percentile (ms).
+    pub p99_9: f64,
+    /// 99.99th percentile (ms) — the paper's predictability metric.
+    pub p99_99: f64,
+    /// Worst observed sample (ms).
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Ratio of tail (p99.99) to mean latency; a measure of performance
+    /// variability. Conventional CPUs show large ratios for the
+    /// localization workload (Finding 2), accelerators stay near 1.
+    ///
+    /// Returns 1.0 when the mean is zero (empty summaries).
+    pub fn tail_to_mean_ratio(&self) -> f64 {
+        if self.mean == 0.0 {
+            1.0
+        } else {
+            self.p99_99 / self.mean
+        }
+    }
+
+    /// Whether the distribution meets a deadline at the tail
+    /// (p99.99 ≤ `deadline_ms`), the paper's performance constraint
+    /// check (§2.4.1–2.4.2).
+    pub fn meets_deadline(&self, deadline_ms: f64) -> bool {
+        self.p99_99 <= deadline_ms
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2}ms p50={:.2}ms p99={:.2}ms p99.99={:.2}ms max={:.2}ms",
+            self.count, self.mean, self.p50, self.p99, self.p99_99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyRecorder;
+
+    #[test]
+    fn display_contains_key_fields() {
+        let rec: LatencyRecorder = [5.0, 6.0, 7.0].into_iter().collect();
+        let text = rec.summary().to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("p99.99"));
+    }
+
+    #[test]
+    fn deadline_check_uses_tail_not_mean() {
+        let mut rec = LatencyRecorder::new();
+        rec.extend((0..999).map(|_| 50.0));
+        rec.record(200.0);
+        let s = rec.summary();
+        assert!(s.mean < 100.0);
+        assert!(!s.meets_deadline(100.0), "tail sample must fail the deadline");
+    }
+
+    #[test]
+    fn tail_to_mean_ratio_default_is_one() {
+        assert_eq!(LatencySummary::default().tail_to_mean_ratio(), 1.0);
+    }
+
+    #[test]
+    fn tail_to_mean_ratio_detects_variability() {
+        let mut rec = LatencyRecorder::new();
+        rec.extend((0..999).map(|_| 10.0));
+        rec.record(1000.0);
+        assert!(rec.summary().tail_to_mean_ratio() > 10.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property-based tests of quantile estimation.
+
+use adsim_stats::{LatencyRecorder, Quantile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn summary_is_ordered(samples in prop::collection::vec(0.0f64..10_000.0, 1..300)) {
+        let rec: LatencyRecorder = samples.into_iter().collect();
+        let s = rec.summary();
+        prop_assert!(s.p50 <= s.p95 + 1e-12);
+        prop_assert!(s.p95 <= s.p99 + 1e-12);
+        prop_assert!(s.p99 <= s.p99_9 + 1e-12);
+        prop_assert!(s.p99_9 <= s.p99_99 + 1e-12);
+        prop_assert!(s.p99_99 <= s.max + 1e-12);
+        prop_assert!(s.mean >= rec.min() - 1e-12 && s.mean <= rec.max() + 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_within_sample_range(samples in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let mut rec: LatencyRecorder = samples.into_iter().collect();
+        for q in Quantile::all() {
+            let v = rec.quantile(q);
+            prop_assert!(v >= rec.min() && v <= rec.max());
+        }
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant(mut samples in prop::collection::vec(0.0f64..100.0, 2..100)) {
+        let a: LatencyRecorder = samples.iter().copied().collect();
+        samples.reverse();
+        let b: LatencyRecorder = samples.into_iter().collect();
+        let (sa, sb) = (a.summary(), b.summary());
+        // Quantiles are exact order statistics; the mean differs only
+        // by floating-point summation order.
+        prop_assert_eq!(sa.p50, sb.p50);
+        prop_assert_eq!(sa.p99_99, sb.p99_99);
+        prop_assert_eq!(sa.max, sb.max);
+        prop_assert!((sa.mean - sb.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_samples(samples in prop::collection::vec(0.0f64..50.0, 0..200), bins in 1usize..16) {
+        let rec: LatencyRecorder = samples.iter().copied().collect();
+        let h = rec.histogram(bins);
+        prop_assert_eq!(h.total(), samples.len());
+        let counted: usize = h.bins().iter().map(|b| b.count).sum();
+        prop_assert_eq!(counted, samples.len());
+    }
+}

@@ -1,0 +1,89 @@
+use crate::Shape;
+
+/// Errors produced by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The data length does not match the product of the dimensions.
+    LengthMismatch {
+        /// Shape the caller requested.
+        shape: Shape,
+        /// Number of elements actually supplied.
+        len: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: Shape,
+        /// Shape of the right/second operand.
+        rhs: Shape,
+    },
+    /// The operation requires a tensor of a different rank.
+    RankMismatch {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Rank the operation expects.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// A kernel parameter (stride, window, …) is invalid.
+    InvalidParameter {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Description of what was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::LengthMismatch { shape, len } => write!(
+                f,
+                "data length {len} does not match shape {shape} ({} elements)",
+                shape.len()
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs} and {rhs}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidParameter { op, reason } => {
+                write!(f, "{op}: invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs = [
+            TensorError::LengthMismatch { shape: Shape::new(vec![2, 2]), len: 3 },
+            TensorError::ShapeMismatch {
+                op: "add",
+                lhs: Shape::new(vec![1]),
+                rhs: Shape::new(vec![2]),
+            },
+            TensorError::RankMismatch { op: "conv2d", expected: 4, actual: 2 },
+            TensorError::InvalidParameter { op: "pool", reason: "window 0".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

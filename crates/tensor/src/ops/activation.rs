@@ -1,0 +1,117 @@
+use crate::Tensor;
+
+/// Rectified linear unit: `max(0, x)` element-wise.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_tensor::{ops, Tensor};
+///
+/// let t = Tensor::from_vec([3], vec![-1.0, 0.0, 2.0]).unwrap();
+/// assert_eq!(ops::relu(&t).as_slice(), &[0.0, 0.0, 2.0]);
+/// ```
+pub fn relu(t: &Tensor) -> Tensor {
+    t.map(|x| x.max(0.0))
+}
+
+/// Leaky ReLU with negative slope `alpha`, the activation YOLO uses
+/// throughout its convolutional trunk.
+pub fn leaky_relu(t: &Tensor, alpha: f32) -> Tensor {
+    t.map(move |x| if x >= 0.0 { x } else { alpha * x })
+}
+
+/// Logistic sigmoid, used by the detection head to squash objectness
+/// confidences into `[0, 1]`.
+pub fn sigmoid(t: &Tensor) -> Tensor {
+    t.map(|x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(t: &Tensor) -> Tensor {
+    t.map(f32::tanh)
+}
+
+/// Softmax along the final axis, used to turn class scores into a
+/// distribution over the four object categories the paper cares about.
+///
+/// Numerically stabilized by subtracting the row maximum.
+pub fn softmax(t: &Tensor) -> Tensor {
+    let rank = t.shape().rank();
+    let last = t.shape().dim(rank - 1);
+    let rows = t.len() / last;
+    let mut out = t.clone();
+    let data = out.as_mut_slice();
+    for r in 0..rows {
+        let row = &mut data[r * last..(r + 1) * last];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let t = Tensor::from_vec([4], vec![-5.0, -0.1, 0.1, 5.0]).unwrap();
+        assert_eq!(relu(&t).as_slice(), &[0.0, 0.0, 0.1, 5.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let t = Tensor::from_vec([2], vec![-10.0, 10.0]).unwrap();
+        assert_eq!(leaky_relu(&t, 0.1).as_slice(), &[-1.0, 10.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let t = Tensor::from_vec([3], vec![-100.0, 0.0, 100.0]).unwrap();
+        let s = sigmoid(&t);
+        assert!(s.as_slice()[0] < 1e-6);
+        assert!((s.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(s.as_slice()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let t = Tensor::from_vec([2], vec![-1.0, 1.0]).unwrap();
+        let y = tanh(&t);
+        assert!((y.as_slice()[0] + y.as_slice()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let s = softmax(&t);
+        for r in 0..2 {
+            let sum: f32 = s.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Largest logit keeps the largest probability.
+        assert_eq!(
+            s.as_slice()[..3]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0,
+            2
+        );
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_vec([1, 2], vec![1000.0, 1000.0]).unwrap();
+        let s = softmax(&t);
+        assert!((s.as_slice()[0] - 0.5).abs() < 1e-6);
+    }
+}

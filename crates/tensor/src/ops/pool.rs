@@ -1,0 +1,138 @@
+use super::out_extent;
+use crate::{Result, Tensor, TensorError};
+
+/// 2-D max pooling over an NCHW tensor.
+///
+/// YOLO's trunk interleaves these with convolutions to halve spatial
+/// resolution (Fig. 3 of the paper).
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4, the window or stride is
+/// zero, or the window does not fit.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_tensor::{ops, Tensor};
+///
+/// let t = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// let out = ops::max_pool2d(&t, 2, 2).unwrap();
+/// assert_eq!(out.as_slice(), &[4.0]);
+/// ```
+pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    pool2d(input, window, stride, PoolKind::Max)
+}
+
+/// 2-D average pooling over an NCHW tensor.
+///
+/// # Errors
+///
+/// Same conditions as [`max_pool2d`].
+pub fn avg_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    pool2d(input, window, stride, PoolKind::Avg)
+}
+
+#[derive(Clone, Copy)]
+enum PoolKind {
+    Max,
+    Avg,
+}
+
+fn pool2d(input: &Tensor, window: usize, stride: usize, kind: PoolKind) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let (h_out, w_out) = match (
+        out_extent(h, window, stride, 0),
+        out_extent(w, window, stride, 0),
+    ) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(TensorError::InvalidParameter {
+                op: "pool2d",
+                reason: format!("window {window} stride {stride} does not fit {h}x{w}"),
+            })
+        }
+    };
+    let mut out = Tensor::zeros([n, c, h_out, w_out]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    let in_plane = h * w;
+    let out_plane = h_out * w_out;
+    for img in 0..n * c {
+        let sbase = img * in_plane;
+        let dbase = img * out_plane;
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut acc = match kind {
+                    PoolKind::Max => f32::NEG_INFINITY,
+                    PoolKind::Avg => 0.0,
+                };
+                for ky in 0..window {
+                    let row = sbase + (oy * stride + ky) * w + ox * stride;
+                    for kx in 0..window {
+                        let v = src[row + kx];
+                        match kind {
+                            PoolKind::Max => acc = acc.max(v),
+                            PoolKind::Avg => acc += v,
+                        }
+                    }
+                }
+                if let PoolKind::Avg = kind {
+                    acc /= (window * window) as f32;
+                }
+                dst[dbase + oy * w_out + ox] = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let t = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.0, //
+                -3.0, -4.0, 0.0, 9.0,
+            ],
+        )
+        .unwrap();
+        let out = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(out.as_slice(), &[4.0, 8.0, -1.0, 9.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let t = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = avg_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(out.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn overlapping_windows_with_stride_one() {
+        let t = Tensor::from_vec([1, 1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
+        let out = max_pool2d(&t, 2, 1).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn pooling_preserves_batch_and_channels() {
+        let t = Tensor::filled([2, 3, 4, 4], 1.0);
+        let out = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn too_large_window_is_rejected() {
+        let t = Tensor::zeros([1, 1, 2, 2]);
+        assert!(max_pool2d(&t, 3, 1).is_err());
+        assert!(max_pool2d(&t, 2, 0).is_err());
+    }
+}

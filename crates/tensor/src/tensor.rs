@@ -1,0 +1,321 @@
+use crate::{Result, Shape, TensorError};
+
+/// A dense, owned, row-major `f32` tensor.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_tensor::Tensor;
+///
+/// let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// assert_eq!(t.iter().sum::<f32>(), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![0.0; shape.len()];
+        Self { shape, data }
+    }
+
+    /// Creates a tensor where every element is `value`.
+    pub fn filled(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let data = vec![value; shape.len()];
+        Self { shape, data }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs
+    /// from the element count of `shape`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch { shape, len: data.len() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every index.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let shape = shape.into();
+        let mut data = Vec::with_capacity(shape.len());
+        let mut index = vec![0usize; shape.rank()];
+        loop {
+            data.push(f(&index));
+            // Odometer-style increment over the index space.
+            let mut axis = shape.rank();
+            loop {
+                if axis == 0 {
+                    return Self { shape, data };
+                }
+                axis -= 1;
+                index[axis] += 1;
+                if index[axis] < shape.dim(axis) {
+                    break;
+                }
+                index[axis] = 0;
+            }
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements (never true by
+    /// construction; shapes have positive dimensions).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// The underlying data in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data in row-major order.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterator over elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, f32> {
+        self.data.iter()
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts
+    /// differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch { shape, len: self.data.len() });
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, factor: f32) -> Tensor {
+        self.map(|x| x * factor)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Largest element (−∞ only if the tensor were empty, which cannot
+    /// happen by construction).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the largest element in row-major order.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape.clone(),
+                rhs: rhs.shape.clone(),
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a Tensor {
+    type Item = &'a f32;
+    type IntoIter = std::slice::Iter<'a, f32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.iter().all(|&x| x == 0.0));
+        let f = Tensor::filled([2, 3], 7.0);
+        assert_eq!(f.sum(), 42.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec([2, 2], vec![1.0; 4]).is_ok());
+        let err = Tensor::from_vec([2, 2], vec![1.0; 5]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { len: 5, .. }));
+    }
+
+    #[test]
+    fn from_fn_visits_indices_in_row_major_order() {
+        let t = Tensor::from_fn([2, 3], |idx| (idx[0] * 3 + idx[1]) as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros([2, 2, 2]);
+        *t.at_mut(&[1, 0, 1]) = 9.0;
+        assert_eq!(t.at(&[1, 0, 1]), 9.0);
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec([3], vec![4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        let a = Tensor::zeros([2]);
+        let b = Tensor::zeros([3]);
+        assert!(matches!(
+            a.add(&b).unwrap_err(),
+            TensorError::ShapeMismatch { op: "add", .. }
+        ));
+    }
+
+    #[test]
+    fn max_and_argmax() {
+        let t = Tensor::from_vec([4], vec![1.0, 9.0, 3.0, 9.0]).unwrap();
+        assert_eq!(t.max(), 9.0);
+        assert_eq!(t.argmax(), 1, "argmax returns the first maximum");
+    }
+
+    #[test]
+    fn map_inplace_matches_map() {
+        let t = Tensor::from_vec([3], vec![-1.0, 0.0, 2.0]).unwrap();
+        let mapped = t.map(|x| x.abs());
+        let mut inplace = t.clone();
+        inplace.map_inplace(|x| x.abs());
+        assert_eq!(mapped, inplace);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of kernel algebraic identities.
+
+use adsim_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+fn vec_f32(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec((-1000i32..1000).prop_map(|v| v as f32 / 100.0), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linear_equals_matmul_against_transpose(
+        x in vec_f32(2 * 5),
+        w in vec_f32(3 * 5),
+    ) {
+        let input = Tensor::from_vec([2, 5], x).unwrap();
+        let weight = Tensor::from_vec([3, 5], w.clone()).unwrap();
+        let lin = ops::linear(&input, &weight, None).unwrap();
+        // Build the transpose manually.
+        let mut wt = vec![0.0; 15];
+        for r in 0..3 {
+            for c in 0..5 {
+                wt[c * 3 + r] = w[r * 5 + c];
+            }
+        }
+        let mm = ops::matmul(&input, &Tensor::from_vec([5, 3], wt).unwrap()).unwrap();
+        for (a, b) in lin.iter().zip(mm.iter()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in vec_f32(6), b in vec_f32(6), c in vec_f32(6),
+    ) {
+        let a = Tensor::from_vec([2, 3], a).unwrap();
+        let b = Tensor::from_vec([3, 2], b).unwrap();
+        let c = Tensor::from_vec([3, 2], c).unwrap();
+        let lhs = ops::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = ops::matmul(&a, &b).unwrap().add(&ops::matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.iter().zip(rhs.iter()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent(v in vec_f32(16)) {
+        let t = Tensor::from_vec([16], v).unwrap();
+        let once = ops::relu(&t);
+        let twice = ops::relu(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn avg_pool_preserves_mean_on_exact_tiling(v in vec_f32(16)) {
+        let t = Tensor::from_vec([1, 1, 4, 4], v).unwrap();
+        let p = ops::avg_pool2d(&t, 2, 2).unwrap();
+        let mean_in = t.sum() / 16.0;
+        let mean_out = p.sum() / 4.0;
+        prop_assert!((mean_in - mean_out).abs() < 1e-4);
+    }
+
+    #[test]
+    fn batch_norm_with_identity_params_is_noop(v in vec_f32(12)) {
+        let t = Tensor::from_vec([1, 3, 2, 2], v).unwrap();
+        let gamma = Tensor::filled([3], 1.0);
+        let beta = Tensor::zeros([3]);
+        let mean = Tensor::zeros([3]);
+        let var = Tensor::filled([3], 1.0);
+        let out = ops::batch_norm(&t, &gamma, &beta, &mean, &var, 0.0).unwrap();
+        for (a, b) in t.iter().zip(out.iter()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_the_input(
+        v1 in vec_f32(25), v2 in vec_f32(25), w in vec_f32(9),
+    ) {
+        let a = Tensor::from_vec([1, 1, 5, 5], v1).unwrap();
+        let b = Tensor::from_vec([1, 1, 5, 5], v2).unwrap();
+        let k = Tensor::from_vec([1, 1, 3, 3], w).unwrap();
+        let sum_then_conv = ops::conv2d(&a.add(&b).unwrap(), &k, None, 1, 1).unwrap();
+        let conv_then_sum = ops::conv2d(&a, &k, None, 1, 1)
+            .unwrap()
+            .add(&ops::conv2d(&b, &k, None, 1, 1).unwrap())
+            .unwrap();
+        for (x, y) in sum_then_conv.iter().zip(conv_then_sum.iter()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+}

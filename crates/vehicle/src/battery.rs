@@ -1,0 +1,178 @@
+//! Battery state-of-charge simulation over a drive.
+//!
+//! The analytic range model (`crate::range`) answers "how much range
+//! does the system cost"; this integrator answers "what does the
+//! battery gauge do over an actual trip" — traction power plus the
+//! autonomous system's total load, integrated over time.
+
+use crate::range::ChevyBolt;
+
+/// A simple EV battery: capacity, state of charge, and an energy
+/// integrator.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_vehicle::battery::Battery;
+///
+/// let mut b = Battery::full(60.0);
+/// b.draw_w(6_000.0, 3600.0); // 6 kW for an hour
+/// assert!((b.state_of_charge() - 0.9).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    capacity_wh: f64,
+    remaining_wh: f64,
+}
+
+impl Battery {
+    /// A full battery of the given capacity (kWh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_kwh` is not positive.
+    pub fn full(capacity_kwh: f64) -> Self {
+        assert!(capacity_kwh > 0.0, "battery capacity must be positive");
+        Self { capacity_wh: capacity_kwh * 1_000.0, remaining_wh: capacity_kwh * 1_000.0 }
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    pub fn state_of_charge(&self) -> f64 {
+        self.remaining_wh / self.capacity_wh
+    }
+
+    /// Remaining energy (Wh).
+    pub fn remaining_wh(&self) -> f64 {
+        self.remaining_wh
+    }
+
+    /// Whether the battery is empty.
+    pub fn is_empty(&self) -> bool {
+        self.remaining_wh <= 0.0
+    }
+
+    /// Draws `power_w` for `seconds`; clamps at empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if power or duration is negative.
+    pub fn draw_w(&mut self, power_w: f64, seconds: f64) {
+        assert!(power_w >= 0.0 && seconds >= 0.0, "power and time must be non-negative");
+        self.remaining_wh = (self.remaining_wh - power_w * seconds / 3_600.0).max(0.0);
+    }
+}
+
+/// Result of a simulated trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripReport {
+    /// Distance covered before the battery emptied (miles).
+    pub distance_miles: f64,
+    /// Trip duration (hours).
+    pub duration_h: f64,
+    /// Energy consumed by traction (Wh).
+    pub traction_wh: f64,
+    /// Energy consumed by the autonomous system (Wh).
+    pub system_wh: f64,
+}
+
+/// Drives a [`ChevyBolt`] at constant speed until the battery empties,
+/// with the autonomous system drawing `system_w` continuously.
+///
+/// Traction power is derived from the vehicle's rated range: consuming
+/// the full battery over `range_miles` at `speed_mph` defines the
+/// baseline W per mile.
+pub fn simulate_trip(bolt: &ChevyBolt, speed_mph: f64, system_w: f64) -> TripReport {
+    assert!(speed_mph > 0.0, "speed must be positive");
+    let battery_wh = bolt.battery_kwh * 1_000.0;
+    let traction_wh_per_mile = battery_wh / bolt.range_miles;
+    let traction_w = traction_wh_per_mile * speed_mph;
+    let mut battery = Battery::full(bolt.battery_kwh);
+    let dt_s = 60.0;
+    let mut t_s = 0.0;
+    let (mut traction_wh, mut system_wh) = (0.0, 0.0);
+    while !battery.is_empty() {
+        let step_total = (traction_w + system_w) * dt_s / 3_600.0;
+        if step_total >= battery.remaining_wh() {
+            // Final partial step.
+            let frac = battery.remaining_wh() / step_total;
+            t_s += dt_s * frac;
+            traction_wh += traction_w * dt_s * frac / 3_600.0;
+            system_wh += system_w * dt_s * frac / 3_600.0;
+            battery.draw_w(traction_w + system_w, dt_s * frac);
+            break;
+        }
+        battery.draw_w(traction_w + system_w, dt_s);
+        traction_wh += traction_w * dt_s / 3_600.0;
+        system_wh += system_w * dt_s / 3_600.0;
+        t_s += dt_s;
+    }
+    TripReport {
+        distance_miles: speed_mph * t_s / 3_600.0,
+        duration_h: t_s / 3_600.0,
+        traction_wh,
+        system_wh,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::ev_range_reduction;
+
+    #[test]
+    fn no_system_load_achieves_rated_range() {
+        let bolt = ChevyBolt::default();
+        let trip = simulate_trip(&bolt, 60.0, 0.0);
+        assert!(
+            (trip.distance_miles - bolt.range_miles).abs() < 2.0,
+            "distance {:.1} vs rated {:.0}",
+            trip.distance_miles,
+            bolt.range_miles
+        );
+        assert!(trip.system_wh < 1e-9);
+    }
+
+    #[test]
+    fn integrated_range_matches_the_analytic_model() {
+        // The analytic model (`ev_range_reduction`) and the integrator
+        // must agree when the integrator is run at the speed implied by
+        // the analytic drive power: 15.7 kW at the Bolt's Wh/mile is
+        // ~62 mph.
+        let bolt = ChevyBolt::default();
+        let wh_per_mile = bolt.battery_kwh * 1_000.0 / bolt.range_miles;
+        let speed = crate::range::DRIVE_POWER_W / wh_per_mile;
+        let system_w = 1_000.0;
+        let trip = simulate_trip(&bolt, speed, system_w);
+        let analytic = bolt.range_miles * (1.0 - ev_range_reduction(system_w));
+        let err = (trip.distance_miles - analytic).abs() / analytic;
+        assert!(err < 0.02, "integrated {:.1} vs analytic {analytic:.1}", trip.distance_miles);
+    }
+
+    #[test]
+    fn heavier_systems_shorten_trips() {
+        let bolt = ChevyBolt::default();
+        let light = simulate_trip(&bolt, 60.0, 438.0); // all-ASIC system
+        let heavy = simulate_trip(&bolt, 60.0, 2_489.0); // all-GPU system
+        assert!(heavy.distance_miles < light.distance_miles - 10.0);
+        assert!(heavy.system_wh > light.system_wh);
+    }
+
+    #[test]
+    fn energy_accounting_conserves_the_battery() {
+        let bolt = ChevyBolt::default();
+        let trip = simulate_trip(&bolt, 45.0, 800.0);
+        let total = trip.traction_wh + trip.system_wh;
+        assert!(
+            (total - bolt.battery_kwh * 1_000.0).abs() < 20.0,
+            "total {total:.0} Wh vs 60 kWh battery"
+        );
+    }
+
+    #[test]
+    fn battery_clamps_at_empty() {
+        let mut b = Battery::full(1.0);
+        b.draw_w(10_000.0, 3_600.0);
+        assert!(b.is_empty());
+        assert_eq!(b.state_of_charge(), 0.0);
+    }
+}

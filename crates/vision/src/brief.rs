@@ -1,0 +1,251 @@
+//! Steered BRIEF (rBRIEF) binary descriptors.
+//!
+//! Each descriptor is 256 binary intensity comparisons between pairs of
+//! points in a 31×31 patch around the keypoint, with the pair pattern
+//! rotated by the keypoint orientation. The paper's FPGA and ASIC
+//! designs store this pattern in an on-chip LUT and rotate coordinates
+//! with a `Rotate_unit` (Fig. 9); we keep the same structure: a static
+//! pattern table plus a rotation step per test.
+
+use crate::integral::IntegralImage;
+use crate::{GrayImage, Keypoint};
+
+/// Number of binary tests (descriptor bits).
+pub const BRIEF_BITS: usize = 256;
+
+/// Patch half-extent: test points live in `[-PATCH_R, PATCH_R]`.
+const PATCH_R: i32 = 13;
+
+/// A 256-bit binary descriptor.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_vision::Descriptor;
+///
+/// let a = Descriptor::new([0u8; 32]);
+/// let b = Descriptor::new([0xFFu8; 32]);
+/// assert_eq!(a.hamming(&b), 256);
+/// assert_eq!(a.hamming(&a), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Descriptor {
+    bits: [u8; BRIEF_BITS / 8],
+}
+
+impl Descriptor {
+    /// Creates a descriptor from raw bytes.
+    pub fn new(bits: [u8; BRIEF_BITS / 8]) -> Self {
+        Self { bits }
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; BRIEF_BITS / 8] {
+        &self.bits
+    }
+
+    /// Hamming distance to another descriptor, in `0..=256`.
+    pub fn hamming(&self, other: &Descriptor) -> u32 {
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+}
+
+/// The fixed comparison pattern: `BRIEF_BITS` point pairs inside the
+/// patch, generated once from a deterministic LCG so every build of the
+/// library produces identical descriptors (the "Pattern LUT (256 x 4)"
+/// of the paper's Fig. 9).
+fn pattern() -> &'static [(i32, i32, i32, i32); BRIEF_BITS] {
+    use std::sync::OnceLock;
+    static PATTERN: OnceLock<[(i32, i32, i32, i32); BRIEF_BITS]> = OnceLock::new();
+    PATTERN.get_or_init(|| {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            // xorshift64* — deterministic and dependency-free.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            // Map to [-PATCH_R, PATCH_R].
+            ((v >> 33) % (2 * PATCH_R as u64 + 1)) as i32 - PATCH_R
+        };
+        let mut pat = [(0, 0, 0, 0); BRIEF_BITS];
+        for p in &mut pat {
+            *p = (next(), next(), next(), next());
+        }
+        pat
+    })
+}
+
+/// Computes the steered BRIEF descriptor for a keypoint.
+///
+/// Test coordinates are rotated by the keypoint angle before sampling,
+/// giving rotation invariance (the "r" in rBRIEF). Samples outside the
+/// image are border-clamped.
+pub fn describe(img: &GrayImage, kp: &Keypoint) -> Descriptor {
+    let (sin, cos) = kp.angle.sin_cos();
+    let cx = kp.x;
+    let cy = kp.y;
+    let mut bits = [0u8; BRIEF_BITS / 8];
+    for (i, &(x0, y0, x1, y1)) in pattern().iter().enumerate() {
+        let rot = |x: i32, y: i32| {
+            let rx = cos * x as f32 - sin * y as f32;
+            let ry = sin * x as f32 + cos * y as f32;
+            ((cx + rx).round() as isize, (cy + ry).round() as isize)
+        };
+        let (ax, ay) = rot(x0, y0);
+        let (bx, by) = rot(x1, y1);
+        if img.get_clamped(ax, ay) < img.get_clamped(bx, by) {
+            bits[i / 8] |= 1 << (i % 8);
+        }
+    }
+    Descriptor { bits }
+}
+
+/// Computes the steered BRIEF descriptor using box-smoothed samples
+/// (5×5 means via an integral image), as the published BRIEF does —
+/// more robust to sensor noise than raw pixel comparisons at the cost
+/// of the integral-image pass.
+pub fn describe_smoothed(ii: &IntegralImage, kp: &Keypoint) -> Descriptor {
+    let (sin, cos) = kp.angle.sin_cos();
+    let cx = kp.x;
+    let cy = kp.y;
+    let mut bits = [0u8; BRIEF_BITS / 8];
+    for (i, &(x0, y0, x1, y1)) in pattern().iter().enumerate() {
+        let rot = |x: i32, y: i32| {
+            let rx = cos * x as f32 - sin * y as f32;
+            let ry = sin * x as f32 + cos * y as f32;
+            ((cx + rx).round() as isize, (cy + ry).round() as isize)
+        };
+        let (ax, ay) = rot(x0, y0);
+        let (bx, by) = rot(x1, y1);
+        if ii.smoothed(ax, ay, 2) < ii.smoothed(bx, by, 2) {
+            bits[i / 8] |= 1 << (i % 8);
+        }
+    }
+    Descriptor::new(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured() -> GrayImage {
+        GrayImage::from_fn(64, 64, |x, y| {
+            (((x * 7 + y * 13) ^ (x * y)) % 256) as u8
+        })
+    }
+
+    fn kp(x: f32, y: f32, angle: f32) -> Keypoint {
+        Keypoint { x, y, score: 1.0, angle, octave: 0 }
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_in_patch() {
+        let a = pattern();
+        let b = pattern();
+        assert_eq!(a.as_slice(), b.as_slice());
+        for &(x0, y0, x1, y1) in a {
+            for v in [x0, y0, x1, y1] {
+                assert!((-PATCH_R..=PATCH_R).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_distance_properties() {
+        let z = Descriptor::new([0; 32]);
+        let o = Descriptor::new([0xFF; 32]);
+        let mut half = [0u8; 32];
+        half[..16].fill(0xFF);
+        let h = Descriptor::new(half);
+        assert_eq!(z.hamming(&o), 256);
+        assert_eq!(z.hamming(&h), 128);
+        assert_eq!(h.hamming(&z), 128, "symmetric");
+    }
+
+    #[test]
+    fn same_patch_gives_identical_descriptor() {
+        let img = textured();
+        let d1 = describe(&img, &kp(32.0, 32.0, 0.3));
+        let d2 = describe(&img, &kp(32.0, 32.0, 0.3));
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn different_patches_differ() {
+        let img = textured();
+        let d1 = describe(&img, &kp(20.0, 20.0, 0.0));
+        let d2 = describe(&img, &kp(45.0, 45.0, 0.0));
+        assert!(d1.hamming(&d2) > 40, "distance {}", d1.hamming(&d2));
+    }
+
+    #[test]
+    fn rotation_steering_tracks_patch_rotation() {
+        // Build a pattern and its 90°-rotated copy; descriptors computed
+        // with matching angles should be much closer than with wrong
+        // angles.
+        let base = GrayImage::from_fn(64, 64, |x, y| {
+            let (dx, dy) = (x as i32 - 32, y as i32 - 32);
+            if dx * dx + dy * dy > 200 {
+                0
+            } else {
+                (((dx * 3 + dy * 5) % 17 + 17) * 15 % 256) as u8
+            }
+        });
+        // Rotate image content by 90° around (32, 32): (x,y) <- (y, -x).
+        let rotated = GrayImage::from_fn(64, 64, |x, y| {
+            let (dx, dy) = (x as i32 - 32, y as i32 - 32);
+            let sx = 32 + dy;
+            let sy = 32 - dx;
+            base.get_clamped(sx as isize, sy as isize)
+        });
+        let d0 = describe(&base, &kp(32.0, 32.0, 0.0));
+        let steered = describe(&rotated, &kp(32.0, 32.0, std::f32::consts::FRAC_PI_2));
+        let unsteered = describe(&rotated, &kp(32.0, 32.0, 0.0));
+        assert!(
+            d0.hamming(&steered) + 20 < d0.hamming(&unsteered),
+            "steered {} vs unsteered {}",
+            d0.hamming(&steered),
+            d0.hamming(&unsteered)
+        );
+    }
+
+    #[test]
+    fn smoothed_descriptor_is_more_noise_robust() {
+        // Blocky texture (4x4 cells) so box smoothing preserves
+        // structure while averaging noise away.
+        let base = GrayImage::from_fn(64, 64, |x, y| {
+            let h = ((x / 4) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(((y / 4) as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            (40 + (h >> 33) % 176) as u8
+        });
+        // The same texture under +-25 of per-pixel noise.
+        let noisy = GrayImage::from_fn(64, 64, |x, y| {
+            let h = (x as u64 * 7919) ^ (y as u64 * 104729);
+            let n = (h.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) % 51;
+            (base.get(x, y) as i16 + n as i16 - 25).clamp(0, 255) as u8
+        });
+        let k = kp(32.0, 32.0, 0.0);
+        let raw_dist = describe(&base, &k).hamming(&describe(&noisy, &k));
+        let ii_base = IntegralImage::new(&base);
+        let ii_noisy = IntegralImage::new(&noisy);
+        let smooth_dist =
+            describe_smoothed(&ii_base, &k).hamming(&describe_smoothed(&ii_noisy, &k));
+        assert!(
+            smooth_dist < raw_dist,
+            "smoothed {smooth_dist} must beat raw {raw_dist} under noise"
+        );
+    }
+
+    #[test]
+    fn border_keypoints_do_not_panic() {
+        let img = textured();
+        let _ = describe(&img, &kp(0.0, 0.0, 1.0));
+        let _ = describe(&img, &kp(63.0, 63.0, -2.0));
+    }
+}

@@ -1,0 +1,219 @@
+//! Minimal 2-D geometry: points and SE(2) rigid-body poses.
+//!
+//! The localization engine estimates the vehicle pose on the road
+//! plane, and the fusion/planning engines transform tracked objects
+//! between camera, vehicle and world frames (paper Fig. 1, step 2).
+
+/// A point in the plane (meters in world/vehicle frames, pixels in the
+/// image frame).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Vector norm from the origin.
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+}
+
+impl std::ops::Add for Point2 {
+    type Output = Point2;
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl std::ops::Sub for Point2 {
+    type Output = Point2;
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl std::ops::Mul<f64> for Point2 {
+    type Output = Point2;
+    fn mul(self, rhs: f64) -> Point2 {
+        Point2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+/// A rigid-body pose on the plane: translation plus heading.
+///
+/// Composition follows the usual SE(2) convention:
+/// `a.compose(b)` first applies `b` in `a`'s frame, i.e. the world pose
+/// of a child frame `b` expressed relative to parent pose `a`.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_vision::{Point2, Pose2};
+///
+/// let pose = Pose2::new(1.0, 0.0, std::f64::consts::FRAC_PI_2);
+/// let p = pose.transform(Point2::new(1.0, 0.0));
+/// assert!((p.x - 1.0).abs() < 1e-9 && (p.y - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose2 {
+    /// Translation x (meters).
+    pub x: f64,
+    /// Translation y (meters).
+    pub y: f64,
+    /// Heading in radians, normalized to `(-π, π]` on construction.
+    pub theta: f64,
+}
+
+impl Pose2 {
+    /// Creates a pose, normalizing the heading to `(-π, π]`.
+    pub fn new(x: f64, y: f64, theta: f64) -> Self {
+        Self { x, y, theta: normalize_angle(theta) }
+    }
+
+    /// The identity pose.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// The pose's translation as a point.
+    pub fn translation(&self) -> Point2 {
+        Point2::new(self.x, self.y)
+    }
+
+    /// Maps a point from this pose's local frame into the parent frame.
+    pub fn transform(&self, p: Point2) -> Point2 {
+        let (s, c) = self.theta.sin_cos();
+        Point2::new(self.x + c * p.x - s * p.y, self.y + s * p.x + c * p.y)
+    }
+
+    /// Maps a point from the parent frame into this pose's local frame.
+    pub fn inverse_transform(&self, p: Point2) -> Point2 {
+        let (s, c) = self.theta.sin_cos();
+        let dx = p.x - self.x;
+        let dy = p.y - self.y;
+        Point2::new(c * dx + s * dy, -s * dx + c * dy)
+    }
+
+    /// Composes two poses: the result maps `other`'s local frame
+    /// through `self` into the parent frame.
+    pub fn compose(&self, other: &Pose2) -> Pose2 {
+        let t = self.transform(other.translation());
+        Pose2::new(t.x, t.y, self.theta + other.theta)
+    }
+
+    /// The inverse pose, such that `p.compose(&p.inverse())` is the
+    /// identity.
+    pub fn inverse(&self) -> Pose2 {
+        let (s, c) = self.theta.sin_cos();
+        Pose2::new(-(c * self.x + s * self.y), s * self.x - c * self.y, -self.theta)
+    }
+
+    /// Euclidean distance between the translations of two poses.
+    pub fn distance(&self, other: &Pose2) -> f64 {
+        self.translation().distance(&other.translation())
+    }
+
+    /// Absolute heading difference in `[0, π]`.
+    pub fn heading_error(&self, other: &Pose2) -> f64 {
+        normalize_angle(self.theta - other.theta).abs()
+    }
+}
+
+/// Normalizes an angle to `(-π, π]`.
+pub fn normalize_angle(theta: f64) -> f64 {
+    use std::f64::consts::PI;
+    let mut t = theta % (2.0 * PI);
+    if t > PI {
+        t -= 2.0 * PI;
+    } else if t <= -PI {
+        t += 2.0 * PI;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, -1.0);
+        assert_eq!(a + b, Point2::new(4.0, 1.0));
+        assert_eq!(b - a, Point2::new(2.0, -3.0));
+        assert_eq!(a * 2.0, Point2::new(2.0, 4.0));
+        assert!(close(a.distance(&b), (4.0f64 + 9.0).sqrt()));
+    }
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let p = Point2::new(3.0, 4.0);
+        assert_eq!(Pose2::identity().transform(p), p);
+    }
+
+    #[test]
+    fn transform_then_inverse_round_trips() {
+        let pose = Pose2::new(2.0, -1.0, 0.7);
+        let p = Point2::new(5.0, 3.0);
+        let q = pose.inverse_transform(pose.transform(p));
+        assert!(close(q.x, p.x) && close(q.y, p.y));
+    }
+
+    #[test]
+    fn compose_with_inverse_is_identity() {
+        let pose = Pose2::new(1.5, 2.5, 2.2);
+        let id = pose.compose(&pose.inverse());
+        assert!(close(id.x, 0.0) && close(id.y, 0.0) && close(id.theta, 0.0));
+    }
+
+    #[test]
+    fn composition_is_associative() {
+        let a = Pose2::new(1.0, 0.0, 0.3);
+        let b = Pose2::new(0.0, 2.0, -0.5);
+        let c = Pose2::new(-1.0, 1.0, 1.1);
+        let left = a.compose(&b).compose(&c);
+        let right = a.compose(&b.compose(&c));
+        assert!(close(left.x, right.x) && close(left.y, right.y));
+        assert!(close(left.theta, right.theta));
+    }
+
+    #[test]
+    fn rotation_by_quarter_turn() {
+        let pose = Pose2::new(0.0, 0.0, FRAC_PI_2);
+        let p = pose.transform(Point2::new(1.0, 0.0));
+        assert!(close(p.x, 0.0) && close(p.y, 1.0));
+    }
+
+    #[test]
+    fn angle_normalization() {
+        assert!(close(normalize_angle(3.0 * PI), PI));
+        assert!(close(normalize_angle(-3.0 * PI), PI));
+        assert!(close(normalize_angle(0.5), 0.5));
+    }
+
+    #[test]
+    fn heading_error_is_symmetric_and_wrapped() {
+        let a = Pose2::new(0.0, 0.0, PI - 0.1);
+        let b = Pose2::new(0.0, 0.0, -PI + 0.1);
+        assert!(close(a.heading_error(&b), 0.2));
+        assert!(close(b.heading_error(&a), 0.2));
+    }
+}

@@ -1,0 +1,120 @@
+use crate::Descriptor;
+
+/// A correspondence between a query descriptor and a train descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DescriptorMatch {
+    /// Index into the query set.
+    pub query: usize,
+    /// Index into the train set.
+    pub train: usize,
+    /// Hamming distance of the matched pair.
+    pub distance: u32,
+}
+
+/// Brute-force Hamming matching with Lowe's ratio test.
+///
+/// For every query descriptor the best and second-best train
+/// descriptors are found; the match is kept when the best distance is
+/// at most `max_distance` and at most `ratio` × the second-best
+/// distance. This is the matching step ORB-SLAM runs against the prior
+/// map (paper §3.1.3).
+///
+/// # Examples
+///
+/// ```
+/// use adsim_vision::{match_descriptors, Descriptor};
+///
+/// let a = Descriptor::new([0x00; 32]);
+/// let b = Descriptor::new([0xFF; 32]);
+/// let matches = match_descriptors(&[a], &[a, b], 64, 0.8);
+/// assert_eq!(matches.len(), 1);
+/// assert_eq!(matches[0].train, 0);
+/// ```
+pub fn match_descriptors(
+    query: &[Descriptor],
+    train: &[Descriptor],
+    max_distance: u32,
+    ratio: f32,
+) -> Vec<DescriptorMatch> {
+    let mut out = Vec::new();
+    if train.is_empty() {
+        return out;
+    }
+    for (qi, q) in query.iter().enumerate() {
+        let mut best = (usize::MAX, u32::MAX);
+        let mut second = u32::MAX;
+        for (ti, t) in train.iter().enumerate() {
+            let d = q.hamming(t);
+            if d < best.1 {
+                second = best.1;
+                best = (ti, d);
+            } else if d < second {
+                second = d;
+            }
+        }
+        if best.1 > max_distance {
+            continue;
+        }
+        // Ratio test only applies when a second neighbour exists.
+        if second != u32::MAX && best.1 as f32 > ratio * second as f32 {
+            continue;
+        }
+        out.push(DescriptorMatch { query: qi, train: best.0, distance: best.1 });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(byte: u8) -> Descriptor {
+        Descriptor::new([byte; 32])
+    }
+
+    #[test]
+    fn exact_matches_found() {
+        let train = [desc(0x00), desc(0xFF), desc(0x0F)];
+        let query = [desc(0xFF)];
+        let m = match_descriptors(&query, &train, 10, 0.9);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].train, 1);
+        assert_eq!(m[0].distance, 0);
+    }
+
+    #[test]
+    fn max_distance_filters() {
+        let train = [desc(0x00)];
+        let query = [desc(0xFF)];
+        assert!(match_descriptors(&query, &train, 100, 1.0).is_empty());
+        assert_eq!(match_descriptors(&query, &train, 256, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn ratio_test_rejects_ambiguous_matches() {
+        // Two train descriptors nearly equidistant from the query.
+        let mut a = [0u8; 32];
+        a[0] = 0b0000_0001; // distance 1 from zeros
+        let mut b = [0u8; 32];
+        b[0] = 0b0000_0010; // also distance 1
+        let train = [Descriptor::new(a), Descriptor::new(b)];
+        let query = [desc(0x00)];
+        assert!(
+            match_descriptors(&query, &train, 64, 0.8).is_empty(),
+            "1 vs 1 fails ratio 0.8"
+        );
+        assert_eq!(match_descriptors(&query, &train, 64, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(match_descriptors(&[], &[desc(0)], 64, 0.8).is_empty());
+        assert!(match_descriptors(&[desc(0)], &[], 64, 0.8).is_empty());
+    }
+
+    #[test]
+    fn single_train_descriptor_skips_ratio_test() {
+        let m = match_descriptors(&[desc(0x01)], &[desc(0x00)], 64, 0.5);
+        assert_eq!(m.len(), 1, "no second neighbour -> no ratio rejection");
+    }
+}

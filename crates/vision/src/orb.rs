@@ -1,0 +1,254 @@
+use crate::brief::{describe, Descriptor};
+use crate::fast::{fast_corners, orientation, Keypoint};
+use crate::pyramid::Pyramid;
+use crate::GrayImage;
+
+/// A keypoint with its rBRIEF descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Feature {
+    /// The oriented keypoint, in full-resolution coordinates.
+    pub keypoint: Keypoint,
+    /// The 256-bit binary descriptor.
+    pub descriptor: Descriptor,
+}
+
+/// Work performed by one extraction, consumed by the platform latency
+/// models: the FAST stage scales with pixels scanned, the rBRIEF stage
+/// with features described (paper Fig. 9: one binary test per cycle,
+/// 256 iterations per feature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OrbCost {
+    /// Pixels scanned by the detector across all pyramid levels.
+    pub pixels_scanned: usize,
+    /// Corner candidates that passed the segment test (before capping).
+    pub corners_detected: usize,
+    /// Features actually described.
+    pub features_described: usize,
+}
+
+/// The combined oFAST + rBRIEF extractor (ORB), Fig. 5's
+/// "ORB Extractor" stage.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_vision::{GrayImage, OrbExtractor};
+///
+/// let img = GrayImage::from_fn(128, 128, |x, y| ((x * 31 ^ y * 17) % 256) as u8);
+/// let orb = OrbExtractor::new(100, 25);
+/// let (features, cost) = orb.extract_with_cost(&img);
+/// assert!(features.len() <= 100);
+/// assert_eq!(cost.features_described, features.len());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrbExtractor {
+    max_features: usize,
+    fast_threshold: u8,
+    n_levels: usize,
+    grid: Option<(usize, usize)>,
+}
+
+impl OrbExtractor {
+    /// Creates an extractor keeping at most `max_features` strongest
+    /// corners, detected with the given FAST threshold, over 4 pyramid
+    /// levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_features` is zero.
+    pub fn new(max_features: usize, fast_threshold: u8) -> Self {
+        assert!(max_features > 0, "max_features must be positive");
+        Self { max_features, fast_threshold, n_levels: 4, grid: None }
+    }
+
+    /// Sets the number of pyramid levels (default 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_levels` is zero.
+    pub fn with_levels(mut self, n_levels: usize) -> Self {
+        assert!(n_levels > 0, "need at least one level");
+        self.n_levels = n_levels;
+        self
+    }
+
+    /// Distributes retention over a `rows`×`cols` image grid, capping
+    /// each cell at its fair share of the feature budget. ORB-SLAM
+    /// does this so features spread across the view — clustered
+    /// keypoints condition the pose solve poorly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_grid_distribution(mut self, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must be non-empty");
+        self.grid = Some((rows, cols));
+        self
+    }
+
+    /// Maximum number of features kept.
+    pub fn max_features(&self) -> usize {
+        self.max_features
+    }
+
+    /// Extracts oriented, described features.
+    pub fn extract(&self, img: &GrayImage) -> Vec<Feature> {
+        self.extract_with_cost(img).0
+    }
+
+    /// Extracts features and reports the work performed.
+    pub fn extract_with_cost(&self, img: &GrayImage) -> (Vec<Feature>, OrbCost) {
+        let pyramid = Pyramid::build(img, self.n_levels);
+        let mut cost = OrbCost { pixels_scanned: pyramid.total_pixels(), ..Default::default() };
+        let mut keypoints: Vec<Keypoint> = Vec::new();
+        for (octave, level) in pyramid.levels().iter().enumerate() {
+            let scale = pyramid.scale(octave);
+            for mut kp in fast_corners(level, self.fast_threshold) {
+                kp.angle = orientation(level, kp.x, kp.y, 15);
+                // Report in full-resolution coordinates.
+                kp.x *= scale;
+                kp.y *= scale;
+                kp.octave = octave;
+                keypoints.push(kp);
+            }
+        }
+        cost.corners_detected = keypoints.len();
+        // Keep the strongest corners (the retention policy ORB uses),
+        // optionally spread over a spatial grid.
+        keypoints.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        match self.grid {
+            None => keypoints.truncate(self.max_features),
+            Some((rows, cols)) => {
+                let per_cell = (self.max_features / (rows * cols)).max(1);
+                let (w, h) = (img.width() as f32, img.height() as f32);
+                let mut counts = vec![0usize; rows * cols];
+                let mut kept = Vec::with_capacity(self.max_features);
+                for kp in keypoints.drain(..) {
+                    if kept.len() >= self.max_features {
+                        break;
+                    }
+                    let col = ((kp.x / w * cols as f32) as usize).min(cols - 1);
+                    let row = ((kp.y / h * rows as f32) as usize).min(rows - 1);
+                    let cell = row * cols + col;
+                    if counts[cell] < per_cell {
+                        counts[cell] += 1;
+                        kept.push(kp);
+                    }
+                }
+                keypoints = kept;
+            }
+        }
+
+        let features: Vec<Feature> = keypoints
+            .into_iter()
+            .map(|kp| {
+                let level = &pyramid.levels()[kp.octave];
+                let scale = pyramid.scale(kp.octave);
+                let local = Keypoint { x: kp.x / scale, y: kp.y / scale, ..kp };
+                Feature { keypoint: kp, descriptor: describe(level, &local) }
+            })
+            .collect();
+        cost.features_described = features.len();
+        (features, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene() -> GrayImage {
+        let mut img = GrayImage::new(160, 120);
+        for i in 0..6 {
+            let x = 10 + i * 24;
+            img.fill_rect(x as isize, 20 + (i as isize * 11) % 60, 14, 14, 200 + (i as u8 * 9));
+        }
+        img
+    }
+
+    #[test]
+    fn extraction_respects_feature_cap() {
+        let orb = OrbExtractor::new(5, 20);
+        let features = orb.extract(&scene());
+        assert!(features.len() <= 5);
+        assert!(!features.is_empty());
+    }
+
+    #[test]
+    fn strongest_corners_survive_capping() {
+        let orb_all = OrbExtractor::new(10_000, 20);
+        let orb_few = OrbExtractor::new(3, 20);
+        let all = orb_all.extract(&scene());
+        let few = orb_few.extract(&scene());
+        let min_kept = few.iter().map(|f| f.keypoint.score).fold(f32::INFINITY, f32::min);
+        let stronger = all.iter().filter(|f| f.keypoint.score > min_kept).count();
+        assert!(stronger <= 3, "capping must keep the strongest corners");
+    }
+
+    #[test]
+    fn cost_reflects_pyramid_and_features() {
+        let img = scene();
+        let orb = OrbExtractor::new(50, 20);
+        let (features, cost) = orb.extract_with_cost(&img);
+        assert!(cost.pixels_scanned >= img.pixels());
+        assert_eq!(cost.features_described, features.len());
+        assert!(cost.corners_detected >= features.len());
+    }
+
+    #[test]
+    fn keypoints_are_within_image_bounds() {
+        let img = scene();
+        let orb = OrbExtractor::new(100, 20);
+        for f in orb.extract(&img) {
+            assert!(f.keypoint.x >= 0.0 && f.keypoint.x < img.width() as f32);
+            assert!(f.keypoint.y >= 0.0 && f.keypoint.y < img.height() as f32);
+        }
+    }
+
+    #[test]
+    fn multiscale_detection_finds_coarse_corners() {
+        // One large blob: its corners exist at every octave; verify some
+        // keypoint is reported from an octave > 0.
+        let mut img = GrayImage::new(256, 256);
+        img.fill_rect(64, 64, 128, 128, 255);
+        let orb = OrbExtractor::new(500, 30).with_levels(3);
+        let features = orb.extract(&img);
+        assert!(features.iter().any(|f| f.keypoint.octave > 0));
+    }
+
+    #[test]
+    fn grid_distribution_spreads_features() {
+        // A dense cluster of strong corners in one corner of the image
+        // plus weaker texture elsewhere.
+        let mut img = GrayImage::from_fn(160, 120, |x, y| {
+            if x < 60 && y < 60 {
+                // Strong random texture: many high-score corners.
+                let h = (x as u64 * 7919) ^ (y as u64 * 104729);
+                (h.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as u8
+            } else {
+                30
+            }
+        });
+        // A few weaker corners elsewhere.
+        img.fill_rect(120, 90, 10, 10, 90);
+        img.fill_rect(100, 20, 10, 10, 90);
+        let plain = OrbExtractor::new(40, 20).extract(&img);
+        let gridded = OrbExtractor::new(40, 20).with_grid_distribution(3, 4).extract(&img);
+        let right_half = |fs: &[Feature]| {
+            fs.iter().filter(|f| f.keypoint.x > 80.0).count() as f64 / fs.len().max(1) as f64
+        };
+        assert!(
+            right_half(&gridded) > right_half(&plain),
+            "grid {} vs plain {}",
+            right_half(&gridded),
+            right_half(&plain)
+        );
+        assert!(gridded.len() <= 40);
+    }
+
+    #[test]
+    fn same_image_gives_identical_features() {
+        let orb = OrbExtractor::new(20, 20);
+        assert_eq!(orb.extract(&scene()), orb.extract(&scene()));
+    }
+}

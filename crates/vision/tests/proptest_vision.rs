@@ -1,0 +1,63 @@
+//! Property-based tests of camera geometry and descriptors.
+
+use adsim_vision::{GrayImage, OrthoCamera, Point2, Pose2};
+use proptest::prelude::*;
+
+fn pose() -> impl Strategy<Value = Pose2> {
+    (-200.0f64..200.0, -200.0f64..200.0, -7.0f64..7.0).prop_map(|(x, y, t)| Pose2::new(x, y, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn camera_world_image_round_trip(p in pose(), wx in -50.0f64..50.0, wy in -50.0f64..50.0) {
+        let cam = OrthoCamera::new(320, 240, 0.25);
+        let world = Point2::new(p.x + wx, p.y + wy);
+        let (u, v) = cam.world_to_image(&p, world);
+        let back = cam.image_to_world(&p, u, v);
+        prop_assert!((back.x - world.x).abs() < 1e-9);
+        prop_assert!((back.y - world.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vehicle_frame_distances_preserved(p in pose(), ax in -20.0f64..20.0, ay in -20.0f64..20.0) {
+        let cam = OrthoCamera::new(320, 240, 0.25);
+        // Pixel distance x GSD equals world distance for an ortho camera.
+        let a = Point2::new(p.x, p.y);
+        let b = Point2::new(p.x + ax, p.y + ay);
+        let (ua, va) = cam.world_to_image(&p, a);
+        let (ub, vb) = cam.world_to_image(&p, b);
+        let px = ((ua - ub).powi(2) + (va - vb).powi(2)).sqrt();
+        prop_assert!((px * 0.25 - a.distance(&b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crop_is_translation_of_clamped_reads(
+        ox in -5isize..40, oy in -5isize..40, w in 1usize..12, h in 1usize..12,
+    ) {
+        let img = GrayImage::from_fn(32, 32, |x, y| ((x * 7 + y * 13) % 251) as u8);
+        let c = img.crop(ox, oy, w, h);
+        for cy in 0..h {
+            for cx in 0..w {
+                prop_assert_eq!(
+                    c.get(cx, cy),
+                    img.get_clamped(ox + cx as isize, oy + cy as isize)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downsample_output_within_input_range(seed in 0u64..500) {
+        let img = GrayImage::from_fn(16, 16, |x, y| {
+            (seed.wrapping_mul(31).wrapping_add((x * 17 + y * 29) as u64) % 256) as u8
+        });
+        let d = img.downsample();
+        let lo = *img.as_slice().iter().min().unwrap();
+        let hi = *img.as_slice().iter().max().unwrap();
+        for &p in d.as_slice() {
+            prop_assert!(p >= lo && p <= hi);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Accelerator-landscape explorer: sweeps all 64 platform assignments
+//! for the three bottlenecks (§5's design space), checks each against
+//! the 100 ms tail constraint and the driving-range budget, and prints
+//! the Pareto frontier of latency vs range impact.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_explorer
+//! ```
+
+use adsim::core::{ModeledPipeline, PlatformConfig};
+use adsim::vehicle::power::SystemPower;
+use adsim::vehicle::range::ev_range_reduction;
+
+fn main() {
+    let mut rows: Vec<(PlatformConfig, f64, f64)> = Vec::new();
+    for cfg in PlatformConfig::all_combinations() {
+        let pipe = ModeledPipeline::new(cfg, 7);
+        let tail = pipe.analytic_tail_ms(1.0);
+        let per_cam = cfg.compute_power_w(pipe.model());
+        let sys = SystemPower::new(8, per_cam, 41_000_000_000_000);
+        let reduction = ev_range_reduction(sys.total_w());
+        rows.push((cfg, tail, reduction));
+    }
+
+    let viable: Vec<_> = rows.iter().filter(|(_, tail, _)| *tail <= 100.0).collect();
+    println!(
+        "{} of {} configurations meet the 100 ms tail constraint.\n",
+        viable.len(),
+        rows.len()
+    );
+
+    // Pareto frontier: no other viable config is faster AND thriftier.
+    let mut frontier: Vec<_> = viable
+        .iter()
+        .filter(|(c, t, r)| {
+            !viable
+                .iter()
+                .any(|(c2, t2, r2)| (t2 < t && r2 <= r || t2 <= t && r2 < r) && c2 != c)
+        })
+        .collect();
+    frontier.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+
+    println!("Pareto frontier (latency vs driving-range impact):");
+    println!("{:<24} {:>12} {:>14}", "Config", "tail (ms)", "range impact");
+    for (cfg, tail, reduction) in &frontier {
+        println!("{:<24} {:>12.1} {:>13.1}%", cfg.label(), tail, reduction * 100.0);
+    }
+
+    let fastest = viable
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("some config is viable");
+    let thriftiest = viable
+        .iter()
+        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+        .expect("some config is viable");
+    println!(
+        "\nFastest viable: {} at {:.1} ms tail ({:.1}% range impact)",
+        fastest.0.label(),
+        fastest.1,
+        fastest.2 * 100.0
+    );
+    println!(
+        "Thriftiest viable: {} at {:.1}% range impact ({:.1} ms tail)",
+        thriftiest.0.label(),
+        thriftiest.2 * 100.0,
+        thriftiest.1
+    );
+}

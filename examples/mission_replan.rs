@@ -1,0 +1,77 @@
+//! Mission planning: route a city grid, drive the route, take a wrong
+//! turn, and watch the mission planner replan — the paper's step 4,
+//! "only invoked when the vehicle deviates from the original routing
+//! plan".
+//!
+//! ```sh
+//! cargo run --release --example mission_replan
+//! ```
+
+use adsim::planning::{MissionPlanner, RoadGraph};
+use adsim::vehicle::{BicycleState, VehicleController};
+use adsim::vision::{Point2, Pose2};
+
+fn main() {
+    // A 4x4 city grid, 150 m blocks, with one fast avenue.
+    let mut graph = RoadGraph::new();
+    for y in 0..4 {
+        for x in 0..4 {
+            graph.add_node(Point2::new(x as f64 * 150.0, y as f64 * 150.0));
+        }
+    }
+    for y in 0..4usize {
+        for x in 0..4usize {
+            let id = y * 4 + x;
+            if x < 3 {
+                graph.add_road(id, id + 1, 13.0);
+            }
+            if y < 3 {
+                graph.add_road(id, id + 4, if x == 0 { 22.0 } else { 13.0 });
+            }
+        }
+    }
+
+    let (origin, destination) = (0, 15);
+    let mut mission = MissionPlanner::new(graph.clone(), origin, destination);
+    let route = mission.route().expect("grid is connected").clone();
+    println!(
+        "Initial route {:?} ({:.0} m, {:.0} s at the limits)\n",
+        route.nodes, route.length_m, route.travel_time_s
+    );
+
+    // Drive the route, but at the second intersection take a wrong
+    // turn (two blocks east instead of following the plan).
+    let mut controller = VehicleController::new();
+    let mut state = BicycleState {
+        pose: Pose2::new(0.0, 0.0, std::f64::consts::FRAC_PI_2),
+        speed_mps: 10.0,
+    };
+    let wrong_turn = [Point2::new(0.0, 150.0), Point2::new(150.0, 170.0), Point2::new(260.0, 170.0)];
+    let mut leg = 0;
+    let mut replanned_at = None;
+    for step in 0..800 {
+        let target = wrong_turn[leg.min(wrong_turn.len() - 1)];
+        if state.pose.translation().distance(&target) < 8.0 && leg < wrong_turn.len() - 1 {
+            leg += 1;
+        }
+        state = controller.drive_step(&state, target, 10.0, 0.1);
+        if mission.check(&state.pose) && replanned_at.is_none() {
+            replanned_at = Some((step as f64 * 0.1, state.pose));
+            break;
+        }
+    }
+    let (t, pose) = replanned_at.expect("the wrong turn must trigger a replan");
+    println!(
+        "Deviation detected at t={t:.1} s, position ({:.0}, {:.0}) — mission planner re-invoked.",
+        pose.x, pose.y
+    );
+    let new_route = mission.route().expect("still connected");
+    println!(
+        "New route {:?} ({:.0} m), destination unchanged: {}",
+        new_route.nodes,
+        new_route.length_m,
+        new_route.nodes.last() == Some(&destination)
+    );
+    println!("Total replans: {} (zero while on route)", mission.replans());
+    assert_eq!(mission.replans(), 1);
+}

@@ -1,0 +1,61 @@
+//! Quickstart: evaluate an accelerator configuration against the
+//! paper's design constraints in a few lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use adsim::core::{ConstraintReport, DesignConstraints, ModeledPipeline, PlatformConfig};
+use adsim::platform::Platform;
+use adsim::vehicle::power::SystemPower;
+
+fn main() {
+    // The paper's best design: detection on the GPU, tracking and
+    // localization on ASICs.
+    let config = PlatformConfig {
+        detection: Platform::Gpu,
+        tracking: Platform::Asic,
+        localization: Platform::Asic,
+    };
+    println!("Evaluating {config} ...\n");
+
+    // 1. Latency: simulate 100k frames through the calibrated models.
+    let mut pipeline = ModeledPipeline::new(config, 42);
+    let stats = pipeline.simulate(100_000, 1.0);
+    let latency = stats.end_to_end.summary();
+    println!("End-to-end latency: {latency}");
+
+    // 2. Power: 8 camera replicas plus the 41 TB U.S. prior map,
+    //    magnified by cabin cooling.
+    let per_camera = config.compute_power_w(pipeline.model());
+    let system = SystemPower::new(8, per_camera, 41_000_000_000_000);
+    println!(
+        "System power: {:.0} W compute + {:.0} W storage + {:.0} W cooling = {:.0} W",
+        system.compute_w(),
+        system.storage_w(),
+        system.cooling_w(),
+        system.total_w()
+    );
+
+    // 3. The full §2.4 audit. The fastest design trades range for
+    //    latency (its GPU pushes past the 5 % driving-range budget) —
+    //    exactly the paper's Finding 5 trade-off.
+    let report = ConstraintReport::evaluate(&DesignConstraints::default(), &latency, &system);
+    println!("\n{report}");
+
+    // The all-ASIC design gives up some latency headroom to satisfy
+    // every constraint at once.
+    let config = PlatformConfig::uniform(Platform::Asic);
+    println!("Evaluating {config} ...\n");
+    let mut pipeline = ModeledPipeline::new(config, 42);
+    let latency = pipeline.simulate(100_000, 1.0).end_to_end.summary();
+    let system = SystemPower::new(
+        8,
+        config.compute_power_w(pipeline.model()),
+        41_000_000_000_000,
+    );
+    let report = ConstraintReport::evaluate(&DesignConstraints::default(), &latency, &system);
+    println!("{report}");
+    assert!(report.all_passed());
+    println!("All-ASIC meets every design constraint of the paper's §2.4.");
+}

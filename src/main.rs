@@ -1,0 +1,238 @@
+//! `adsim` command-line interface.
+//!
+//! ```text
+//! adsim audit                          # §2.4 constraint audit of all uniform designs
+//! adsim sweep                          # Fig. 11-style end-to-end sweep
+//! adsim simulate -c gpu,asic,asic -n 50000 [-r fhd]
+//! adsim drive [-s urban|highway|parking] [-n 30]
+//! ```
+
+use adsim::core::{
+    ClosedLoopSim, ConstraintReport, DesignConstraints, ModeledPipeline, PlatformConfig,
+};
+use adsim::platform::Platform;
+use adsim::vehicle::power::SystemPower;
+use adsim::workload::{Resolution, Scenario, ScenarioKind};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+adsim — ASPLOS'18 autonomous-driving reproduction
+
+USAGE:
+    adsim audit
+    adsim sweep
+    adsim simulate -c <det>,<tra>,<loc> [-n <frames>] [-r <resolution>]
+    adsim drive [-s <scenario>] [-n <steps>]
+
+PLATFORMS:   cpu, gpu, fpga, asic
+RESOLUTIONS: hhd, hd, hd+, fhd, qhd, kitti
+SCENARIOS:   urban, highway, parking
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("audit") => cmd_audit(),
+        Some("sweep") => cmd_sweep(),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("drive") => cmd_drive(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn parse_platform(s: &str) -> Result<Platform, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "cpu" => Ok(Platform::Cpu),
+        "gpu" => Ok(Platform::Gpu),
+        "fpga" => Ok(Platform::Fpga),
+        "asic" => Ok(Platform::Asic),
+        other => Err(format!("unknown platform {other:?}")),
+    }
+}
+
+fn parse_config(s: &str) -> Result<PlatformConfig, String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("config must be det,tra,loc — got {s:?}"));
+    }
+    Ok(PlatformConfig {
+        detection: parse_platform(parts[0])?,
+        tracking: parse_platform(parts[1])?,
+        localization: parse_platform(parts[2])?,
+    })
+}
+
+fn parse_resolution(s: &str) -> Result<Resolution, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "hhd" => Ok(Resolution::Hhd),
+        "hd" => Ok(Resolution::Hd),
+        "hd+" | "hdplus" => Ok(Resolution::HdPlus),
+        "fhd" => Ok(Resolution::Fhd),
+        "qhd" => Ok(Resolution::Qhd),
+        "kitti" => Ok(Resolution::Kitti),
+        other => Err(format!("unknown resolution {other:?}")),
+    }
+}
+
+fn parse_scenario(s: &str) -> Result<ScenarioKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "urban" => Ok(ScenarioKind::UrbanDrive),
+        "highway" => Ok(ScenarioKind::HighwayCruise),
+        "parking" => Ok(ScenarioKind::ParkingLot),
+        other => Err(format!("unknown scenario {other:?}")),
+    }
+}
+
+/// Pulls the value following a `-x` flag out of an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("flag {flag} needs a value")),
+    }
+}
+
+fn cmd_audit() -> Result<(), String> {
+    let constraints = DesignConstraints::default();
+    for p in Platform::ALL {
+        let config = PlatformConfig::uniform(p);
+        let mut pipe = ModeledPipeline::new(config, 1);
+        let latency = pipe.simulate(30_000, 1.0).end_to_end.summary();
+        let system = SystemPower::new(8, config.compute_power_w(pipe.model()), 41_000_000_000_000);
+        let report = ConstraintReport::evaluate(&constraints, &latency, &system);
+        println!("=== all-{p} ===");
+        print!("{report}");
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_sweep() -> Result<(), String> {
+    println!("{:<24} {:>12} {:>12} {:>8}", "Config", "mean (ms)", "p99.99 (ms)", "100ms?");
+    for cfg in PlatformConfig::paper_sweep() {
+        let mut pipe = ModeledPipeline::new(cfg, 2);
+        let s = pipe.simulate(50_000, 1.0).end_to_end.summary();
+        println!(
+            "{:<24} {:>12.1} {:>12.1} {:>8}",
+            cfg.label(),
+            s.mean,
+            s.p99_99,
+            if s.p99_99 <= 100.0 { "yes" } else { "NO" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let config = parse_config(flag_value(args, "-c")?.ok_or("simulate needs -c det,tra,loc")?)?;
+    let frames: usize = flag_value(args, "-n")?
+        .map(|s| s.parse().map_err(|_| format!("bad frame count {s:?}")))
+        .transpose()?
+        .unwrap_or(50_000);
+    let resolution = flag_value(args, "-r")?
+        .map(parse_resolution)
+        .transpose()?
+        .unwrap_or(Resolution::Kitti);
+    let ratio = resolution.scale_from(Resolution::Kitti);
+    let mut pipe = ModeledPipeline::new(config, 3);
+    let stats = pipe.simulate(frames, ratio);
+    println!("config      : {config}");
+    println!("resolution  : {resolution} (pixel ratio {ratio:.2})");
+    println!("end-to-end  : {}", stats.end_to_end.summary());
+    println!(
+        "constraint  : {}",
+        if stats.end_to_end.summary().meets_deadline(100.0) {
+            "meets 100 ms tail"
+        } else {
+            "FAILS 100 ms tail"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_drive(args: &[String]) -> Result<(), String> {
+    let kind = flag_value(args, "-s")?
+        .map(parse_scenario)
+        .transpose()?
+        .unwrap_or(ScenarioKind::HighwayCruise);
+    let steps: usize = flag_value(args, "-n")?
+        .map(|s| s.parse().map_err(|_| format!("bad step count {s:?}")))
+        .transpose()?
+        .unwrap_or(30);
+    let scenario = Scenario::new(kind, 2026);
+    println!("building closed-loop simulation ({kind}) ...");
+    let mut sim = ClosedLoopSim::new(&scenario, Resolution::Hhd);
+    let report = sim.run(steps);
+    println!(
+        "{} steps: {:.0} m travelled, mean localization error {:.2} m, {} lost frames,",
+        report.steps, report.distance_m, report.mean_localization_error_m, report.lost_frames
+    );
+    println!(
+        "max cross-track {:.2} m, min object clearance {:.1} m, {} emergency stops",
+        report.max_cross_track_m, report.min_object_clearance_m, report.emergency_stops
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_platforms_case_insensitively() {
+        assert_eq!(parse_platform("GPU").unwrap(), Platform::Gpu);
+        assert_eq!(parse_platform("asic").unwrap(), Platform::Asic);
+        assert!(parse_platform("tpu").is_err());
+    }
+
+    #[test]
+    fn parses_full_configs() {
+        let c = parse_config("gpu,asic,fpga").unwrap();
+        assert_eq!(c.detection, Platform::Gpu);
+        assert_eq!(c.tracking, Platform::Asic);
+        assert_eq!(c.localization, Platform::Fpga);
+        assert!(parse_config("gpu,asic").is_err());
+    }
+
+    #[test]
+    fn parses_resolutions_and_scenarios() {
+        assert_eq!(parse_resolution("fhd").unwrap(), Resolution::Fhd);
+        assert_eq!(parse_resolution("hd+").unwrap(), Resolution::HdPlus);
+        assert!(parse_resolution("8k").is_err());
+        assert_eq!(parse_scenario("urban").unwrap(), ScenarioKind::UrbanDrive);
+        assert!(parse_scenario("moon").is_err());
+    }
+
+    #[test]
+    fn flag_values_are_extracted() {
+        let args: Vec<String> =
+            ["-c", "gpu,gpu,gpu", "-n", "100"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(flag_value(&args, "-c").unwrap(), Some("gpu,gpu,gpu"));
+        assert_eq!(flag_value(&args, "-n").unwrap(), Some("100"));
+        assert_eq!(flag_value(&args, "-r").unwrap(), None);
+        let dangling: Vec<String> = ["-n".to_string()].to_vec();
+        assert!(flag_value(&dangling, "-n").is_err());
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_ok(), "no args prints usage");
+    }
+}

@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: the native pipeline on full
+//! scenarios, closed-loop control, and constraint auditing.
+
+use adsim::core::{
+    build_prior_map, ConstraintReport, DesignConstraints, ModeledPipeline, NativePipeline,
+    NativePipelineConfig, PlatformConfig,
+};
+use adsim::planning::MotionPlan;
+use adsim::vehicle::power::SystemPower;
+use adsim::vehicle::{BicycleState, VehicleController};
+use adsim::vision::{Point2, Pose2};
+use adsim::workload::{Resolution, Scenario, ScenarioKind};
+
+fn native_pipeline(scenario: &Scenario, frames: u64) -> NativePipeline {
+    let camera = scenario.camera(Resolution::Hhd);
+    let poses: Vec<Pose2> = (0..frames)
+        .step_by(8)
+        .flat_map(|i| {
+            let p = scenario.pose_at(i);
+            [p, Pose2::new(p.x, p.y + 25.0, p.theta), Pose2::new(p.x, p.y - 25.0, p.theta)]
+        })
+        .collect();
+    let map = build_prior_map(scenario.world(), &camera, poses, 300, 25);
+    let mut pipe = NativePipeline::new(camera, map, NativePipelineConfig::default());
+    pipe.seed_pose(scenario.pose_at(0));
+    pipe
+}
+
+#[test]
+fn urban_scenario_localizes_to_decimeters() {
+    let scenario = Scenario::new(ScenarioKind::UrbanDrive, 501);
+    let mut pipe = native_pipeline(&scenario, 120);
+    let mut errors = Vec::new();
+    for frame in scenario.stream(Resolution::Hhd).take(12) {
+        let out = pipe.process(&frame.image, frame.time_s);
+        if let Some(pose) = out.pose {
+            errors.push(pose.distance(&frame.truth_pose));
+        }
+    }
+    assert!(errors.len() >= 10, "localized {}/12 frames", errors.len());
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    assert!(mean < 0.5, "mean localization error {mean:.3} m (paper needs decimeter-level)");
+}
+
+#[test]
+fn highway_scenario_runs_and_keeps_frame_latency_positive() {
+    let scenario = Scenario::new(ScenarioKind::HighwayCruise, 502);
+    let mut pipe = native_pipeline(&scenario, 80);
+    for frame in scenario.stream(Resolution::Hhd).take(6) {
+        let out = pipe.process(&frame.image, frame.time_s);
+        let l = out.latency;
+        for v in [l.detection, l.tracking, l.localization, l.fusion, l.motion_planning] {
+            assert!(v >= 0.0 && v.is_finite());
+        }
+        assert!(l.end_to_end() >= l.perception());
+    }
+}
+
+#[test]
+fn parking_scenario_uses_free_space_planner() {
+    let scenario = Scenario::new(ScenarioKind::ParkingLot, 503);
+    let camera = scenario.camera(Resolution::Hhd);
+    let map = build_prior_map(
+        scenario.world(),
+        &camera,
+        (0..80).step_by(8).map(|i| scenario.pose_at(i)),
+        300,
+        25,
+    );
+    let cfg = NativePipelineConfig {
+        environment: adsim::planning::Environment::Open { goal: Point2::new(30.0, 10.0) },
+        cruise_mps: 2.0,
+        ..Default::default()
+    };
+    let mut pipe = NativePipeline::new(camera, map, cfg);
+    pipe.seed_pose(scenario.pose_at(0));
+    let mut planned_path = false;
+    for frame in scenario.stream(Resolution::Hhd).take(6) {
+        let out = pipe.process(&frame.image, frame.time_s);
+        if matches!(out.plan, MotionPlan::Path(_)) {
+            planned_path = true;
+        }
+    }
+    assert!(planned_path, "open-area scenario should produce lattice paths");
+}
+
+#[test]
+fn closed_loop_vehicle_follows_planned_lattice_path() {
+    use adsim::planning::{LatticePlanner, Obstacle};
+    let planner = LatticePlanner::default();
+    let obstacles = vec![Obstacle::new(Point2::new(15.0, 0.0), 2.5)];
+    let goal = Point2::new(30.0, 0.0);
+    let path = planner.plan(Pose2::identity(), goal, &obstacles).expect("plannable");
+
+    // Drive the bicycle model along the path with pure pursuit.
+    let mut controller = VehicleController::new();
+    let mut state = BicycleState { pose: Pose2::identity(), speed_mps: 2.0 };
+    let mut target_idx = 0;
+    for _ in 0..1_500 {
+        // Advance the carrot waypoint as the vehicle approaches it.
+        while target_idx + 1 < path.poses.len()
+            && state.pose.distance(&path.poses[target_idx]) < 3.0
+        {
+            target_idx += 1;
+        }
+        let wp = path.poses[target_idx].translation();
+        state = controller.drive_step(&state, wp, 3.0, 0.05);
+        for o in &obstacles {
+            assert!(
+                o.center.distance(&state.pose.translation()) > o.radius - 0.5,
+                "vehicle clipped the obstacle at {:?}",
+                state.pose
+            );
+        }
+        if state.pose.translation().distance(&goal) < 2.0 {
+            return; // arrived
+        }
+    }
+    panic!("vehicle never reached the goal; stopped at {:?}", state.pose);
+}
+
+#[test]
+fn modeled_and_constraint_stack_agree_end_to_end() {
+    // The paper's overall conclusion: at least one accelerated design
+    // passes the complete constraint audit, and the CPU baseline
+    // passes none of the performance checks.
+    let constraints = DesignConstraints::default();
+    let mut any_pass = false;
+    for cfg in PlatformConfig::paper_sweep() {
+        let mut pipe = ModeledPipeline::new(cfg, 9);
+        let latency = pipe.simulate(30_000, 1.0).end_to_end.summary();
+        let system = SystemPower::new(8, cfg.compute_power_w(pipe.model()), 41_000_000_000_000);
+        let report = ConstraintReport::evaluate(&constraints, &latency, &system);
+        if report.all_passed() {
+            any_pass = true;
+        }
+        if cfg == PlatformConfig::all_cpu() {
+            assert!(!report.all_passed());
+        }
+    }
+    assert!(any_pass, "some design must satisfy all constraints");
+}
+
+#[test]
+fn resolution_sweep_preserves_ground_footprint() {
+    // Higher resolution means finer sampling of the same footprint, so
+    // ground-truth object boxes occupy the same normalized area.
+    let scenario = Scenario::new(ScenarioKind::UrbanDrive, 504);
+    let lo = scenario.stream(Resolution::Hhd).nth(3).unwrap();
+    let mut hi_stream = scenario.stream(Resolution::Fhd);
+    hi_stream.seek(3);
+    let hi = hi_stream.next().unwrap();
+    for (a, b) in lo.truth_objects.iter().zip(&hi.truth_objects) {
+        assert_eq!(a.id, b.id);
+        assert!((a.bbox.cx - b.bbox.cx).abs() < 0.01);
+        assert!((a.bbox.w - b.bbox.w).abs() < 0.01);
+    }
+}

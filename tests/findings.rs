@@ -1,0 +1,131 @@
+//! The paper's six findings, asserted against this reproduction.
+
+use adsim::core::{ModeledPipeline, PlatformConfig};
+use adsim::platform::{Component, LatencyModel, Platform};
+use adsim::stats::LatencyRecorder;
+use adsim::vehicle::power::SystemPower;
+use adsim::vehicle::range::ev_range_reduction;
+use adsim::workload::Resolution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_summary(
+    model: &LatencyModel,
+    c: Component,
+    p: Platform,
+    n: usize,
+) -> adsim::stats::LatencySummary {
+    let mut rng = StdRng::seed_from_u64(0xF1D);
+    let rec: LatencyRecorder = (0..n).map(|_| model.sample_ms(c, p, &mut rng, 1.0)).collect();
+    rec.summary()
+}
+
+/// Finding 1: multicore CPUs cannot run the DNN-based DET/TRA engines
+/// within the constraints, and the FPGA's limited DSP count keeps them
+/// over budget there too.
+#[test]
+fn finding_1_cpus_and_fpgas_cannot_run_dnn_engines() {
+    let model = LatencyModel::paper_calibrated();
+    for c in [Component::Detection, Component::Tracking] {
+        for p in [Platform::Cpu, Platform::Fpga] {
+            let mean = model.mean_ms(c, p, 1.0);
+            assert!(mean > 100.0, "{c} on {p}: mean {mean} ms should exceed 100 ms");
+        }
+        assert!(model.mean_ms(c, Platform::Gpu, 1.0) < 100.0);
+    }
+}
+
+/// Finding 2: localization on the CPU meets the constraint on average
+/// but not at the tail, so tail latency must be the evaluation metric.
+#[test]
+fn finding_2_tail_latency_is_the_right_metric() {
+    let model = LatencyModel::paper_calibrated();
+    let s = sample_summary(&model, Component::Localization, Platform::Cpu, 200_000);
+    assert!(s.mean < 100.0, "mean {} looks fine...", s.mean);
+    assert!(s.p99_99 > 100.0, "...but the tail {} violates the constraint", s.p99_99);
+    // Accelerators do not show this gap.
+    for p in Platform::ACCELERATORS {
+        let s = sample_summary(&model, Component::Localization, p, 100_000);
+        assert!(
+            s.tail_to_mean_ratio() < 3.0,
+            "{p} should be predictable, ratio {}",
+            s.tail_to_mean_ratio()
+        );
+    }
+}
+
+/// Finding 3: specialized hardware is significantly more
+/// energy-efficient than general-purpose platforms.
+#[test]
+fn finding_3_specialized_hardware_is_more_efficient() {
+    let model = LatencyModel::paper_calibrated();
+    let total = |p: Platform| -> f64 {
+        Component::BOTTLENECKS.iter().map(|&c| model.power_w(c, p)).sum()
+    };
+    assert!(total(Platform::Fpga) < 0.5 * total(Platform::Cpu));
+    assert!(total(Platform::Asic) < 0.2 * total(Platform::Gpu));
+}
+
+/// Finding 4: accelerator-based designs meet the constraints; the
+/// 169x / 10x / 93x tail reductions of the abstract hold.
+#[test]
+fn finding_4_accelerators_make_the_system_viable() {
+    let e2e_tail = |p: Platform| {
+        let pipe = ModeledPipeline::new(PlatformConfig::uniform(p), 0xF4);
+        pipe.analytic_tail_ms(1.0)
+    };
+    let cpu = e2e_tail(Platform::Cpu);
+    for (p, factor) in [(Platform::Gpu, 169.0), (Platform::Fpga, 10.0), (Platform::Asic, 93.0)] {
+        let measured = cpu / e2e_tail(p);
+        assert!(
+            (measured - factor).abs() / factor < 0.10,
+            "{p}: reduction {measured:.0}x vs paper {factor:.0}x"
+        );
+    }
+    // And a heterogeneous design reaches ~16 ms.
+    let best = ModeledPipeline::new(
+        PlatformConfig {
+            detection: Platform::Gpu,
+            tracking: Platform::Asic,
+            localization: Platform::Asic,
+        },
+        1,
+    )
+    .analytic_tail_ms(1.0);
+    assert!(best < 20.0, "best design tail {best:.1} ms (paper: 16.1 ms)");
+}
+
+/// Finding 5: GPU designs sacrifice >10 % of driving range once
+/// storage and cooling are charged; FPGAs/ASICs stay under 5 %.
+#[test]
+fn finding_5_power_hungry_accelerators_hurt_driving_range() {
+    let model = LatencyModel::paper_calibrated();
+    let reduction = |cfg: PlatformConfig| {
+        let sys = SystemPower::new(8, cfg.compute_power_w(&model), 41_000_000_000_000);
+        ev_range_reduction(sys.total_w())
+    };
+    assert!(reduction(PlatformConfig::uniform(Platform::Gpu)) > 0.10);
+    assert!(reduction(PlatformConfig::uniform(Platform::Asic)) < 0.05);
+    assert!(reduction(PlatformConfig::uniform(Platform::Fpga)) < 0.08);
+}
+
+/// Finding 6: no configuration sustains QHD under the 100 ms tail
+/// constraint, while some survive FHD.
+#[test]
+fn finding_6_resolution_scaling_hits_a_compute_wall() {
+    let fhd = Resolution::Fhd.scale_from(Resolution::Kitti);
+    let qhd = Resolution::Qhd.scale_from(Resolution::Kitti);
+    let mut any_fhd = false;
+    for cfg in PlatformConfig::all_combinations() {
+        let pipe = ModeledPipeline::new(cfg, 1);
+        if pipe.analytic_tail_ms(fhd) <= 100.0 {
+            any_fhd = true;
+        }
+        assert!(
+            pipe.analytic_tail_ms(qhd) > 100.0,
+            "{} unexpectedly sustains QHD",
+            cfg.label()
+        );
+    }
+    assert!(any_fhd, "some configuration must sustain FHD");
+}

@@ -1,0 +1,86 @@
+//! Robustness of the localization engine to appearance change —
+//! the reason ORB-SLAM carries a map-update step ("the map is built
+//! under different weather conditions", paper §3.1.3).
+
+use adsim::core::build_prior_map;
+use adsim::slam::{LocalizeOutcome, Localizer, LocalizerConfig};
+use adsim::vision::{OrbExtractor, Pose2};
+use adsim::workload::{Conditions, Resolution, Scenario, ScenarioKind};
+
+fn localizer(scenario: &Scenario) -> Localizer {
+    let camera = scenario.camera(Resolution::Hhd);
+    let poses: Vec<Pose2> = (0..12)
+        .flat_map(|i| {
+            let p = scenario.pose_at(i * 10);
+            [p, Pose2::new(p.x, p.y + 25.0, p.theta), Pose2::new(p.x, p.y - 25.0, p.theta)]
+        })
+        .collect();
+    // The prior map is built in *clear* conditions.
+    let map = build_prior_map(scenario.world(), &camera, poses, 300, 25);
+    let mut loc = Localizer::new(
+        map,
+        camera,
+        OrbExtractor::new(300, 25).with_levels(2),
+        LocalizerConfig { map_update: false, ..Default::default() },
+    );
+    loc.seed_pose(scenario.pose_at(0));
+    loc
+}
+
+fn run(conditions: impl Fn(u64) -> Conditions) -> (usize, f64) {
+    let scenario = Scenario::new(ScenarioKind::UrbanDrive, 900);
+    let camera = scenario.camera(Resolution::Hhd);
+    let mut loc = localizer(&scenario);
+    let mut tracked = 0;
+    let mut err_sum = 0.0;
+    for i in 0..10u64 {
+        let truth = scenario.pose_at(i);
+        let frame = scenario.world().render_with(
+            &camera,
+            &truth,
+            i as f64 / 10.0,
+            &conditions(i),
+        );
+        let res = loc.localize(&frame);
+        if let Some(pose) = res.pose {
+            if res.outcome == LocalizeOutcome::Tracked {
+                tracked += 1;
+            }
+            err_sum += pose.distance(&truth);
+        }
+    }
+    (tracked, err_sum / tracked.max(1) as f64)
+}
+
+#[test]
+fn clear_conditions_track_every_frame() {
+    let (tracked, err) = run(|_| Conditions::clear());
+    assert!(tracked >= 9, "tracked {tracked}/10");
+    assert!(err < 0.3, "error {err:.3} m");
+}
+
+#[test]
+fn brightness_shift_is_free_for_binary_descriptors() {
+    // BRIEF compares pixel pairs, so a uniform exposure change should
+    // not disturb matching at all.
+    let (tracked, err) = run(|_| Conditions { brightness: -35, noise: 0, seed: 0 });
+    assert!(tracked >= 9, "tracked {tracked}/10 under -35 exposure");
+    assert!(err < 0.5, "error {err:.3} m");
+}
+
+#[test]
+fn moderate_sensor_noise_is_tolerated() {
+    let (tracked, err) = run(Conditions::overcast);
+    assert!(tracked >= 8, "tracked {tracked}/10 in overcast conditions");
+    assert!(err < 1.0, "error {err:.3} m");
+}
+
+#[test]
+fn severe_conditions_degrade_tracking() {
+    let (clear_tracked, _) = run(|_| Conditions::clear());
+    let (severe_tracked, _) = run(Conditions::severe);
+    assert!(
+        severe_tracked < clear_tracked,
+        "severe weather must hurt: {severe_tracked} vs {clear_tracked}"
+    );
+}
