@@ -5,9 +5,7 @@
 
 use adsim_bench::header;
 use adsim_platform::TailShape;
-use adsim_stats::LatencyRecorder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adsim_stats::{LatencyRecorder, Rng64};
 
 fn main() {
     header("Ablation", "Relocalization rate vs localization tail latency");
@@ -23,7 +21,7 @@ fn main() {
         } else {
             TailShape::spiky(reloc_cost_factor, rate)
         };
-        let mut rng = StdRng::seed_from_u64(0xAB4);
+        let mut rng = Rng64::new(0xAB4);
         let rec: LatencyRecorder =
             (0..300_000).map(|_| shape.sample(&mut rng, base_mean)).collect();
         let s = rec.summary();

@@ -2,14 +2,12 @@
 
 use adsim_bench::{compare, header, paper};
 use adsim_platform::{Component, LatencyModel, Platform};
-use adsim_stats::LatencyRecorder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adsim_stats::{LatencyRecorder, Rng64};
 
 fn main() {
     header("Fig. 10a", "Mean latency across accelerator platforms");
     let model = LatencyModel::paper_calibrated();
-    let mut rng = StdRng::seed_from_u64(0x10A);
+    let mut rng = Rng64::new(0x10A);
     println!("{:<6} {:<6} {:>44}", "Comp", "Plat", "measured mean (ms) vs paper");
     for c in Component::BOTTLENECKS {
         for p in Platform::ALL {

@@ -3,14 +3,12 @@
 
 use adsim_bench::{compare, header, paper};
 use adsim_platform::{Component, LatencyModel, Platform};
-use adsim_stats::LatencyRecorder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adsim_stats::{LatencyRecorder, Rng64};
 
 fn main() {
     header("Fig. 10b", "99.99th-percentile latency across accelerator platforms");
     let model = LatencyModel::paper_calibrated();
-    let mut rng = StdRng::seed_from_u64(0x10B);
+    let mut rng = Rng64::new(0x10B);
     println!("{:<6} {:<6} {:>46}", "Comp", "Plat", "measured p99.99 (ms) vs paper");
     for c in Component::BOTTLENECKS {
         for p in Platform::ALL {
@@ -27,7 +25,7 @@ fn main() {
         println!();
     }
     // Finding 2: LOC on CPU looks fine on average but not at the tail.
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Rng64::new(1);
     let rec: LatencyRecorder = (0..200_000)
         .map(|_| model.sample_ms(Component::Localization, Platform::Cpu, &mut rng, 1.0))
         .collect();

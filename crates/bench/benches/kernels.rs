@@ -1,17 +1,22 @@
-//! Criterion microbenchmarks of the real computational kernels, so the
+//! Microbenchmarks of the real computational kernels, so the
 //! substrate's own performance can be tracked independently of the
-//! calibrated platform models.
+//! calibrated platform models. Std-only timing (see
+//! `adsim_bench::timing`); run with
+//! `cargo bench -p adsim-bench --bench kernels`.
 
+use adsim_bench::timing::{measure, report};
 use adsim_dnn::fuse::fold_batch_norm;
 use adsim_dnn::models::yolo_tiny;
 use adsim_dnn::quant::{quant_conv2d, QuantTensor};
 use adsim_dnn::{Activation, NetworkBuilder};
-use adsim_slam::{Landmark, PriorMap};
 use adsim_perception::{BlobDetector, Detector};
 use adsim_planning::{Centerline, ConformalPlanner, LatticePlanner, Obstacle};
+use adsim_slam::{Landmark, PriorMap};
 use adsim_tensor::{ops, Tensor};
 use adsim_vision::{match_descriptors, Descriptor, GrayImage, OrbExtractor, Point2, Pose2};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const BUDGET_MS: f64 = 300.0;
 
 fn scene() -> GrayImage {
     GrayImage::from_fn(320, 240, |x, y| {
@@ -22,32 +27,44 @@ fn scene() -> GrayImage {
     })
 }
 
-fn bench_tensor(c: &mut Criterion) {
+fn bench_tensor() {
     let input = Tensor::filled([1, 16, 32, 32], 0.5);
     let weight = Tensor::filled([32, 16, 3, 3], 0.01);
-    c.bench_function("conv2d_16x32x32_k32f3", |b| {
-        b.iter(|| ops::conv2d(black_box(&input), black_box(&weight), None, 1, 1).unwrap())
-    });
+    report(
+        "conv2d_16x32x32_k32f3",
+        &measure(BUDGET_MS, || {
+            black_box(ops::conv2d(black_box(&input), black_box(&weight), None, 1, 1).unwrap());
+        }),
+    );
     let a = Tensor::filled([128, 128], 1.0);
     let bm = Tensor::filled([128, 128], 2.0);
-    c.bench_function("matmul_128", |b| {
-        b.iter(|| ops::matmul(black_box(&a), black_box(&bm)).unwrap())
-    });
+    report(
+        "matmul_128",
+        &measure(BUDGET_MS, || {
+            black_box(ops::matmul(black_box(&a), black_box(&bm)).unwrap());
+        }),
+    );
 }
 
-fn bench_dnn(c: &mut Criterion) {
+fn bench_dnn() {
     let net = yolo_tiny(4);
     let input = Tensor::zeros([1, 1, 32, 32]);
-    c.bench_function("yolo_tiny_forward_32", |b| {
-        b.iter(|| net.forward(black_box(&input)).unwrap())
-    });
+    report(
+        "yolo_tiny_forward_32",
+        &measure(BUDGET_MS, || {
+            black_box(net.forward(black_box(&input)).unwrap());
+        }),
+    );
 
     // Int8 fixed-point conv (the ASIC arithmetic path).
     let qin = Tensor::filled([1, 16, 32, 32], 0.3);
     let qw = QuantTensor::quantize(&Tensor::filled([32, 16, 3, 3], 0.02));
-    c.bench_function("quant_conv2d_16x32x32_k32f3", |b| {
-        b.iter(|| quant_conv2d(black_box(&qin), black_box(&qw), None, 1, 1).unwrap())
-    });
+    report(
+        "quant_conv2d_16x32x32_k32f3",
+        &measure(BUDGET_MS, || {
+            black_box(quant_conv2d(black_box(&qin), black_box(&qw), None, 1, 1).unwrap());
+        }),
+    );
 
     // Batch-norm folded vs unfolded forward pass.
     let bn_net = NetworkBuilder::new("bn", [1, 8, 32, 32], 3)
@@ -59,16 +76,21 @@ fn bench_dnn(c: &mut Criterion) {
         .unwrap();
     let (folded, _) = fold_batch_norm(&bn_net);
     let bn_in = Tensor::filled([1, 8, 32, 32], 0.1);
-    c.bench_function("forward_with_batchnorm", |b| {
-        b.iter(|| bn_net.forward(black_box(&bn_in)).unwrap())
-    });
-    c.bench_function("forward_bn_folded", |b| {
-        b.iter(|| folded.forward(black_box(&bn_in)).unwrap())
-    });
+    report(
+        "forward_with_batchnorm",
+        &measure(BUDGET_MS, || {
+            black_box(bn_net.forward(black_box(&bn_in)).unwrap());
+        }),
+    );
+    report(
+        "forward_bn_folded",
+        &measure(BUDGET_MS, || {
+            black_box(folded.forward(black_box(&bn_in)).unwrap());
+        }),
+    );
 }
 
-fn bench_slam_io(c: &mut Criterion) {
-    use adsim_vision::Descriptor;
+fn bench_slam_io() {
     let map: PriorMap = (0..5_000u64)
         .map(|i| {
             Landmark::new(
@@ -79,56 +101,88 @@ fn bench_slam_io(c: &mut Criterion) {
         })
         .collect();
     let bytes = map.to_bytes();
-    c.bench_function("prior_map_serialize_5k", |b| b.iter(|| black_box(&map).to_bytes()));
-    c.bench_function("prior_map_deserialize_5k", |b| {
-        b.iter(|| PriorMap::from_bytes(black_box(&bytes)).unwrap())
-    });
-    c.bench_function("prior_map_query_5k", |b| {
-        b.iter(|| black_box(&map).near(Point2::new(100.0, 50.0), 40.0))
-    });
+    report(
+        "prior_map_serialize_5k",
+        &measure(BUDGET_MS, || {
+            black_box(black_box(&map).to_bytes());
+        }),
+    );
+    report(
+        "prior_map_deserialize_5k",
+        &measure(BUDGET_MS, || {
+            black_box(PriorMap::from_bytes(black_box(&bytes)).unwrap());
+        }),
+    );
+    report(
+        "prior_map_query_5k",
+        &measure(BUDGET_MS, || {
+            black_box(black_box(&map).near(Point2::new(100.0, 50.0), 40.0));
+        }),
+    );
 }
 
-fn bench_vision(c: &mut Criterion) {
+fn bench_vision() {
     let img = scene();
     let orb = OrbExtractor::new(300, 25).with_levels(2);
-    c.bench_function("orb_extract_320x240", |b| b.iter(|| orb.extract(black_box(&img))));
+    report(
+        "orb_extract_320x240",
+        &measure(BUDGET_MS, || {
+            black_box(orb.extract(black_box(&img)));
+        }),
+    );
 
     let descs: Vec<Descriptor> =
         (0..200).map(|i| Descriptor::new([(i % 256) as u8; 32])).collect();
     let train: Vec<Descriptor> =
         (0..1000).map(|i| Descriptor::new([(i % 251) as u8; 32])).collect();
-    c.bench_function("hamming_match_200x1000", |b| {
-        b.iter(|| match_descriptors(black_box(&descs), black_box(&train), 64, 0.85))
-    });
+    report(
+        "hamming_match_200x1000",
+        &measure(BUDGET_MS, || {
+            black_box(match_descriptors(black_box(&descs), black_box(&train), 64, 0.85));
+        }),
+    );
 }
 
-fn bench_perception(c: &mut Criterion) {
+fn bench_perception() {
     let mut img = scene();
     img.fill_rect(100, 100, 20, 10, 235);
     img.fill_rect(200, 60, 8, 8, 140);
-    c.bench_function("blob_detect_320x240", |b| {
-        let mut det = BlobDetector::new();
-        b.iter(|| det.detect(black_box(&img)))
-    });
+    let mut det = BlobDetector::new();
+    report(
+        "blob_detect_320x240",
+        &measure(BUDGET_MS, || {
+            black_box(det.detect(black_box(&img)));
+        }),
+    );
 }
 
-fn bench_planning(c: &mut Criterion) {
+fn bench_planning() {
     let planner = LatticePlanner::default();
-    let obstacles: Vec<Obstacle> =
-        (0..8).map(|i| Obstacle::new(Point2::new(10.0 + i as f64, (i % 3) as f64 * 4.0 - 4.0), 1.0)).collect();
-    c.bench_function("lattice_plan_30m", |b| {
-        b.iter(|| planner.plan(Pose2::identity(), Point2::new(30.0, 0.0), black_box(&obstacles)))
-    });
+    let obstacles: Vec<Obstacle> = (0..8)
+        .map(|i| Obstacle::new(Point2::new(10.0 + i as f64, (i % 3) as f64 * 4.0 - 4.0), 1.0))
+        .collect();
+    report(
+        "lattice_plan_30m",
+        &measure(BUDGET_MS, || {
+            black_box(planner.plan(Pose2::identity(), Point2::new(30.0, 0.0), black_box(&obstacles)));
+        }),
+    );
     let road = Centerline::straight(500.0);
     let conformal = ConformalPlanner::default();
-    c.bench_function("conformal_plan", |b| {
-        b.iter(|| conformal.plan(black_box(&road), 0.0, 0.0, 15.0, &[]))
-    });
+    report(
+        "conformal_plan",
+        &measure(BUDGET_MS, || {
+            black_box(conformal.plan(black_box(&road), 0.0, 0.0, 15.0, &[]));
+        }),
+    );
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_tensor, bench_dnn, bench_vision, bench_perception, bench_planning, bench_slam_io
+fn main() {
+    adsim_bench::header("kernels", "Computational-kernel microbenchmarks");
+    bench_tensor();
+    bench_dnn();
+    bench_vision();
+    bench_perception();
+    bench_planning();
+    bench_slam_io();
 }
-criterion_main!(kernels);

@@ -1,0 +1,164 @@
+//! Std-only kernel benchmark runner (no external harness).
+//!
+//! Times the tensor hot path — matmul, conv2d and a YOLO-tiny forward
+//! pass — serially and on the `adsim-runtime` worker pool at 1/2/4/8
+//! threads, plus naive single-thread reference kernels so the win from
+//! cache blocking alone (independent of core count) is visible.
+//! Results are printed as a table and written to `BENCH_tensor.json`
+//! in the current directory.
+//!
+//! ```text
+//! cargo run --release -p adsim-bench --bin bench_kernels [-- --quick]
+//! ```
+//!
+//! `--quick` shrinks the shapes for smoke-testing the runner itself.
+
+use adsim_bench::timing::{measure, report, Measurement};
+use adsim_dnn::models;
+use adsim_runtime::Runtime;
+use adsim_tensor::{ops, Tensor};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const BUDGET_MS: f64 = 200.0;
+
+/// One benchmark record destined for the JSON report.
+struct Row {
+    name: String,
+    threads: usize,
+    m: Measurement,
+}
+
+/// Deterministic non-trivial fill (same generator as the parity tests).
+fn fill(shape: impl Into<adsim_tensor::Shape>) -> Tensor {
+    let shape = shape.into();
+    let n = shape.len();
+    Tensor::from_vec(
+        shape,
+        (0..n)
+            .map(|i| ((i * 2_654_435_761 % 1_000) as f32 / 500.0 - 1.0) * 0.7)
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// The naive pre-optimization matmul: i-j-k dot products, streaming
+/// column-wise through `b` with no blocking. The reference point for
+/// the cache-blocking speedup.
+fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let n = b.shape().dim(1);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += av[i * k + p] * bv[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec([m, n], out).unwrap()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (mm_small, mm_big, conv_side, grid) =
+        if quick { (64, 128, 16, 2) } else { (256, 1024, 64, 8) };
+
+    adsim_bench::header("Kernels", "tensor hot path on the adsim-runtime worker pool");
+    println!("host cores: {cores}  (thread counts beyond this cannot add speedup)\n");
+    let mut rows: Vec<Row> = Vec::new();
+
+    // -- Cache blocking alone: naive vs tiled at one thread. ----------
+    let a = fill([mm_small, mm_small]);
+    let b = fill([mm_small, mm_small]);
+    let naive = measure(BUDGET_MS, || {
+        std::hint::black_box(matmul_naive(&a, &b));
+    });
+    report(&format!("matmul_naive_{mm_small}"), &naive);
+    let tiled = measure(BUDGET_MS, || {
+        std::hint::black_box(ops::matmul(&a, &b).unwrap());
+    });
+    report(&format!("matmul_tiled_{mm_small} t=1"), &tiled);
+    println!(
+        "  -> blocking speedup at 1 thread: {:.2}x\n",
+        naive.median_ms() / tiled.median_ms()
+    );
+    rows.push(Row { name: format!("matmul_naive_{mm_small}"), threads: 1, m: naive });
+    rows.push(Row { name: format!("matmul_tiled_{mm_small}"), threads: 1, m: tiled });
+
+    // -- Thread scaling on the big matmul. ----------------------------
+    let a = fill([mm_big, mm_big]);
+    let b = fill([mm_big, mm_big]);
+    for t in THREADS {
+        let rt = Runtime::new(t);
+        let m = measure(BUDGET_MS, || {
+            std::hint::black_box(ops::matmul_with(&rt, &a, &b).unwrap());
+        });
+        report(&format!("matmul_tiled_{mm_big} t={t}"), &m);
+        rows.push(Row { name: format!("matmul_tiled_{mm_big}"), threads: t, m });
+    }
+    println!();
+
+    // -- conv2d: direct reference, then im2col+matmul over threads. ---
+    let input = fill([1, 16, conv_side, conv_side]);
+    let weight = fill([32, 16, 3, 3]);
+    let bias = fill([32]);
+    let direct = measure(BUDGET_MS, || {
+        std::hint::black_box(ops::conv2d_direct(&input, &weight, Some(&bias), 1, 1).unwrap());
+    });
+    report(&format!("conv2d_direct_{conv_side}"), &direct);
+    rows.push(Row { name: format!("conv2d_direct_{conv_side}"), threads: 1, m: direct });
+    for t in THREADS {
+        let rt = Runtime::new(t);
+        let m = measure(BUDGET_MS, || {
+            std::hint::black_box(
+                ops::conv2d_with(&rt, &input, &weight, Some(&bias), 1, 1).unwrap(),
+            );
+        });
+        report(&format!("conv2d_im2col_{conv_side} t={t}"), &m);
+        rows.push(Row { name: format!("conv2d_im2col_{conv_side}"), threads: t, m });
+    }
+    println!();
+
+    // -- Full YOLO-tiny forward pass. ---------------------------------
+    let net = models::yolo_tiny(grid);
+    let input = fill(net.input_shape().clone());
+    for t in THREADS {
+        let rt = Runtime::new(t);
+        let m = measure(BUDGET_MS, || {
+            std::hint::black_box(net.forward_with(&rt, &input).unwrap());
+        });
+        report(&format!("yolo_forward_g{grid} t={t}"), &m);
+        rows.push(Row { name: format!("yolo_forward_g{grid}"), threads: t, m });
+    }
+
+    let json = to_json(cores, &rows);
+    std::fs::write("BENCH_tensor.json", &json).expect("write BENCH_tensor.json");
+    println!("\nwrote BENCH_tensor.json ({} results)", rows.len());
+}
+
+/// Hand-rolled JSON (offline policy: no serde). Names are plain ASCII
+/// identifiers, so no string escaping is required.
+fn to_json(cores: usize, rows: &[Row]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"bench_kernels\",\n");
+    s.push_str(&format!("  \"host_cores\": {cores},\n"));
+    s.push_str(&format!("  \"budget_ms\": {BUDGET_MS},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"median_ms\": {:.6}, \"min_ms\": {:.6}, \"iters\": {}}}{}\n",
+            r.name,
+            r.threads,
+            r.m.median_ms(),
+            r.m.min_ms(),
+            r.m.iters(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

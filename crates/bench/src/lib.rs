@@ -8,6 +8,7 @@
 //! implementations in this workspace.
 
 pub mod paper;
+pub mod timing;
 
 /// Prints a section header.
 pub fn header(id: &str, title: &str) {

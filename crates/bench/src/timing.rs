@@ -1,0 +1,99 @@
+//! A minimal std-only measurement harness.
+//!
+//! The workspace builds with zero registry dependencies (see DESIGN.md,
+//! "Offline build policy"), so the kernel microbenchmarks use this
+//! hand-rolled timer instead of an external harness: warm up, then run
+//! the closure repeatedly until a wall-clock budget is spent, recording
+//! every iteration. Medians are reported because they shrug off the
+//! scheduler spikes that dominate short runs on shared machines.
+
+use std::time::Instant;
+
+/// Per-iteration wall-clock samples from one [`measure`] run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Every timed iteration, in milliseconds, in execution order.
+    pub samples_ms: Vec<f64>,
+}
+
+impl Measurement {
+    /// Median iteration time (ms).
+    pub fn median_ms(&self) -> f64 {
+        let mut v = self.samples_ms.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        }
+    }
+
+    /// Fastest iteration (ms) — the least-perturbed estimate.
+    pub fn min_ms(&self) -> f64 {
+        self.samples_ms.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean iteration time (ms).
+    pub fn mean_ms(&self) -> f64 {
+        self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+    }
+
+    /// Number of timed iterations.
+    pub fn iters(&self) -> usize {
+        self.samples_ms.len()
+    }
+}
+
+/// Times `f` repeatedly for roughly `budget_ms` of wall clock (after
+/// one untimed warm-up call). Always records at least three and at most
+/// 10 000 iterations so both multi-second kernels and microsecond ops
+/// produce stable numbers.
+pub fn measure(budget_ms: f64, mut f: impl FnMut()) -> Measurement {
+    f(); // Warm-up: touch code and data caches, page in buffers.
+    let mut samples_ms = Vec::new();
+    let start = Instant::now();
+    loop {
+        let t = Instant::now();
+        f();
+        samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let done = start.elapsed().as_secs_f64() * 1e3 >= budget_ms;
+        if (done && samples_ms.len() >= 3) || samples_ms.len() >= 10_000 {
+            break;
+        }
+    }
+    Measurement { samples_ms }
+}
+
+/// Prints one result row in the shared bench format.
+pub fn report(name: &str, m: &Measurement) {
+    println!(
+        "  {name:<36} {:>12}  (min {:>10}, {} iters)",
+        crate::fmt_ms(m.median_ms()),
+        crate::fmt_ms(m.min_ms()),
+        m.iters()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_records_at_least_three_samples() {
+        let m = measure(0.0, || {
+            std::hint::black_box(2u64.pow(10));
+        });
+        assert!(m.iters() >= 3);
+        assert!(m.min_ms() <= m.median_ms());
+        assert!(m.median_ms() >= 0.0);
+    }
+
+    #[test]
+    fn median_of_even_count_averages_middle_pair() {
+        let m = Measurement { samples_ms: vec![4.0, 1.0, 3.0, 2.0] };
+        assert!((m.median_ms() - 2.5).abs() < 1e-12);
+        assert!((m.mean_ms() - 2.5).abs() < 1e-12);
+        assert_eq!(m.min_ms(), 1.0);
+    }
+}

@@ -1,8 +1,6 @@
 use crate::config::PlatformConfig;
 use adsim_platform::{resolution_scale, Component, LatencyModel};
-use adsim_stats::LatencyRecorder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adsim_stats::{LatencyRecorder, Rng64};
 
 /// Latencies of one simulated frame (ms).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,14 +72,14 @@ impl PipelineStats {
 pub struct ModeledPipeline {
     model: LatencyModel,
     config: PlatformConfig,
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl ModeledPipeline {
     /// Creates a pipeline for one platform assignment. Equal seeds
     /// reproduce identical runs.
     pub fn new(config: PlatformConfig, seed: u64) -> Self {
-        Self { model: LatencyModel::paper_calibrated(), config, rng: StdRng::seed_from_u64(seed) }
+        Self { model: LatencyModel::paper_calibrated(), config, rng: Rng64::new(seed) }
     }
 
     /// The platform assignment.

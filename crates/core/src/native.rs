@@ -4,6 +4,7 @@ use adsim_perception::{
     YoloDetector,
 };
 use adsim_planning::{Environment, FusedFrame, FusionEngine, MotionPlan, MotionPlanner};
+use adsim_runtime::Runtime;
 use adsim_slam::{Localizer, LocalizerConfig, PriorMap};
 use adsim_vision::{GrayImage, OrbExtractor, OrthoCamera, Pose2};
 use adsim_workload::World;
@@ -42,6 +43,10 @@ pub struct NativePipelineConfig {
     pub environment: Environment,
     /// Cruise speed (m/s).
     pub cruise_mps: f64,
+    /// Worker pool for the pipeline fork (steps 1a/1b) and the DNN
+    /// kernels; `Runtime::serial()` reproduces single-core execution
+    /// for the parallelism ablation.
+    pub runtime: Runtime,
 }
 
 impl Default for NativePipelineConfig {
@@ -56,6 +61,7 @@ impl Default for NativePipelineConfig {
                 adsim_planning::Centerline::straight(10_000.0),
             ),
             cruise_mps: 11.0,
+            runtime: Runtime::max_parallel(),
         }
     }
 }
@@ -86,6 +92,7 @@ pub struct NativePipeline {
     pool: TrackerPool,
     fusion: FusionEngine,
     motion: MotionPlanner,
+    runtime: Runtime,
 }
 
 impl std::fmt::Debug for NativePipeline {
@@ -101,7 +108,11 @@ impl NativePipeline {
         let detector: Box<dyn Detector + Send> = match cfg.detector {
             DetectorKind::Blob => Box::new(BlobDetector::new()),
             DetectorKind::Yolo { grid, threshold } => {
-                Box::new(YoloDetector::new(grid, threshold))
+                // The fork already occupies two workers; give the DNN
+                // kernels whatever parallelism remains beyond the
+                // concurrent localization thread.
+                let dnn_rt = Runtime::new(cfg.runtime.threads().saturating_sub(1).max(1));
+                Box::new(YoloDetector::new(grid, threshold).with_runtime(dnn_rt))
             }
         };
         Self {
@@ -113,6 +124,7 @@ impl NativePipeline {
             }),
             fusion: FusionEngine::new(),
             motion: MotionPlanner::new(cfg.environment, cfg.cruise_mps),
+            runtime: cfg.runtime,
         }
     }
 
@@ -128,26 +140,22 @@ impl NativePipeline {
 
     /// Processes one camera frame through the full Fig. 1 dataflow.
     pub fn process(&mut self, image: &GrayImage, time_s: f64) -> NativeFrameResult {
-        // Steps 1a/1b: detection and localization in parallel.
+        // Steps 1a/1b: detection and localization in parallel (serial
+        // in order on a single-worker runtime).
         let localizer = &mut self.localizer;
         let detector = &mut self.detector;
-        let ((loc_result, loc_ms), (detections, det_ms)) = crossbeam::thread::scope(|s| {
-            let loc = s.spawn(|_| {
+        let ((loc_result, loc_ms), (detections, det_ms)) = self.runtime.join(
+            move || {
                 let t = Instant::now();
                 let r = localizer.localize(image);
                 (r, t.elapsed().as_secs_f64() * 1e3)
-            });
-            let det = s.spawn(move |_| {
+            },
+            move || {
                 let t = Instant::now();
                 let d = detector.detect(image);
                 (d, t.elapsed().as_secs_f64() * 1e3)
-            });
-            (
-                loc.join().expect("localization thread"),
-                det.join().expect("detection thread"),
-            )
-        })
-        .expect("pipeline scope");
+            },
+        );
 
         // Step 1c: tracking.
         let t = Instant::now();

@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use adsim_stats::Rng64;
 
 /// Deterministic pseudo-random weight initializer.
 ///
@@ -21,14 +20,14 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug)]
 pub struct WeightInit {
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl WeightInit {
     /// Creates an initializer from a seed; equal seeds yield equal
     /// weight streams.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self { rng: Rng64::new(seed) }
     }
 
     /// Draws `n` weights uniformly from `±sqrt(2 / fan_in)`.
@@ -39,12 +38,12 @@ impl WeightInit {
     pub fn uniform(&mut self, n: usize, fan_in: usize) -> Vec<f32> {
         assert!(fan_in > 0, "fan_in must be positive");
         let bound = (2.0 / fan_in as f32).sqrt();
-        (0..n).map(|_| self.rng.gen_range(-bound..bound)).collect()
+        (0..n).map(|_| self.rng.range_f32(-bound, bound)).collect()
     }
 
     /// Draws `n` small bias values uniformly from `±0.01`.
     pub fn bias(&mut self, n: usize) -> Vec<f32> {
-        (0..n).map(|_| self.rng.gen_range(-0.01..0.01f32)).collect()
+        (0..n).map(|_| self.rng.range_f32(-0.01, 0.01)).collect()
     }
 }
 

@@ -1,5 +1,6 @@
 use crate::cost::LayerCost;
 use crate::Result;
+use adsim_runtime::Runtime;
 use adsim_tensor::{ops, Shape, Tensor, TensorError};
 
 /// Element-wise non-linearity applied after a layer's affine part.
@@ -19,13 +20,13 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, t: &Tensor) -> Tensor {
+    fn apply_with(self, rt: &Runtime, t: &Tensor) -> Tensor {
         match self {
             Activation::None => t.clone(),
-            Activation::Relu => ops::relu(t),
-            Activation::LeakyRelu(a) => ops::leaky_relu(t, a),
-            Activation::Sigmoid => ops::sigmoid(t),
-            Activation::Tanh => ops::tanh(t),
+            Activation::Relu => ops::relu_with(rt, t),
+            Activation::LeakyRelu(a) => ops::leaky_relu_with(rt, t, a),
+            Activation::Sigmoid => ops::sigmoid_with(rt, t),
+            Activation::Tanh => ops::tanh_with(rt, t),
         }
     }
 
@@ -114,12 +115,25 @@ impl Layer {
     ///
     /// Propagates any shape/parameter error from the underlying kernel.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.forward_with(&Runtime::serial(), input)
+    }
+
+    /// Runs the layer forward on a worker pool: the compute-heavy
+    /// kernels (convolution, linear, pooling, activations) distribute
+    /// across `rt`'s threads, while cheap reshapes stay serial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any shape/parameter error from the underlying kernel.
+    pub fn forward_with(&self, rt: &Runtime, input: &Tensor) -> Result<Tensor> {
         match self {
             Layer::Conv2d { weight, bias, stride, pad, activation } => {
-                let out = ops::conv2d(input, weight, bias.as_ref(), *stride, *pad)?;
-                Ok(activation.apply(&out))
+                let out = ops::conv2d_with(rt, input, weight, bias.as_ref(), *stride, *pad)?;
+                Ok(activation.apply_with(rt, &out))
             }
-            Layer::MaxPool2d { window, stride } => ops::max_pool2d(input, *window, *stride),
+            Layer::MaxPool2d { window, stride } => {
+                ops::max_pool2d_with(rt, input, *window, *stride)
+            }
             Layer::BatchNorm { gamma, beta, mean, var, eps } => {
                 ops::batch_norm(input, gamma, beta, mean, var, *eps)
             }
@@ -129,10 +143,10 @@ impl Layer {
                 input.reshape([n, features])
             }
             Layer::Linear { weight, bias, activation } => {
-                let out = ops::linear(input, weight, bias.as_ref())?;
-                Ok(activation.apply(&out))
+                let out = ops::linear_with(rt, input, weight, bias.as_ref())?;
+                Ok(activation.apply_with(rt, &out))
             }
-            Layer::Activate(a) => Ok(a.apply(input)),
+            Layer::Activate(a) => Ok(a.apply_with(rt, input)),
         }
     }
 

@@ -1,6 +1,7 @@
 use crate::cost::NetworkCost;
 use crate::layer::{Activation, Layer};
 use crate::{Result, WeightInit};
+use adsim_runtime::Runtime;
 use adsim_tensor::{Shape, Tensor, TensorError};
 
 /// A sequential feed-forward network.
@@ -76,6 +77,22 @@ impl Network {
     /// Returns [`TensorError::ShapeMismatch`] if `input` does not match
     /// the declared input shape, or propagates kernel errors.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.forward_with(&Runtime::serial(), input)
+    }
+
+    /// Runs the network on `input` with every layer's kernels
+    /// distributed over `rt`'s worker pool.
+    ///
+    /// Layers still execute in sequence — inference is a dependency
+    /// chain — but each convolution/linear/pool/activation partitions
+    /// its own work across threads. Results are bit-identical to
+    /// [`Network::forward`] on any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `input` does not match
+    /// the declared input shape, or propagates kernel errors.
+    pub fn forward_with(&self, rt: &Runtime, input: &Tensor) -> Result<Tensor> {
         if input.shape() != &self.input_shape {
             return Err(TensorError::ShapeMismatch {
                 op: "network_forward",
@@ -85,7 +102,7 @@ impl Network {
         }
         let mut x = input.clone();
         for layer in &self.layers {
-            x = layer.forward(&x)?;
+            x = layer.forward_with(rt, &x)?;
         }
         Ok(x)
     }
@@ -300,6 +317,26 @@ mod tests {
         let a = make().forward(&input).unwrap();
         let b = make().forward(&input).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forward_with_matches_forward_on_any_thread_count() {
+        let net = NetworkBuilder::new("t", [2, 2, 12, 12], 7)
+            .conv(6, 3, 1, 1, Activation::LeakyRelu(0.1))
+            .max_pool(2, 2)
+            .conv(8, 3, 1, 1, Activation::Relu)
+            .flatten()
+            .linear(10, Activation::Sigmoid)
+            .build()
+            .unwrap();
+        let input = Tensor::from_fn([2, 2, 12, 12], |i| {
+            ((i[0] * 31 + i[1] * 17 + i[2] * 5 + i[3]) % 19) as f32 / 19.0 - 0.4
+        });
+        let serial = net.forward(&input).unwrap();
+        for threads in [1, 2, 8] {
+            let par = net.forward_with(&Runtime::new(threads), &input).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use adsim_dnn::detection::{decode_grid, nms, BBox, Detection, ObjectClass};
 use adsim_dnn::models::yolo_tiny;
 use adsim_dnn::Network;
+use adsim_runtime::Runtime;
 use adsim_vision::GrayImage;
 
 /// Work performed by one detection pass, for the platform cost models.
@@ -41,19 +42,35 @@ pub struct YoloDetector {
     side: usize,
     threshold: f32,
     iou_threshold: f32,
+    runtime: Runtime,
     last_cost: DetCost,
 }
 
 impl YoloDetector {
     /// Creates a detector with a `grid`×`grid` output and the given
-    /// confidence threshold.
+    /// confidence threshold. The forward pass runs serially; use
+    /// [`YoloDetector::with_runtime`] to parallelize it.
     ///
     /// # Panics
     ///
     /// Panics if `grid == 0`.
     pub fn new(grid: usize, threshold: f32) -> Self {
         let net = yolo_tiny(grid);
-        Self { net, side: 8 * grid, threshold, iou_threshold: 0.5, last_cost: DetCost::default() }
+        Self {
+            net,
+            side: 8 * grid,
+            threshold,
+            iou_threshold: 0.5,
+            runtime: Runtime::serial(),
+            last_cost: DetCost::default(),
+        }
+    }
+
+    /// Runs the detection network's kernels on the given worker pool.
+    /// Detections are identical on any thread count.
+    pub fn with_runtime(mut self, rt: Runtime) -> Self {
+        self.runtime = rt;
+        self
     }
 
     /// The underlying network (for cost analysis).
@@ -68,7 +85,7 @@ impl Detector for YoloDetector {
         let input = resized.to_tensor();
         let output = self
             .net
-            .forward(&input)
+            .forward_with(&self.runtime, &input)
             .expect("yolo_tiny accepts its own input shape");
         let raw = decode_grid(&output, self.threshold);
         self.last_cost = DetCost {
@@ -355,7 +372,8 @@ mod tests {
     fn yolo_detector_is_deterministic() {
         let img = GrayImage::from_fn(64, 64, |x, y| ((x + 2 * y) % 255) as u8);
         let mut a = YoloDetector::new(4, 0.0);
-        let mut b = YoloDetector::new(4, 0.0);
+        // The parallel runtime must not perturb the detections.
+        let mut b = YoloDetector::new(4, 0.0).with_runtime(Runtime::new(4));
         assert_eq!(a.detect(&img), b.detect(&img));
     }
 

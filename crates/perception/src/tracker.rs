@@ -1,6 +1,7 @@
 use adsim_dnn::detection::BBox;
 use adsim_dnn::models::goturn_tiny;
 use adsim_dnn::Network;
+use adsim_runtime::Runtime;
 use adsim_tensor::Tensor;
 use adsim_vision::GrayImage;
 
@@ -41,6 +42,7 @@ pub struct GoturnTracker {
     net: Network,
     bbox: BBox,
     prev_crop: GrayImage,
+    runtime: Runtime,
 }
 
 impl std::fmt::Debug for GoturnTracker {
@@ -50,10 +52,19 @@ impl std::fmt::Debug for GoturnTracker {
 }
 
 impl GoturnTracker {
-    /// Creates a tracker anchored on `bbox` in `frame`.
+    /// Creates a tracker anchored on `bbox` in `frame`. The regression
+    /// network runs serially; use [`GoturnTracker::with_runtime`] to
+    /// parallelize it.
     pub fn new(frame: &GrayImage, bbox: BBox) -> Self {
         let prev_crop = crop_box(frame, &bbox, 1.0);
-        Self { net: goturn_tiny(), bbox, prev_crop }
+        Self { net: goturn_tiny(), bbox, prev_crop, runtime: Runtime::serial() }
+    }
+
+    /// Runs the tracker's network kernels on the given worker pool.
+    /// Predicted boxes are identical on any thread count.
+    pub fn with_runtime(mut self, rt: Runtime) -> Self {
+        self.runtime = rt;
+        self
     }
 
     /// FLOPs of one update (the DNN forward pass).
@@ -68,7 +79,10 @@ impl Tracker for GoturnTracker {
         let search = search_region(&self.bbox);
         let cur_crop = crop_box(frame, &search, 1.0);
         let input = stack_crops(&self.prev_crop, &cur_crop);
-        let out = self.net.forward(&input).expect("goturn_tiny accepts its input");
+        let out = self
+            .net
+            .forward_with(&self.runtime, &input)
+            .expect("goturn_tiny accepts its input");
         let o = out.as_slice();
         // Outputs are sigmoid-normalized within the search region.
         let new_bbox = BBox::new(
@@ -273,7 +287,8 @@ mod tests {
         let f0 = frame_with_target(0.5, 0.5);
         let bbox = target_box(0.5, 0.5);
         let mut a = GoturnTracker::new(&f0, bbox);
-        let mut b = GoturnTracker::new(&f0, bbox);
+        // The parallel runtime must not perturb the regression.
+        let mut b = GoturnTracker::new(&f0, bbox).with_runtime(Runtime::new(4));
         let f1 = frame_with_target(0.52, 0.5);
         let ba = a.update(&f1);
         let bb = b.update(&f1);

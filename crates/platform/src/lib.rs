@@ -25,11 +25,10 @@
 //!
 //! ```
 //! use adsim_platform::{Component, LatencyModel, Platform};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use adsim_stats::Rng64;
 //!
 //! let model = LatencyModel::paper_calibrated();
-//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut rng = Rng64::new(1);
 //! let ms = model.sample_ms(Component::Detection, Platform::Gpu, &mut rng, 1.0);
 //! assert!(ms > 5.0 && ms < 30.0);
 //! ```

@@ -1,5 +1,5 @@
 use crate::variability::TailShape;
-use rand::Rng;
+use adsim_stats::Rng64;
 use std::collections::HashMap;
 
 /// The pipeline components of Fig. 1. The first three are the
@@ -216,7 +216,7 @@ impl LatencyModel {
         &self,
         c: Component,
         p: Platform,
-        rng: &mut impl Rng,
+        rng: &mut Rng64,
         workload_scale: f64,
     ) -> f64 {
         let m = &self.table[&(c, p)];
@@ -262,8 +262,6 @@ pub fn resolution_scale(c: Component, pixel_ratio: f64) -> f64 {
 mod tests {
     use super::*;
     use adsim_stats::LatencyRecorder;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn calibration_matches_fig10_anchors() {
@@ -277,7 +275,7 @@ mod tests {
     #[test]
     fn sampled_distributions_match_anchors() {
         let m = LatencyModel::paper_calibrated();
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Rng64::new(99);
         for (c, p) in [
             (Component::Detection, Platform::Cpu),
             (Component::Localization, Platform::Cpu),

@@ -1,4 +1,4 @@
-use rand::Rng;
+use adsim_stats::Rng64;
 
 /// The shape of a latency distribution around its mean.
 ///
@@ -70,16 +70,13 @@ impl TailShape {
     }
 
     /// Draws one latency sample with the given mean.
-    pub fn sample(&self, rng: &mut impl Rng, mean_ms: f64) -> f64 {
-        // Box-Muller standard normal.
-        let u1: f64 = rng.gen_range(1e-12..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    pub fn sample(&self, rng: &mut Rng64, mean_ms: f64) -> f64 {
+        let z = rng.normal();
         // Log-normal with mean 1.
         let mut mult = (self.sigma * z - self.sigma * self.sigma / 2.0).exp();
-        if self.spike_prob > 0.0 && rng.gen_bool(self.spike_prob) {
+        if self.spike_prob > 0.0 && rng.chance(self.spike_prob) {
             // Spikes spread a little so the tail is not a point mass.
-            mult *= self.spike_mult * rng.gen_range(0.9..1.05);
+            mult *= self.spike_mult * rng.range_f64(0.9, 1.05);
         }
         mean_ms * mult / self.mean_multiplier()
     }
@@ -88,11 +85,9 @@ impl TailShape {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn stats(shape: TailShape, mean: f64, n: usize) -> (f64, f64) {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng64::new(42);
         let mut v: Vec<f64> = (0..n).map(|_| shape.sample(&mut rng, mean)).collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let m = v.iter().sum::<f64>() / n as f64;
@@ -131,7 +126,7 @@ mod tests {
     #[test]
     fn samples_are_positive() {
         let shape = TailShape::spiky(5.0, 0.01);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::new(7);
         for _ in 0..10_000 {
             assert!(shape.sample(&mut rng, 1.0) > 0.0);
         }

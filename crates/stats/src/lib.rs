@@ -22,11 +22,13 @@
 
 mod histogram;
 mod recorder;
+pub mod rng;
 mod streaming;
 mod summary;
 
 pub use histogram::{Histogram, HistogramBin};
 pub use recorder::LatencyRecorder;
+pub use rng::Rng64;
 pub use streaming::P2Quantile;
 pub use summary::LatencySummary;
 

@@ -1,0 +1,191 @@
+//! A small deterministic PRNG, replacing the external `rand` crate.
+//!
+//! The workspace's builds must succeed with zero registry access (see
+//! DESIGN.md, "Offline build policy"), so everything that needs
+//! pseudo-randomness — weight initialization, latency sampling, world
+//! generation — draws from this SplitMix64 generator instead. SplitMix64
+//! (Steele, Lea & Flood, OOPSLA '14) passes BigCrush, needs eight bytes
+//! of state, and is trivially seedable: exactly what deterministic,
+//! reproducible experiments want. Equal seeds yield equal streams on
+//! every platform.
+
+/// A seeded SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_stats::Rng64;
+///
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.range_f64(3.0, 5.0);
+/// assert!((3.0..5.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed; equal seeds yield equal
+    /// streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next raw 64-bit value (SplitMix64 output function).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits of entropy).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f32` in `[0, 1)` (24 mantissa bits of entropy).
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        // Lemire-style scaling of the high bits; the span is tiny
+        // relative to 2^64, so modulo bias is negligible and the
+        // widening multiply keeps the high-quality high bits.
+        let span = (hi - lo) as u128;
+        lo + ((self.next_u64() as u128 * span) >> 64) as usize
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        self.next_f64() < p
+    }
+
+    /// A standard-normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_yield_equal_streams() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(8);
+        assert_ne!(Rng64::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference vector from the canonical SplitMix64 C code with
+        // seed 1234567.
+        let mut r = Rng64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range_and_cover() {
+        let mut r = Rng64::new(3);
+        let (mut lo, mut hi) = (1.0f64, 0.0f64);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng64::new(5);
+        for _ in 0..10_000 {
+            assert!((-2.0..7.0).contains(&r.range_f64(-2.0, 7.0)));
+            assert!((-0.5..0.5).contains(&r.range_f32(-0.5, 0.5)));
+            let u = r.range_usize(3, 9);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_usize_hits_every_value() {
+        let mut r = Rng64::new(11);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[r.range_usize(0, 6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = Rng64::new(13);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+        let mut r2 = Rng64::new(13);
+        assert!((0..100).all(|_| !r2.chance(0.0)));
+    }
+
+    #[test]
+    fn normal_has_unit_moments() {
+        let mut r = Rng64::new(17);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        Rng64::new(0).range_f64(1.0, 1.0);
+    }
+}

@@ -157,8 +157,7 @@ impl P2Quantile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use crate::Rng64;
 
     fn exact_quantile(samples: &mut [f64], p: f64) -> f64 {
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -167,11 +166,11 @@ mod tests {
 
     #[test]
     fn tracks_the_median_of_a_uniform_stream() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng64::new(11);
         let mut est = P2Quantile::new(0.5);
         let mut all = Vec::new();
         for _ in 0..20_000 {
-            let x: f64 = rng.gen_range(0.0..100.0);
+            let x = rng.range_f64(0.0, 100.0);
             est.observe(x);
             all.push(x);
         }
@@ -182,13 +181,13 @@ mod tests {
 
     #[test]
     fn tracks_the_p99_of_a_skewed_stream() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Rng64::new(12);
         let mut est = P2Quantile::new(0.99);
         let mut all = Vec::new();
         for _ in 0..50_000 {
             // Log-normal-ish latency: exp of a normal via Box-Muller.
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
+            let u1 = rng.next_f64().max(1e-12);
+            let u2 = rng.next_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             let x = (0.4 * z).exp() * 10.0;
             est.observe(x);
@@ -223,11 +222,11 @@ mod tests {
 
     #[test]
     fn estimate_is_always_within_observed_range() {
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = Rng64::new(13);
         let mut est = P2Quantile::new(0.95);
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for _ in 0..5_000 {
-            let x: f64 = rng.gen_range(-50.0..50.0);
+            let x = rng.range_f64(-50.0, 50.0);
             lo = lo.min(x);
             hi = hi.max(x);
             est.observe(x);

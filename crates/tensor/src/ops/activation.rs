@@ -1,3 +1,5 @@
+use adsim_runtime::Runtime;
+
 use crate::Tensor;
 
 /// Rectified linear unit: `max(0, x)` element-wise.
@@ -14,10 +16,20 @@ pub fn relu(t: &Tensor) -> Tensor {
     t.map(|x| x.max(0.0))
 }
 
+/// [`relu`] on a worker pool.
+pub fn relu_with(rt: &Runtime, t: &Tensor) -> Tensor {
+    t.map_with(rt, |x| x.max(0.0))
+}
+
 /// Leaky ReLU with negative slope `alpha`, the activation YOLO uses
 /// throughout its convolutional trunk.
 pub fn leaky_relu(t: &Tensor, alpha: f32) -> Tensor {
     t.map(move |x| if x >= 0.0 { x } else { alpha * x })
+}
+
+/// [`leaky_relu`] on a worker pool.
+pub fn leaky_relu_with(rt: &Runtime, t: &Tensor, alpha: f32) -> Tensor {
+    t.map_with(rt, move |x| if x >= 0.0 { x } else { alpha * x })
 }
 
 /// Logistic sigmoid, used by the detection head to squash objectness
@@ -26,9 +38,19 @@ pub fn sigmoid(t: &Tensor) -> Tensor {
     t.map(|x| 1.0 / (1.0 + (-x).exp()))
 }
 
+/// [`sigmoid`] on a worker pool.
+pub fn sigmoid_with(rt: &Runtime, t: &Tensor) -> Tensor {
+    t.map_with(rt, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
 /// Hyperbolic tangent.
 pub fn tanh(t: &Tensor) -> Tensor {
     t.map(f32::tanh)
+}
+
+/// [`tanh`] on a worker pool.
+pub fn tanh_with(rt: &Runtime, t: &Tensor) -> Tensor {
+    t.map_with(rt, f32::tanh)
 }
 
 /// Softmax along the final axis, used to turn class scores into a
@@ -36,13 +58,19 @@ pub fn tanh(t: &Tensor) -> Tensor {
 ///
 /// Numerically stabilized by subtracting the row maximum.
 pub fn softmax(t: &Tensor) -> Tensor {
+    softmax_with(&Runtime::serial(), t)
+}
+
+/// [`softmax`] on a worker pool: rows normalize independently.
+pub fn softmax_with(rt: &Runtime, t: &Tensor) -> Tensor {
     let rank = t.shape().rank();
     let last = t.shape().dim(rank - 1);
-    let rows = t.len() / last;
     let mut out = t.clone();
-    let data = out.as_mut_slice();
-    for r in 0..rows {
-        let row = &mut data[r * last..(r + 1) * last];
+    if last == 0 {
+        return out;
+    }
+    let rt = rt.for_work(3 * t.len());
+    rt.par_chunks_mut(out.as_mut_slice(), last, |_, row| {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for v in row.iter_mut() {
@@ -52,7 +80,7 @@ pub fn softmax(t: &Tensor) -> Tensor {
         for v in row.iter_mut() {
             *v /= sum;
         }
-    }
+    });
     out
 }
 
@@ -106,6 +134,20 @@ mod tests {
                 .0,
             2
         );
+    }
+
+    #[test]
+    fn parallel_activations_match_serial() {
+        let t = Tensor::from_vec(
+            [3, 7],
+            (0..21).map(|i| (i as f32 - 10.0) * 0.3).collect(),
+        )
+        .unwrap();
+        let rt = Runtime::new(4);
+        assert_eq!(relu_with(&rt, &t), relu(&t));
+        assert_eq!(leaky_relu_with(&rt, &t, 0.1), leaky_relu(&t, 0.1));
+        assert_eq!(sigmoid_with(&rt, &t), sigmoid(&t));
+        assert_eq!(tanh_with(&rt, &t), tanh(&t));
     }
 
     #[test]

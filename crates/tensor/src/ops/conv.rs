@@ -1,4 +1,8 @@
-use super::{matmul, out_extent};
+use super::linear::matmul_into;
+use super::out_extent;
+use adsim_runtime::Runtime;
+use std::sync::Mutex;
+
 use crate::{Result, Tensor, TensorError};
 
 /// 2-D convolution (really cross-correlation, as in every DNN framework)
@@ -34,22 +38,78 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor> {
+    conv2d_with(&Runtime::serial(), input, weight, bias, stride, pad)
+}
+
+/// [`conv2d`] on a worker pool. Multi-image batches partition across
+/// images, each worker reusing one im2col scratch buffer for every
+/// image it unrolls (no per-image allocation); the inference-common
+/// `n = 1` case runs a serial im2col and parallelizes the
+/// `[c_out, k] × [k, h_out·w_out]` matmul across output-channel row
+/// blocks instead. Results are identical on every thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`].
+pub fn conv2d_with(
+    rt: &Runtime,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
     let (n, c_in, h, w) = input.shape().as_nchw()?;
     let (c_out, wc_in, kh, kw) = weight.shape().as_nchw()?;
     validate_conv_args(c_in, wc_in, bias, c_out, stride)?;
     let (h_out, w_out) = conv_output_hw(h, w, kh, kw, stride, pad)?;
 
-    // weight viewed as [c_out, c_in*kh*kw]
-    let wmat = weight.reshape([c_out, c_in * kh * kw])?;
+    // OIHW weight data is already laid out as [c_out, c_in*kh*kw].
+    let k = c_in * kh * kw;
+    let cols_n = h_out * w_out;
+    let plane = c_out * cols_n;
     let mut out = Tensor::zeros([n, c_out, h_out, w_out]);
-    for b in 0..n {
-        let cols = im2col_batch(input, b, kh, kw, stride, pad, h_out, w_out);
-        // [c_out, k] x [k, h_out*w_out]
-        let prod = matmul(&wmat, &cols)?;
-        let src = prod.as_slice();
+    let rt = rt.for_work(2 * n * c_out * k * cols_n);
+    if n > 1 && rt.threads() > 1 && plane > 0 {
+        // Batch-parallel: one task per image. Scratch buffers are
+        // recycled through a pool, so at most `threads` im2col buffers
+        // are ever allocated regardless of batch size.
+        let scratch = Mutex::new(Vec::<Vec<f32>>::new());
+        rt.par_chunks_mut(out.as_mut_slice(), plane, |b, out_plane| {
+            let mut cols = scratch
+                .lock()
+                .expect("scratch pool")
+                .pop()
+                .unwrap_or_else(|| vec![0.0; k * cols_n]);
+            cols.fill(0.0);
+            im2col_into(input, b, kh, kw, stride, pad, h_out, w_out, &mut cols);
+            matmul_into(
+                Runtime::serial(),
+                weight.as_slice(),
+                &cols,
+                out_plane,
+                c_out,
+                k,
+                cols_n,
+            );
+            scratch.lock().expect("scratch pool").push(cols);
+        });
+    } else {
+        let mut cols = vec![0.0; k * cols_n];
         let dst = out.as_mut_slice();
-        let plane = c_out * h_out * w_out;
-        dst[b * plane..(b + 1) * plane].copy_from_slice(src);
+        for b in 0..n {
+            cols.fill(0.0);
+            im2col_into(input, b, kh, kw, stride, pad, h_out, w_out, &mut cols);
+            matmul_into(
+                rt,
+                weight.as_slice(),
+                &cols,
+                &mut dst[b * plane..(b + 1) * plane],
+                c_out,
+                k,
+                cols_n,
+            );
+        }
     }
     if let Some(bias) = bias {
         add_channel_bias(&mut out, bias);
@@ -119,13 +179,18 @@ pub fn im2col(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor> {
-    let (_, _, h, w) = input.shape().as_nchw()?;
+    let (_, c_in, h, w) = input.shape().as_nchw()?;
     let (h_out, w_out) = conv_output_hw(h, w, kh, kw, stride, pad)?;
-    Ok(im2col_batch(input, 0, kh, kw, stride, pad, h_out, w_out))
+    let mut cols = Tensor::zeros([c_in * kh * kw, h_out * w_out]);
+    im2col_into(input, 0, kh, kw, stride, pad, h_out, w_out, cols.as_mut_slice());
+    Ok(cols)
 }
 
+/// Unrolls image `batch` of `input` into `out` (a zeroed
+/// `[c_in*kh*kw, h_out*w_out]` buffer) — the allocation-free core of
+/// [`im2col`] that lets conv2d workers recycle scratch buffers.
 #[allow(clippy::too_many_arguments)]
-fn im2col_batch(
+fn im2col_into(
     input: &Tensor,
     batch: usize,
     kh: usize,
@@ -134,18 +199,17 @@ fn im2col_batch(
     pad: usize,
     h_out: usize,
     w_out: usize,
-) -> Tensor {
+    out: &mut [f32],
+) {
     let (_, c_in, h, w) = input
         .shape()
         .as_nchw()
         .expect("caller validated rank");
-    let rows = c_in * kh * kw;
     let cols_n = h_out * w_out;
-    let mut cols = Tensor::zeros([rows, cols_n]);
+    debug_assert_eq!(out.len(), c_in * kh * kw * cols_n);
     let data = input.as_slice();
     let in_plane = h * w;
     let in_base = batch * c_in * in_plane;
-    let out = cols.as_mut_slice();
     for ic in 0..c_in {
         for ky in 0..kh {
             for kx in 0..kw {
@@ -169,7 +233,6 @@ fn im2col_batch(
             }
         }
     }
-    cols
 }
 
 fn validate_conv_args(

@@ -1,10 +1,20 @@
+use adsim_runtime::Runtime;
+
 use crate::{Result, Tensor, TensorError};
+
+/// A-rows per register block of the matmul microkernel: four output
+/// rows share every loaded element of a B row.
+const MR: usize = 4;
+/// k-panel extent: one panel of B rows (`KC × n` values) is streamed
+/// per output block while it is still cache-resident.
+const KC: usize = 256;
 
 /// Matrix multiply of a `[m, k]` tensor by a `[k, n]` tensor.
 ///
 /// This is the compute core of both the fully-connected layers and the
 /// im2col convolution lowering — the operation the paper notes consumes
 /// most machine-learning execution time and parallelizes onto GPUs (§6).
+/// Runs serially; [`matmul_with`] is the multicore entry point.
 ///
 /// # Errors
 ///
@@ -22,6 +32,19 @@ use crate::{Result, Tensor, TensorError};
 /// # Ok::<(), adsim_tensor::TensorError>(())
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_with(&Runtime::serial(), a, b)
+}
+
+/// [`matmul`] on a worker pool: output row blocks are partitioned
+/// across the runtime's workers, and each block runs a register-blocked
+/// `MR = 4` microkernel over `KC`-row panels of B. Per output element
+/// the k-accumulation order is identical on every thread count, so
+/// results do not depend on the runtime.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_with(rt: &Runtime, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if a.shape().rank() != 2 {
         return Err(TensorError::RankMismatch {
             op: "matmul",
@@ -46,24 +69,76 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros([m, n]);
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let ov = out.as_mut_slice();
-    // ikj loop order: streams through B and the output row contiguously.
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut ov[i * n..(i + 1) * n];
-        for (kk, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[kk * n..(kk + 1) * n];
-            for (o, &bv_) in orow.iter_mut().zip(brow) {
-                *o += aik * bv_;
+    matmul_into(
+        rt.for_work(2 * m * n * k),
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        m,
+        k,
+        n,
+    );
+    Ok(out)
+}
+
+/// The raw-slice matmul core shared with the conv2d lowering:
+/// `ov[m × n] += av[m × k] · bv[k × n]` (callers pass zeroed output).
+/// Row blocks of `MR` rows go to the pool's workers.
+pub(crate) fn matmul_into(
+    rt: Runtime,
+    av: &[f32],
+    bv: &[f32],
+    ov: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(av.len(), m * k);
+    debug_assert_eq!(bv.len(), k * n);
+    debug_assert_eq!(ov.len(), m * n);
+    if n == 0 {
+        return;
+    }
+    rt.par_chunks_mut(ov, MR * n, |blk, orows| {
+        let i0 = blk * MR;
+        let rows = orows.len() / n;
+        // Panel over k so the streamed slab of B stays cache-resident
+        // while all `rows` output rows accumulate it.
+        for k0 in (0..k).step_by(KC) {
+            let k1 = (k0 + KC).min(k);
+            if rows == MR {
+                let (o0, rest) = orows.split_at_mut(n);
+                let (o1, rest) = rest.split_at_mut(n);
+                let (o2, o3) = rest.split_at_mut(n);
+                for kk in k0..k1 {
+                    let a0 = av[i0 * k + kk];
+                    let a1 = av[(i0 + 1) * k + kk];
+                    let a2 = av[(i0 + 2) * k + kk];
+                    let a3 = av[(i0 + 3) * k + kk];
+                    let brow = &bv[kk * n..(kk + 1) * n];
+                    for (j, &bj) in brow.iter().enumerate() {
+                        o0[j] += a0 * bj;
+                        o1[j] += a1 * bj;
+                        o2[j] += a2 * bj;
+                        o3[j] += a3 * bj;
+                    }
+                }
+            } else {
+                for (r, orow) in orows.chunks_mut(n).enumerate() {
+                    for kk in k0..k1 {
+                        let aik = av[(i0 + r) * k + kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &bv[kk * n..(kk + 1) * n];
+                        for (o, &bj) in orow.iter_mut().zip(brow) {
+                            *o += aik * bj;
+                        }
+                    }
+                }
             }
         }
-    }
-    Ok(out)
+    });
 }
 
 /// Fully-connected layer: `input [batch, features] × weightᵀ + bias`.
@@ -71,6 +146,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// * `input`: `[batch, in_features]`
 /// * `weight`: `[out_features, in_features]` (row per output neuron)
 /// * `bias`: optional `[out_features]`
+///
+/// Runs serially; [`linear_with`] is the multicore entry point.
 ///
 /// # Errors
 ///
@@ -88,6 +165,23 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// # Ok::<(), adsim_tensor::TensorError>(())
 /// ```
 pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    linear_with(&Runtime::serial(), input, weight, bias)
+}
+
+/// [`linear`] on a worker pool. Large batches partition across batch
+/// rows; the inference-common `batch = 1` case partitions across
+/// contiguous spans of output features, so the GOTURN-style regression
+/// head still uses every core.
+///
+/// # Errors
+///
+/// Same conditions as [`linear`].
+pub fn linear_with(
+    rt: &Runtime,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+) -> Result<Tensor> {
     if input.shape().rank() != 2 {
         return Err(TensorError::RankMismatch {
             op: "linear",
@@ -123,26 +217,31 @@ pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<
         }
     }
     let mut out = Tensor::zeros([batch, out_f]);
+    let rt = rt.for_work(2 * batch * out_f * in_f);
     let xv = input.as_slice();
     let wv = weight.as_slice();
+    let bv = bias.map(Tensor::as_slice);
     let ov = out.as_mut_slice();
-    for bi in 0..batch {
+    let dot_row = |bi: usize, of0: usize, orow: &mut [f32]| {
         let xrow = &xv[bi * in_f..(bi + 1) * in_f];
-        for of in 0..out_f {
+        for (o, of) in orow.iter_mut().zip(of0..) {
             let wrow = &wv[of * in_f..(of + 1) * in_f];
             let mut acc = 0.0f32;
             for (x, w) in xrow.iter().zip(wrow) {
                 acc += x * w;
             }
-            ov[bi * out_f + of] = acc;
+            *o = acc + bv.map_or(0.0, |b| b[of]);
         }
-    }
-    if let Some(b) = bias {
-        let bv = b.as_slice();
+    };
+    if batch >= rt.threads() || batch == 0 || out_f == 0 {
+        // One task per batch row.
+        rt.par_chunks_mut(ov, out_f.max(1), |bi, orow| dot_row(bi, 0, orow));
+    } else {
+        // Few batch rows: split each row's output features instead.
+        let span = out_f.div_ceil(4 * rt.threads()).max(1);
         for bi in 0..batch {
-            for of in 0..out_f {
-                ov[bi * out_f + of] += bv[of];
-            }
+            let orow = &mut ov[bi * out_f..(bi + 1) * out_f];
+            rt.par_chunks_mut(orow, span, |ci, ochunk| dot_row(bi, ci * span, ochunk));
         }
     }
     Ok(out)
@@ -203,5 +302,43 @@ mod tests {
         let w = Tensor::zeros([2, 4]);
         let b = Tensor::zeros([3]);
         assert!(linear(&x, &w, Some(&b)).is_err());
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Non-multiple-of-MR row count exercises the remainder kernel.
+        let a = Tensor::from_vec(
+            [7, 9],
+            (0..63).map(|i| (i as f32 * 0.37).sin()).collect(),
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            [9, 5],
+            (0..45).map(|i| (i as f32 * 0.61).cos()).collect(),
+        )
+        .unwrap();
+        let serial = matmul(&a, &b).unwrap();
+        for threads in [2, 3, 8] {
+            let par = matmul_with(&Runtime::new(threads), &a, &b).unwrap();
+            for (x, y) in par.iter().zip(serial.iter()) {
+                assert!((x - y).abs() < 1e-5, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_linear_matches_serial_for_single_batch() {
+        let x = Tensor::from_vec([1, 33], (0..33).map(|i| i as f32 * 0.1).collect()).unwrap();
+        let w = Tensor::from_vec(
+            [17, 33],
+            (0..17 * 33).map(|i| ((i % 13) as f32 - 6.0) * 0.05).collect(),
+        )
+        .unwrap();
+        let b = Tensor::from_vec([17], (0..17).map(|i| i as f32).collect()).unwrap();
+        let serial = linear(&x, &w, Some(&b)).unwrap();
+        let par = linear_with(&Runtime::new(4), &x, &w, Some(&b)).unwrap();
+        for (p, s) in par.iter().zip(serial.iter()) {
+            assert!((p - s).abs() < 1e-5);
+        }
     }
 }

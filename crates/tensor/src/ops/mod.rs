@@ -11,11 +11,14 @@ mod linear;
 mod norm;
 mod pool;
 
-pub use activation::{leaky_relu, relu, sigmoid, softmax, tanh};
-pub use conv::{conv2d, conv2d_direct, im2col};
-pub use linear::{linear, matmul};
+pub use activation::{
+    leaky_relu, leaky_relu_with, relu, relu_with, sigmoid, sigmoid_with, softmax, softmax_with,
+    tanh, tanh_with,
+};
+pub use conv::{conv2d, conv2d_direct, conv2d_with, im2col};
+pub use linear::{linear, linear_with, matmul, matmul_with};
 pub use norm::batch_norm;
-pub use pool::{avg_pool2d, max_pool2d};
+pub use pool::{avg_pool2d, avg_pool2d_with, max_pool2d, max_pool2d_with};
 
 /// Output spatial size of a convolution/pooling window sweep.
 ///

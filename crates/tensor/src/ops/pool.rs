@@ -1,4 +1,6 @@
 use super::out_extent;
+use adsim_runtime::Runtime;
+
 use crate::{Result, Tensor, TensorError};
 
 /// 2-D max pooling over an NCHW tensor.
@@ -21,7 +23,21 @@ use crate::{Result, Tensor, TensorError};
 /// assert_eq!(out.as_slice(), &[4.0]);
 /// ```
 pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
-    pool2d(input, window, stride, PoolKind::Max)
+    pool2d(&Runtime::serial(), input, window, stride, PoolKind::Max)
+}
+
+/// [`max_pool2d`] on a worker pool: each `n × c` plane is one task.
+///
+/// # Errors
+///
+/// Same conditions as [`max_pool2d`].
+pub fn max_pool2d_with(
+    rt: &Runtime,
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+) -> Result<Tensor> {
+    pool2d(rt, input, window, stride, PoolKind::Max)
 }
 
 /// 2-D average pooling over an NCHW tensor.
@@ -30,7 +46,21 @@ pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor
 ///
 /// Same conditions as [`max_pool2d`].
 pub fn avg_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
-    pool2d(input, window, stride, PoolKind::Avg)
+    pool2d(&Runtime::serial(), input, window, stride, PoolKind::Avg)
+}
+
+/// [`avg_pool2d`] on a worker pool.
+///
+/// # Errors
+///
+/// Same conditions as [`avg_pool2d`].
+pub fn avg_pool2d_with(
+    rt: &Runtime,
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+) -> Result<Tensor> {
+    pool2d(rt, input, window, stride, PoolKind::Avg)
 }
 
 #[derive(Clone, Copy)]
@@ -39,7 +69,13 @@ enum PoolKind {
     Avg,
 }
 
-fn pool2d(input: &Tensor, window: usize, stride: usize, kind: PoolKind) -> Result<Tensor> {
+fn pool2d(
+    rt: &Runtime,
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    kind: PoolKind,
+) -> Result<Tensor> {
     let (n, c, h, w) = input.shape().as_nchw()?;
     let (h_out, w_out) = match (
         out_extent(h, window, stride, 0),
@@ -55,34 +91,35 @@ fn pool2d(input: &Tensor, window: usize, stride: usize, kind: PoolKind) -> Resul
     };
     let mut out = Tensor::zeros([n, c, h_out, w_out]);
     let src = input.as_slice();
-    let dst = out.as_mut_slice();
     let in_plane = h * w;
     let out_plane = h_out * w_out;
-    for img in 0..n * c {
-        let sbase = img * in_plane;
-        let dbase = img * out_plane;
-        for oy in 0..h_out {
-            for ox in 0..w_out {
-                let mut acc = match kind {
-                    PoolKind::Max => f32::NEG_INFINITY,
-                    PoolKind::Avg => 0.0,
-                };
-                for ky in 0..window {
-                    let row = sbase + (oy * stride + ky) * w + ox * stride;
-                    for kx in 0..window {
-                        let v = src[row + kx];
-                        match kind {
-                            PoolKind::Max => acc = acc.max(v),
-                            PoolKind::Avg => acc += v,
+    let rt = rt.for_work(n * c * out_plane * window * window);
+    if out_plane > 0 {
+        rt.par_chunks_mut(out.as_mut_slice(), out_plane, |img, dplane| {
+            let sbase = img * in_plane;
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = match kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    for ky in 0..window {
+                        let row = sbase + (oy * stride + ky) * w + ox * stride;
+                        for kx in 0..window {
+                            let v = src[row + kx];
+                            match kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
                         }
                     }
+                    if let PoolKind::Avg = kind {
+                        acc /= (window * window) as f32;
+                    }
+                    dplane[oy * w_out + ox] = acc;
                 }
-                if let PoolKind::Avg = kind {
-                    acc /= (window * window) as f32;
-                }
-                dst[dbase + oy * w_out + ox] = acc;
             }
-        }
+        });
     }
     Ok(out)
 }
@@ -127,6 +164,18 @@ mod tests {
         let t = Tensor::filled([2, 3, 4, 4], 1.0);
         let out = max_pool2d(&t, 2, 2).unwrap();
         assert_eq!(out.shape().dims(), &[2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn parallel_pooling_matches_serial() {
+        let t = Tensor::from_vec(
+            [2, 3, 6, 6],
+            (0..2 * 3 * 36).map(|i| ((i * 7) % 23) as f32 - 11.0).collect(),
+        )
+        .unwrap();
+        let rt = Runtime::new(4);
+        assert_eq!(max_pool2d_with(&rt, &t, 2, 2).unwrap(), max_pool2d(&t, 2, 2).unwrap());
+        assert_eq!(avg_pool2d_with(&rt, &t, 3, 1).unwrap(), avg_pool2d(&t, 3, 1).unwrap());
     }
 
     #[test]

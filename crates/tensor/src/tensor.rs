@@ -153,6 +153,21 @@ impl Tensor {
         }
     }
 
+    /// [`Tensor::map`] on a worker pool: contiguous spans of elements
+    /// go to separate workers. `f` must be pure — spans run in
+    /// unspecified order.
+    pub fn map_with(&self, rt: &adsim_runtime::Runtime, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = self.clone();
+        let rt = rt.for_work(out.data.len());
+        let span = out.data.len().div_ceil(4 * rt.threads()).max(1);
+        rt.par_chunks_mut(&mut out.data, span, |_, chunk| {
+            for x in chunk {
+                *x = f(*x);
+            }
+        });
+        out
+    }
+
     /// Element-wise addition.
     ///
     /// # Errors

@@ -1,3 +1,7 @@
+// Property-based fuzz suite: compiled only with `--features fuzz`,
+// which additionally requires restoring the `proptest` dev-dependency
+// (removed so offline builds never touch the registry; see DESIGN.md).
+#![cfg(feature = "fuzz")]
 //! Property-based tests of kernel algebraic identities.
 
 use adsim_tensor::{ops, Tensor};

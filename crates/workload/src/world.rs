@@ -1,7 +1,6 @@
 use adsim_dnn::detection::{BBox, ObjectClass};
+use adsim_stats::Rng64;
 use adsim_vision::{GrayImage, OrthoCamera, Point2, Pose2};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A static localization landmark: a uniquely textured ground patch
 /// (lane markings, manhole covers, curb paint — anything with stable
@@ -158,14 +157,14 @@ pub struct World {
 impl World {
     /// Generates a world deterministically from a seed.
     pub fn generate(seed: u64, params: &WorldParams) -> World {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut beacons = Vec::new();
         let n = (2.0 * params.extent_m / params.beacon_spacing_m) as i64;
         let mut bseed = 0u64;
         for gx in -n / 2..=n / 2 {
             for gy in -n / 2..=n / 2 {
-                let jx = rng.gen_range(-2.0..2.0);
-                let jy = rng.gen_range(-2.0..2.0);
+                let jx = rng.range_f64(-2.0, 2.0);
+                let jy = rng.range_f64(-2.0, 2.0);
                 beacons.push(Beacon {
                     position: Point2::new(
                         gx as f64 * params.beacon_spacing_m + jx,
@@ -178,7 +177,7 @@ impl World {
         }
         let mut objects = Vec::new();
         for id in 0..params.n_objects as u64 {
-            let class = ObjectClass::ALL[rng.gen_range(0..ObjectClass::COUNT)];
+            let class = ObjectClass::ALL[rng.range_usize(0, ObjectClass::COUNT)];
             let (w, l) = match class {
                 ObjectClass::Vehicle => (2.2, 4.5),
                 ObjectClass::Bicycle => (1.0, 2.0),
@@ -188,10 +187,10 @@ impl World {
             let speed = if class == ObjectClass::TrafficSign {
                 0.0
             } else {
-                params.object_speed_mps * rng.gen_range(0.5..1.5)
+                params.object_speed_mps * rng.range_f64(0.5, 1.5)
             };
-            let along_x = rng.gen_bool(0.5);
-            let dir = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let along_x = rng.chance(0.5);
+            let dir = if rng.chance(0.5) { 1.0 } else { -1.0 };
             objects.push(MovingObject {
                 id,
                 class,
@@ -199,8 +198,11 @@ impl World {
                 // trajectories run near y = 0), so scenarios actually
                 // encounter traffic.
                 start: Point2::new(
-                    rng.gen_range(-params.extent_m * 0.4..params.extent_m * 0.4),
-                    rng.gen_range(-30.0f64.min(params.extent_m * 0.3)..30.0f64.min(params.extent_m * 0.3)),
+                    rng.range_f64(-params.extent_m * 0.4, params.extent_m * 0.4),
+                    rng.range_f64(
+                        -30.0f64.min(params.extent_m * 0.3),
+                        30.0f64.min(params.extent_m * 0.3),
+                    ),
                 ),
                 velocity: if along_x {
                     Point2::new(speed * dir, 0.0)
@@ -451,7 +453,7 @@ mod tests {
     fn render_rotation_invariant_world_content() {
         // The same world point must render the same texture value
         // regardless of vehicle heading (sampling is in world space).
-        let world = World::generate(2, &WorldParams { n_objects: 0, ..Default::default() });
+        let world = World::generate(4, &WorldParams { n_objects: 0, ..Default::default() });
         let cam = camera();
         let b = world.beacons()[world.beacons().len() / 2];
         let pose_a = Pose2::new(b.position.x - 10.0, b.position.y, 0.0);

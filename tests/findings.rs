@@ -6,8 +6,7 @@ use adsim::stats::LatencyRecorder;
 use adsim::vehicle::power::SystemPower;
 use adsim::vehicle::range::ev_range_reduction;
 use adsim::workload::Resolution;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adsim_stats::Rng64;
 
 fn sample_summary(
     model: &LatencyModel,
@@ -15,7 +14,7 @@ fn sample_summary(
     p: Platform,
     n: usize,
 ) -> adsim::stats::LatencySummary {
-    let mut rng = StdRng::seed_from_u64(0xF1D);
+    let mut rng = Rng64::new(0xF1D);
     let rec: LatencyRecorder = (0..n).map(|_| model.sample_ms(c, p, &mut rng, 1.0)).collect();
     rec.summary()
 }

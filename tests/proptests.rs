@@ -1,3 +1,7 @@
+// Property-based fuzz suite: compiled only with `--features fuzz`,
+// which additionally requires restoring the `proptest` dev-dependency
+// (removed so offline builds never touch the registry; see DESIGN.md).
+#![cfg(feature = "fuzz")]
 //! Property-based tests over the core data structures and numerical
 //! invariants, using proptest.
 
