@@ -1,0 +1,257 @@
+//! Fault-injection campaign over the supervised driving pipeline.
+//!
+//! Sweeps sensor-blackout and localization lock-loss rates over a grid
+//! and runs the graceful-degradation supervisor at each cell — once on
+//! the native pipeline (real frames, real perception) and once on the
+//! modeled pipeline (latency-model frames at scale). Reports deadline
+//! misses, degraded-frame rates, mean time-to-recover and safe-stop
+//! counts per cell, re-runs one faulted cell to prove the event log is
+//! seed-reproducible, and writes everything to `BENCH_faults.json`.
+//!
+//! ```text
+//! cargo run --release -p adsim-bench --bin bench_faults [-- --quick]
+//! ```
+//!
+//! `--quick` shrinks the grid and frame counts for smoke-testing the
+//! runner itself.
+
+use adsim_core::{
+    build_prior_map, ModeledPipeline, ModeledSupervisor, NativePipeline, NativePipelineConfig,
+    PlatformConfig, Supervisor, SupervisorConfig,
+};
+use adsim_faults::{FaultConfig, FaultInjector};
+use adsim_platform::Platform;
+use adsim_slam::PriorMap;
+use adsim_stats::Quantile;
+use adsim_vision::{OrthoCamera, Pose2};
+use adsim_workload::{Resolution, Scenario, ScenarioKind};
+
+/// Campaign seed; every injector derives from it deterministically.
+const SEED: u64 = 0xFA_0175;
+
+/// One swept cell's outcome, destined for the JSON report.
+struct Cell {
+    section: &'static str,
+    blackout_rate: f64,
+    lock_loss_rate: f64,
+    frames: u64,
+    events: usize,
+    episodes: u64,
+    mean_ttr_frames: f64,
+    degraded_rate: f64,
+    safe_stops: u64,
+    retries: u64,
+    miss_rate: f64,
+    p99_ms: f64,
+}
+
+fn fault_cfg(blackout_rate: f64, lock_loss_rate: f64) -> FaultConfig {
+    FaultConfig {
+        blackout_rate,
+        // Long enough that a sustained outage can cross the
+        // supervisor's 4-frame safe-stop threshold; short single-frame
+        // blackouts are coasted through by the tracker pool and never
+        // surface as degradation events.
+        blackout_frames: (2, 6),
+        lock_loss_rate,
+        lock_loss_frames: (2, 6),
+        ..FaultConfig::off()
+    }
+}
+
+/// Shared world assets for the native sweep: camera, prior map and the
+/// scenario itself. Rebuilding the map per cell would dominate the
+/// campaign runtime.
+struct NativeAssets {
+    scenario: Scenario,
+    camera: OrthoCamera,
+    map: PriorMap,
+}
+
+impl NativeAssets {
+    fn build(res: Resolution) -> Self {
+        let scenario = Scenario::new(ScenarioKind::UrbanDrive, 11);
+        let camera = scenario.camera(res);
+        let poses: Vec<Pose2> = (0..40)
+            .flat_map(|i| {
+                let p = scenario.pose_at(i * 10);
+                [p, Pose2::new(p.x, p.y + 25.0, p.theta), Pose2::new(p.x, p.y - 25.0, p.theta)]
+            })
+            .collect();
+        let map = build_prior_map(scenario.world(), &camera, poses, 300, 25);
+        Self { scenario, camera, map }
+    }
+
+    fn supervisor(&self, cfg: FaultConfig) -> Supervisor {
+        let mut pipe = NativePipeline::new(
+            self.camera,
+            self.map.clone(),
+            NativePipelineConfig::default(),
+        );
+        pipe.seed_pose(self.scenario.pose_at(0));
+        Supervisor::new(pipe, FaultInjector::new(SEED, cfg), SupervisorConfig::default())
+    }
+
+    /// Runs one cell and returns (cell, rendered event log).
+    fn run_cell(&self, res: Resolution, frames: usize, cfg: FaultConfig) -> (Cell, Vec<String>) {
+        let mut sup = self.supervisor(cfg.clone());
+        let mut e2e = adsim_stats::LatencyRecorder::with_capacity(frames);
+        for frame in self.scenario.stream(res).take(frames) {
+            let out = sup.process(&frame.image, frame.time_s);
+            e2e.record(out.reported.end_to_end());
+        }
+        let stats = sup.recovery_stats();
+        let log: Vec<String> = sup.events().iter().map(|e| e.to_string()).collect();
+        let cell = Cell {
+            section: "native",
+            blackout_rate: cfg.blackout_rate,
+            lock_loss_rate: cfg.lock_loss_rate,
+            frames: stats.frames,
+            events: log.len(),
+            episodes: stats.episodes,
+            mean_ttr_frames: stats.mean_time_to_recover(),
+            degraded_rate: stats.degraded_rate(),
+            safe_stops: stats.safe_stops,
+            retries: stats.retries,
+            miss_rate: stats.miss_rate(),
+            p99_ms: e2e.quantile(Quantile::P99),
+        };
+        (cell, log)
+    }
+}
+
+fn report_cell(c: &Cell) {
+    println!(
+        "  {:>7} blackout={:<5} lockloss={:<5} frames={:<5} events={:<4} episodes={:<3} \
+         ttr={:<5.2} degraded={:>5.1}% safestops={:<2} p99={:.2} ms",
+        c.section,
+        c.blackout_rate,
+        c.lock_loss_rate,
+        c.frames,
+        c.events,
+        c.episodes,
+        c.mean_ttr_frames,
+        c.degraded_rate * 100.0,
+        c.safe_stops,
+        c.p99_ms,
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let res = Resolution::Hhd;
+    let rates: &[f64] = if quick { &[0.0, 0.10] } else { &[0.0, 0.05, 0.15] };
+    let native_frames = if quick { 10 } else { 40 };
+    let modeled_frames = if quick { 200 } else { 2000 };
+
+    adsim_bench::header(
+        "Faults",
+        "blackout x lock-loss sweep under the graceful-degradation supervisor",
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // -- Native sweep: real frames through the supervised pipeline. ---
+    println!("native pipeline ({native_frames} frames/cell, seed {SEED:#x}):");
+    let assets = NativeAssets::build(res);
+    let mut repro_cell: Option<(FaultConfig, Vec<String>)> = None;
+    for &b in rates {
+        for &l in rates {
+            let cfg = fault_cfg(b, l);
+            let (cell, log) = assets.run_cell(res, native_frames, cfg.clone());
+            report_cell(&cell);
+            // Remember the first cell with both fault kinds active for
+            // the determinism re-run below.
+            if repro_cell.is_none() && b > 0.0 && l > 0.0 {
+                repro_cell = Some((cfg, log));
+            }
+            cells.push(cell);
+        }
+    }
+
+    // -- Determinism: same seed + config => identical event log. ------
+    let deterministic = match &repro_cell {
+        Some((cfg, first_log)) => {
+            let (_, second_log) = assets.run_cell(res, native_frames, cfg.clone());
+            let ok = *first_log == second_log;
+            println!(
+                "\ndeterminism re-run ({} events): {}",
+                first_log.len(),
+                adsim_bench::mark(ok)
+            );
+            assert!(ok, "same seed and fault config must reproduce the event log");
+            ok
+        }
+        None => {
+            println!("\ndeterminism re-run skipped: no faulted cell in the sweep");
+            true
+        }
+    };
+
+    // -- Modeled sweep: latency-model frames at scale. ----------------
+    println!("\nmodeled pipeline (GPU platform, {modeled_frames} frames/cell):");
+    for &b in rates {
+        for &l in rates {
+            let cfg = fault_cfg(b, l);
+            let mut sup = ModeledSupervisor::new(
+                ModeledPipeline::new(PlatformConfig::uniform(Platform::Gpu), SEED),
+                FaultInjector::new(SEED, cfg.clone()),
+                SupervisorConfig::default(),
+            );
+            let (mut stats, recovery) = sup.simulate(modeled_frames, 1.0);
+            let cell = Cell {
+                section: "modeled",
+                blackout_rate: b,
+                lock_loss_rate: l,
+                frames: recovery.frames,
+                events: sup.events().len(),
+                episodes: recovery.episodes,
+                mean_ttr_frames: recovery.mean_time_to_recover(),
+                degraded_rate: recovery.degraded_rate(),
+                safe_stops: recovery.safe_stops,
+                retries: recovery.retries,
+                miss_rate: recovery.miss_rate(),
+                p99_ms: stats.end_to_end.quantile(Quantile::P99),
+            };
+            report_cell(&cell);
+            cells.push(cell);
+        }
+    }
+
+    let json = to_json(quick, deterministic, &cells);
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    println!("\nwrote BENCH_faults.json ({} cells)", cells.len());
+}
+
+/// Hand-rolled JSON (offline policy: no serde). All values are numbers,
+/// booleans or plain ASCII identifiers, so no escaping is required.
+fn to_json(quick: bool, deterministic: bool, cells: &[Cell]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"bench_faults\",\n");
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"event_log_deterministic\": {deterministic},\n"));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"section\": \"{}\", \"blackout_rate\": {}, \"lock_loss_rate\": {}, \
+             \"frames\": {}, \"events\": {}, \"episodes\": {}, \"mean_ttr_frames\": {:.4}, \
+             \"degraded_rate\": {:.6}, \"safe_stops\": {}, \"retries\": {}, \
+             \"miss_rate\": {:.6}, \"p99_ms\": {:.4}}}{}\n",
+            c.section,
+            c.blackout_rate,
+            c.lock_loss_rate,
+            c.frames,
+            c.events,
+            c.episodes,
+            c.mean_ttr_frames,
+            c.degraded_rate,
+            c.safe_stops,
+            c.retries,
+            c.miss_rate,
+            c.p99_ms,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

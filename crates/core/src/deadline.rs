@@ -42,9 +42,10 @@ impl DeadlineStats {
     }
 
     /// The §2.4.1 performance constraint: every processed frame within
-    /// the deadline and ≥ `min_fps` sustained.
+    /// the deadline and ≥ `min_fps` sustained. A replay that processed
+    /// nothing has zero misses vacuously — it fails the constraint.
     pub fn meets_constraints(&self, min_fps: f64) -> bool {
-        self.deadline_misses == 0 && self.effective_fps >= min_fps
+        self.processed > 0 && self.deadline_misses == 0 && self.effective_fps >= min_fps
     }
 }
 
@@ -154,6 +155,16 @@ mod tests {
         let stats = replay_stream(&mut pipe, 3_000, 100.0, 100.0, 1.0);
         assert!(stats.effective_fps > 9.0, "fps {}", stats.effective_fps);
         assert!(stats.drop_rate() < 0.2, "drop rate {}", stats.drop_rate());
+    }
+
+    #[test]
+    fn zero_processed_frames_fail_the_constraint() {
+        // A stalled replay reports no misses vacuously; it must not
+        // pass as a working design.
+        let stats = DeadlineStats::default();
+        assert_eq!(stats.deadline_misses, 0);
+        assert!(!stats.meets_constraints(10.0));
+        assert!(!stats.meets_constraints(0.0));
     }
 
     #[test]

@@ -33,11 +33,19 @@ mod deadline;
 mod modeled;
 mod native;
 mod simulation;
+mod supervisor;
 pub mod survey;
 
 pub use config::PlatformConfig;
 pub use constraints::{ConstraintCheck, ConstraintReport, DesignConstraints};
 pub use deadline::{replay_stream, DeadlineStats};
 pub use modeled::{FrameLatency, ModeledPipeline, PipelineStats};
-pub use native::{build_prior_map, DetectorKind, NativeFrameResult, NativePipeline, NativePipelineConfig};
+pub use native::{
+    build_prior_map, DetectorKind, NativeFrameResult, NativePipeline, NativePipelineConfig,
+    ProcessControl,
+};
 pub use simulation::{ClosedLoopSim, SimReport, SimStep};
+pub use supervisor::{
+    ActiveModes, DegradationCause, DegradationEvent, DegradationEventKind, DegradedMode,
+    ModeledSupervisor, RecoveryStats, SupervisedFrameResult, Supervisor, SupervisorConfig,
+};

@@ -5,7 +5,7 @@ use adsim_perception::{
 };
 use adsim_planning::{Environment, FusedFrame, FusionEngine, MotionPlan, MotionPlanner};
 use adsim_runtime::Runtime;
-use adsim_slam::{Localizer, LocalizerConfig, PriorMap};
+use adsim_slam::{LocCost, LocalizeOutcome, LocalizeResult, Localizer, LocalizerConfig, PriorMap};
 use adsim_vision::{GrayImage, OrbExtractor, OrthoCamera, Pose2};
 use adsim_workload::World;
 use std::time::Instant;
@@ -66,6 +66,27 @@ impl Default for NativePipelineConfig {
     }
 }
 
+/// Per-frame overrides a supervisor uses to steer a degraded frame
+/// through the pipeline. [`ProcessControl::default()`] is the
+/// transparent hook: [`NativePipeline::process`] routes through it and
+/// behaves bit-identically to the unhooked pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProcessControl {
+    /// Skip the detection engine this frame (tracker-only perception:
+    /// the pool advances existing tracks with no new detections).
+    pub skip_detection: bool,
+    /// Skip the localization engine this frame (models lock loss; the
+    /// SLAM module produces no pose and its motion model goes stale).
+    pub skip_localization: bool,
+    /// Pose to fuse against when localization yields nothing — the
+    /// supervisor's dead-reckoned estimate. Never overrides a
+    /// successful localization.
+    pub pose_fallback: Option<Pose2>,
+    /// Normalized offset added to every reported track box (injected
+    /// tracker divergence).
+    pub track_shift: Option<(f32, f32)>,
+}
+
 /// Output of processing one frame natively.
 #[derive(Debug)]
 pub struct NativeFrameResult {
@@ -104,7 +125,12 @@ impl std::fmt::Debug for NativePipeline {
 impl NativePipeline {
     /// Builds the pipeline over a prior map.
     pub fn new(camera: OrthoCamera, map: PriorMap, cfg: NativePipelineConfig) -> Self {
-        let orb = OrbExtractor::new(cfg.orb_features, cfg.fast_threshold).with_levels(2);
+        // The DET/LOC fork occupies two workers; ORB's per-level fan
+        // -out inside the localization arm gets what remains.
+        let orb_rt = Runtime::new(cfg.runtime.threads().saturating_sub(1).max(1));
+        let orb = OrbExtractor::new(cfg.orb_features, cfg.fast_threshold)
+            .with_levels(2)
+            .with_runtime(orb_rt);
         let detector: Box<dyn Detector + Send> = match cfg.detector {
             DetectorKind::Blob => Box::new(BlobDetector::new()),
             DetectorKind::Yolo { grid, threshold } => {
@@ -140,30 +166,78 @@ impl NativePipeline {
 
     /// Processes one camera frame through the full Fig. 1 dataflow.
     pub fn process(&mut self, image: &GrayImage, time_s: f64) -> NativeFrameResult {
+        self.process_with(image, time_s, &ProcessControl::default())
+    }
+
+    /// [`NativePipeline::process`] with supervisor overrides. The
+    /// default control is transparent; a skipped stage costs zero
+    /// measured latency and produces its empty output (no detections /
+    /// no pose).
+    pub fn process_with(
+        &mut self,
+        image: &GrayImage,
+        time_s: f64,
+        ctrl: &ProcessControl,
+    ) -> NativeFrameResult {
         // Steps 1a/1b: detection and localization in parallel (serial
-        // in order on a single-worker runtime).
+        // in order on a single-worker runtime). When a stage is
+        // skipped there is no fork to run concurrently.
         let localizer = &mut self.localizer;
         let detector = &mut self.detector;
-        let ((loc_result, loc_ms), (detections, det_ms)) = self.runtime.join(
-            move || {
-                let t = Instant::now();
-                let r = localizer.localize(image);
-                (r, t.elapsed().as_secs_f64() * 1e3)
-            },
-            move || {
-                let t = Instant::now();
-                let d = detector.detect(image);
-                (d, t.elapsed().as_secs_f64() * 1e3)
-            },
-        );
+        let ((loc_result, loc_ms), (detections, det_ms)) =
+            if ctrl.skip_detection || ctrl.skip_localization {
+                let loc = if ctrl.skip_localization {
+                    let lost = LocalizeResult {
+                        pose: None,
+                        outcome: LocalizeOutcome::Lost,
+                        cost: LocCost::default(),
+                    };
+                    (lost, 0.0)
+                } else {
+                    let t = Instant::now();
+                    let r = localizer.localize(image);
+                    (r, t.elapsed().as_secs_f64() * 1e3)
+                };
+                let det = if ctrl.skip_detection {
+                    (Vec::new(), 0.0)
+                } else {
+                    let t = Instant::now();
+                    let d = detector.detect(image);
+                    (d, t.elapsed().as_secs_f64() * 1e3)
+                };
+                (loc, det)
+            } else {
+                self.runtime.join(
+                    move || {
+                        let t = Instant::now();
+                        let r = localizer.localize(image);
+                        (r, t.elapsed().as_secs_f64() * 1e3)
+                    },
+                    move || {
+                        let t = Instant::now();
+                        let d = detector.detect(image);
+                        (d, t.elapsed().as_secs_f64() * 1e3)
+                    },
+                )
+            };
 
         // Step 1c: tracking.
         let t = Instant::now();
-        let tracks = self.pool.step(image, &detections);
+        let mut tracks = self.pool.step(image, &detections);
+        if let Some((dx, dy)) = ctrl.track_shift {
+            for tr in &mut tracks {
+                tr.bbox.cx = (tr.bbox.cx + dx).clamp(0.0, 1.0);
+                tr.bbox.cy = (tr.bbox.cy + dy).clamp(0.0, 1.0);
+            }
+        }
         let tra_ms = t.elapsed().as_secs_f64() * 1e3;
 
         // Step 2: fusion onto the world frame.
-        let pose = loc_result.pose.or(self.localizer.pose()).unwrap_or_default();
+        let pose = loc_result
+            .pose
+            .or(ctrl.pose_fallback)
+            .or(self.localizer.pose())
+            .unwrap_or_default();
         let t = Instant::now();
         let rows: Vec<_> = tracks.iter().map(|tr| (tr.track_id, tr.class, tr.bbox)).collect();
         let fused = self.fusion.fuse(&self.camera, pose, time_s, &rows);

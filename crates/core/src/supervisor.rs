@@ -1,0 +1,915 @@
+//! Graceful-degradation supervisor for the driving pipeline.
+//!
+//! The paper's constraint (§2.4.1) is a tail statement: the pipeline
+//! must hold 100 ms at the 99.99th percentile, and the 0.01% of frames
+//! that threaten it are the faulty ones. This module wraps a pipeline
+//! with a per-stage watchdog, bounded retry with backoff, and explicit
+//! degraded modes, so component failure degrades service instead of
+//! ending it:
+//!
+//! * **tracker-only perception** when detection misses its budget or
+//!   its worker stalls past the retry limit — the tracker pool keeps
+//!   predicting existing objects with no fresh detections;
+//! * **odometry dead-reckoning** when SLAM loses lock — the last
+//!   observed pose is extrapolated by the recent frame-to-frame motion
+//!   and fed to fusion in place of a localization fix;
+//! * **planner speed reduction / safe stop** when confidence collapses
+//!   (sustained lock loss or sensor blackout) — commanded speed is
+//!   capped, then the plan is replaced by an emergency stop until the
+//!   pipeline has been healthy for a configured number of frames.
+//!
+//! Every transition is recorded in a typed [`DegradationEvent`] log.
+//! Decisions gate **only** on injected (virtual) fault state and on
+//! deterministic pipeline outputs — never on measured wall-clock time
+//! — so a seeded campaign produces a bit-identical event log on any
+//! runtime thread count, while wall clock is still folded into the
+//! *reported* latency for deadline accounting.
+
+use crate::modeled::{FrameLatency, ModeledPipeline, PipelineStats};
+use crate::native::{NativeFrameResult, NativePipeline, ProcessControl};
+use adsim_faults::{blackout_frame, corrupt_pixels, FaultInjector, FaultStage, FrameFaults};
+use adsim_planning::MotionPlan;
+use adsim_stats::LatencyRecorder;
+use adsim_vision::{GrayImage, Pose2};
+
+/// Localization cost charged while dead-reckoning in the modeled
+/// pipeline (a constant-time pose extrapolation, ms).
+const DEAD_RECKON_MS: f64 = 0.05;
+
+/// A degraded operating mode. Several can be active at once (e.g. a
+/// blackout forces tracker-only *and*, once sustained, a safe stop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Detection unavailable; perception runs on tracker predictions.
+    TrackerOnly,
+    /// Localization unavailable; pose is extrapolated odometry.
+    DeadReckoning,
+    /// Commanded speed capped while another mode is active.
+    SpeedReduced,
+    /// Confidence collapsed; the plan is an emergency stop.
+    SafeStop,
+}
+
+impl std::fmt::Display for DegradedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DegradedMode::TrackerOnly => "tracker-only",
+            DegradedMode::DeadReckoning => "dead-reckoning",
+            DegradedMode::SpeedReduced => "speed-reduced",
+            DegradedMode::SafeStop => "safe-stop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a degraded mode was entered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradationCause {
+    /// The detection watchdog fired: the stage's virtual latency
+    /// exceeded the per-stage budget.
+    DetectionOverBudget {
+        /// Virtual stage latency that tripped the watchdog (ms).
+        virtual_ms: f64,
+    },
+    /// Detection's worker stalled and the retry budget ran out.
+    DetectionStalled {
+        /// Attempts the stalled worker needed (beyond the budget).
+        attempts: u32,
+    },
+    /// The localizer produced no pose.
+    LockLost {
+        /// Whether the loss was injected (vs. a natural miss).
+        injected: bool,
+    },
+    /// Entered alongside another degraded mode (speed reduction).
+    AccompanyingDegradation,
+    /// Sustained loss of perception confidence.
+    ConfidenceCollapse {
+        /// Consecutive frames without a pose.
+        lost_frames: u32,
+        /// Consecutive blacked-out frames.
+        blackout_frames: u32,
+    },
+}
+
+impl std::fmt::Display for DegradationCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationCause::DetectionOverBudget { virtual_ms } => {
+                write!(f, "detection over budget ({virtual_ms:.1} ms virtual)")
+            }
+            DegradationCause::DetectionStalled { attempts } => {
+                write!(f, "detection worker stalled ({attempts} attempts)")
+            }
+            DegradationCause::LockLost { injected: true } => write!(f, "injected lock loss"),
+            DegradationCause::LockLost { injected: false } => write!(f, "localization miss"),
+            DegradationCause::AccompanyingDegradation => write!(f, "accompanying degradation"),
+            DegradationCause::ConfidenceCollapse { lost_frames, blackout_frames } => write!(
+                f,
+                "confidence collapse ({lost_frames} lost / {blackout_frames} blacked-out frames)"
+            ),
+        }
+    }
+}
+
+/// One entry of the supervisor's transition log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationEvent {
+    /// Frame index the transition happened on.
+    pub frame: u64,
+    /// The transition.
+    pub kind: DegradationEventKind,
+}
+
+/// Supervisor state-machine transitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradationEventKind {
+    /// A degraded mode became active.
+    Entered {
+        /// The mode.
+        mode: DegradedMode,
+        /// Why.
+        cause: DegradationCause,
+    },
+    /// A degraded mode cleared.
+    Exited {
+        /// The mode.
+        mode: DegradedMode,
+        /// Frames the mode was active.
+        frames_degraded: u64,
+    },
+    /// A stalled stage was retried.
+    Retry {
+        /// The stage retried.
+        stage: FaultStage,
+        /// Attempt number (1-based).
+        attempt: u32,
+        /// Backoff charged before this attempt (ms).
+        backoff_ms: f64,
+    },
+}
+
+impl std::fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame {:>5}: ", self.frame)?;
+        match self.kind {
+            DegradationEventKind::Entered { mode, cause } => {
+                write!(f, "entered {mode} ({cause})")
+            }
+            DegradationEventKind::Exited { mode, frames_degraded } => {
+                write!(f, "exited {mode} after {frames_degraded} frame(s)")
+            }
+            DegradationEventKind::Retry { stage, attempt, backoff_ms } => {
+                write!(f, "retry {attempt} on {stage} (backoff {backoff_ms:.1} ms)")
+            }
+        }
+    }
+}
+
+/// Supervisor tuning. The defaults fit the paper's 100 ms / 10 FPS
+/// operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Per-stage watchdog budget on *virtual* (injected) latency (ms);
+    /// a stage exceeding it is abandoned for the frame.
+    pub stage_budget_ms: f64,
+    /// Retry budget for a stalled stage worker.
+    pub max_retries: u32,
+    /// Base retry backoff (ms), doubling per attempt.
+    pub retry_backoff_ms: f64,
+    /// Consecutive pose-less frames before a safe stop.
+    pub lock_loss_safe_stop: u32,
+    /// Consecutive blacked-out frames before a safe stop.
+    pub blackout_safe_stop: u32,
+    /// Consecutive healthy frames required to exit a safe stop.
+    pub recover_frames: u32,
+    /// Speed multiplier while speed-reduced.
+    pub degraded_speed_factor: f64,
+    /// End-to-end deadline for reported-latency accounting (ms).
+    pub deadline_ms: f64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            stage_budget_ms: 50.0,
+            max_retries: 2,
+            retry_backoff_ms: 2.0,
+            lock_loss_safe_stop: 6,
+            blackout_safe_stop: 4,
+            recover_frames: 3,
+            degraded_speed_factor: 0.5,
+            deadline_ms: 100.0,
+        }
+    }
+}
+
+/// Recovery metrics over a supervised run — the fault-campaign
+/// counterpart of [`crate::DeadlineStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryStats {
+    /// Frames processed.
+    pub frames: u64,
+    /// Frames with at least one degraded mode active.
+    pub frames_degraded: u64,
+    /// Completed degradation episodes (entered and fully recovered).
+    pub episodes: u64,
+    /// Total time-to-recover over completed episodes (frames).
+    pub recover_frames_total: u64,
+    /// Longest completed episode (frames).
+    pub max_recover_frames: u64,
+    /// Safe stops commanded.
+    pub safe_stops: u64,
+    /// Frames spent in safe stop.
+    pub safe_stop_frames: u64,
+    /// Stage retries performed.
+    pub retries: u64,
+    /// Frames whose reported latency missed the deadline.
+    pub deadline_misses: u64,
+    /// Whether a degradation episode was still open at the end.
+    pub degraded_at_end: bool,
+}
+
+impl RecoveryStats {
+    /// Mean time-to-recover over completed episodes (frames).
+    pub fn mean_time_to_recover(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.recover_frames_total as f64 / self.episodes as f64
+        }
+    }
+
+    /// Fraction of frames spent degraded.
+    pub fn degraded_rate(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.frames_degraded as f64 / self.frames as f64
+        }
+    }
+
+    /// Fraction of frames whose reported latency missed the deadline.
+    pub fn miss_rate(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.frames as f64
+        }
+    }
+}
+
+/// Which degraded modes are active after a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ActiveModes {
+    /// Detection unavailable.
+    pub tracker_only: bool,
+    /// Pose is dead-reckoned.
+    pub dead_reckoning: bool,
+    /// Speed capped.
+    pub speed_reduced: bool,
+    /// Emergency stop commanded.
+    pub safe_stop: bool,
+}
+
+impl ActiveModes {
+    /// True when any mode is active.
+    pub fn any(&self) -> bool {
+        self.tracker_only || self.dead_reckoning || self.speed_reduced || self.safe_stop
+    }
+}
+
+/// Stage dispositions for one frame, derived from the fault schedule
+/// before the pipeline runs.
+#[derive(Debug, Clone, Copy)]
+struct StagePlan {
+    skip_detection: bool,
+    skip_localization: bool,
+    /// Virtual latency added per stage (spikes + stall retries).
+    extra: FrameLatency,
+    /// Why detection was skipped, when it was.
+    detection_cause: Option<DegradationCause>,
+}
+
+/// What the supervisor does to the plan after the frame.
+#[derive(Debug, Clone, Copy)]
+struct Verdict {
+    safe_stop: bool,
+    speed_factor: Option<f64>,
+}
+
+/// The shared watchdog + degraded-mode state machine. Both the native
+/// [`Supervisor`] and the [`ModeledSupervisor`] mirror drive this one
+/// policy, so their transition semantics cannot drift apart.
+#[derive(Debug)]
+struct SupervisorCore {
+    cfg: SupervisorConfig,
+    tracker_only_since: Option<u64>,
+    dead_reck_since: Option<u64>,
+    speed_red_since: Option<u64>,
+    safe_stop_since: Option<u64>,
+    consecutive_lost: u32,
+    consecutive_blackout: u32,
+    healthy_streak: u32,
+    episode_start: Option<u64>,
+    events: Vec<DegradationEvent>,
+    stats: RecoveryStats,
+    // Odometry for dead-reckoning: last observed pose, last observed
+    // frame-to-frame motion, and the extrapolated estimate.
+    last_pose: Option<Pose2>,
+    delta: Option<(f64, f64, f64)>,
+    reckon: Option<Pose2>,
+}
+
+/// Emits an enter/exit event when a mode's desired state changes.
+fn toggle_mode(
+    slot: &mut Option<u64>,
+    events: &mut Vec<DegradationEvent>,
+    stats: &mut RecoveryStats,
+    mode: DegradedMode,
+    want: bool,
+    cause: DegradationCause,
+    frame: u64,
+) {
+    match (*slot, want) {
+        (None, true) => {
+            *slot = Some(frame);
+            events.push(DegradationEvent { frame, kind: DegradationEventKind::Entered { mode, cause } });
+            if mode == DegradedMode::SafeStop {
+                stats.safe_stops += 1;
+            }
+        }
+        (Some(since), false) => {
+            *slot = None;
+            events.push(DegradationEvent {
+                frame,
+                kind: DegradationEventKind::Exited { mode, frames_degraded: frame - since },
+            });
+        }
+        _ => {}
+    }
+}
+
+impl SupervisorCore {
+    fn new(cfg: SupervisorConfig) -> Self {
+        Self {
+            cfg,
+            tracker_only_since: None,
+            dead_reck_since: None,
+            speed_red_since: None,
+            safe_stop_since: None,
+            consecutive_lost: 0,
+            consecutive_blackout: 0,
+            healthy_streak: 0,
+            episode_start: None,
+            events: Vec::new(),
+            stats: RecoveryStats::default(),
+            last_pose: None,
+            delta: None,
+            reckon: None,
+        }
+    }
+
+    /// Plans stage dispositions from the frame's fault schedule:
+    /// retries stalled workers (bounded, exponential backoff), then
+    /// applies the per-stage watchdog to the virtual latencies.
+    fn plan(&mut self, faults: &FrameFaults) -> StagePlan {
+        let frame = faults.frame;
+        let mut extra = FrameLatency {
+            detection: 0.0,
+            tracking: 0.0,
+            localization: 0.0,
+            fusion: 0.0,
+            motion_planning: 0.0,
+        };
+        for &(stage, ms) in &faults.spikes {
+            match stage {
+                FaultStage::Detection => extra.detection += ms,
+                FaultStage::Tracking => extra.tracking += ms,
+                FaultStage::Localization => extra.localization += ms,
+                FaultStage::Fusion => extra.fusion += ms,
+                FaultStage::MotionPlanning => extra.motion_planning += ms,
+            }
+        }
+
+        let mut skip_detection = false;
+        let mut detection_cause = None;
+        if let Some(stall) = faults.stall {
+            let attempts_run = stall.attempts.min(self.cfg.max_retries);
+            let mut stall_cost = 0.0;
+            for attempt in 1..=attempts_run {
+                let backoff = self.cfg.retry_backoff_ms * 2f64.powi(attempt as i32 - 1);
+                stall_cost += stall.stall_ms + backoff;
+                self.events.push(DegradationEvent {
+                    frame,
+                    kind: DegradationEventKind::Retry { stage: stall.stage, attempt, backoff_ms: backoff },
+                });
+                self.stats.retries += 1;
+            }
+            match stall.stage {
+                FaultStage::Detection => extra.detection += stall_cost,
+                FaultStage::Tracking => extra.tracking += stall_cost,
+                FaultStage::Localization => extra.localization += stall_cost,
+                FaultStage::Fusion => extra.fusion += stall_cost,
+                FaultStage::MotionPlanning => extra.motion_planning += stall_cost,
+            }
+            if stall.attempts > self.cfg.max_retries && stall.stage == FaultStage::Detection {
+                skip_detection = true;
+                detection_cause =
+                    Some(DegradationCause::DetectionStalled { attempts: stall.attempts });
+            }
+        }
+        // Watchdog: a stage whose virtual latency blows the budget is
+        // abandoned at the budget mark rather than dragging the frame
+        // past the deadline.
+        if !skip_detection && extra.detection > self.cfg.stage_budget_ms {
+            detection_cause =
+                Some(DegradationCause::DetectionOverBudget { virtual_ms: extra.detection });
+            extra.detection = self.cfg.stage_budget_ms;
+            skip_detection = true;
+        }
+
+        StagePlan {
+            skip_detection,
+            skip_localization: faults.lock_loss,
+            extra,
+            detection_cause,
+        }
+    }
+
+    /// The dead-reckoned pose to offer fusion this frame, when the
+    /// supervisor is (or is about to be) covering for localization.
+    fn fallback_pose(&self, lock_lost: bool) -> Option<Pose2> {
+        if !(lock_lost || self.dead_reck_since.is_some()) {
+            return None;
+        }
+        match (self.reckon, self.delta) {
+            (Some(p), Some((dx, dy, dt))) => Some(Pose2::new(p.x + dx, p.y + dy, p.theta + dt)),
+            _ => None,
+        }
+    }
+
+    /// Folds the frame's observed pose into the odometry estimate.
+    fn observe_pose(&mut self, pose: Option<Pose2>) {
+        match pose {
+            Some(p) => {
+                if let Some(last) = self.last_pose {
+                    self.delta = Some((p.x - last.x, p.y - last.y, p.theta - last.theta));
+                }
+                self.last_pose = Some(p);
+                self.reckon = Some(p);
+            }
+            None => {
+                if let (Some(p), Some((dx, dy, dt))) = (self.reckon, self.delta) {
+                    self.reckon = Some(Pose2::new(p.x + dx, p.y + dy, p.theta + dt));
+                }
+            }
+        }
+    }
+
+    /// Settles the frame: updates streaks and odometry, runs every
+    /// mode transition, and returns what to do to the plan.
+    fn settle(
+        &mut self,
+        faults: &FrameFaults,
+        pose: Option<Pose2>,
+        plan: &StagePlan,
+        reported_e2e_ms: f64,
+    ) -> Verdict {
+        let frame = faults.frame;
+        let had_pose = pose.is_some();
+        let detection_ran = !plan.skip_detection;
+        self.stats.frames += 1;
+
+        // Dead-reckoning coverage is decided *before* odometry folds
+        // in this frame: it reflects what fusion actually consumed.
+        let covered = !had_pose && self.fallback_pose(faults.lock_loss).is_some();
+        self.observe_pose(pose);
+
+        if had_pose {
+            self.consecutive_lost = 0;
+        } else {
+            self.consecutive_lost += 1;
+        }
+        if faults.blackout {
+            self.consecutive_blackout += 1;
+        } else {
+            self.consecutive_blackout = 0;
+        }
+        let healthy = had_pose && !faults.blackout && detection_ran;
+        if healthy {
+            self.healthy_streak += 1;
+        } else {
+            self.healthy_streak = 0;
+        }
+
+        let want_tracker_only = !detection_ran;
+        let want_dead_reck = covered;
+        let mut want_safe = self.safe_stop_since.is_some();
+        if want_safe && self.healthy_streak >= self.cfg.recover_frames {
+            want_safe = false;
+        }
+        if self.consecutive_lost >= self.cfg.lock_loss_safe_stop
+            || self.consecutive_blackout >= self.cfg.blackout_safe_stop
+        {
+            want_safe = true;
+        }
+        let want_speed_red = (want_tracker_only || want_dead_reck) && !want_safe;
+
+        toggle_mode(
+            &mut self.tracker_only_since,
+            &mut self.events,
+            &mut self.stats,
+            DegradedMode::TrackerOnly,
+            want_tracker_only,
+            plan.detection_cause.unwrap_or(DegradationCause::AccompanyingDegradation),
+            frame,
+        );
+        toggle_mode(
+            &mut self.dead_reck_since,
+            &mut self.events,
+            &mut self.stats,
+            DegradedMode::DeadReckoning,
+            want_dead_reck,
+            DegradationCause::LockLost { injected: faults.lock_loss },
+            frame,
+        );
+        toggle_mode(
+            &mut self.speed_red_since,
+            &mut self.events,
+            &mut self.stats,
+            DegradedMode::SpeedReduced,
+            want_speed_red,
+            DegradationCause::AccompanyingDegradation,
+            frame,
+        );
+        toggle_mode(
+            &mut self.safe_stop_since,
+            &mut self.events,
+            &mut self.stats,
+            DegradedMode::SafeStop,
+            want_safe,
+            DegradationCause::ConfidenceCollapse {
+                lost_frames: self.consecutive_lost,
+                blackout_frames: self.consecutive_blackout,
+            },
+            frame,
+        );
+
+        let any_active = self.active_modes().any();
+        if any_active {
+            self.stats.frames_degraded += 1;
+            if self.episode_start.is_none() {
+                self.episode_start = Some(frame);
+            }
+        } else if let Some(start) = self.episode_start.take() {
+            let len = frame - start;
+            self.stats.episodes += 1;
+            self.stats.recover_frames_total += len;
+            self.stats.max_recover_frames = self.stats.max_recover_frames.max(len);
+        }
+        if self.safe_stop_since.is_some() {
+            self.stats.safe_stop_frames += 1;
+        }
+        if reported_e2e_ms > self.cfg.deadline_ms {
+            self.stats.deadline_misses += 1;
+        }
+
+        Verdict {
+            safe_stop: self.safe_stop_since.is_some(),
+            speed_factor: self
+                .speed_red_since
+                .map(|_| self.cfg.degraded_speed_factor),
+        }
+    }
+
+    fn active_modes(&self) -> ActiveModes {
+        ActiveModes {
+            tracker_only: self.tracker_only_since.is_some(),
+            dead_reckoning: self.dead_reck_since.is_some(),
+            speed_reduced: self.speed_red_since.is_some(),
+            safe_stop: self.safe_stop_since.is_some(),
+        }
+    }
+
+    fn stats(&self) -> RecoveryStats {
+        RecoveryStats { degraded_at_end: self.active_modes().any(), ..self.stats }
+    }
+}
+
+/// Output of one supervised frame.
+#[derive(Debug)]
+pub struct SupervisedFrameResult {
+    /// The pipeline's frame result (plan already adjusted for the
+    /// active degraded modes).
+    pub result: NativeFrameResult,
+    /// What was injected this frame.
+    pub faults: FrameFaults,
+    /// Reported latency: measured wall clock plus virtual fault
+    /// latency (spikes, stall retries, watchdog waits).
+    pub reported: FrameLatency,
+    /// Modes active after this frame settled.
+    pub modes: ActiveModes,
+}
+
+/// The graceful-degradation supervisor over [`NativePipeline`].
+///
+/// With a [`FaultInjector::disabled`] injector the supervisor is a
+/// transparent wrapper: frames flow through the identical code path
+/// and outputs are bit-identical to the bare pipeline (the
+/// zero-overhead-when-off parity test pins this).
+#[derive(Debug)]
+pub struct Supervisor {
+    pipeline: NativePipeline,
+    injector: FaultInjector,
+    core: SupervisorCore,
+}
+
+impl Supervisor {
+    /// Wraps a pipeline with a fault schedule and supervision policy.
+    pub fn new(pipeline: NativePipeline, injector: FaultInjector, cfg: SupervisorConfig) -> Self {
+        Self { pipeline, injector, core: SupervisorCore::new(cfg) }
+    }
+
+    /// Seeds the localizer (GPS bootstrap), as on the bare pipeline.
+    pub fn seed_pose(&mut self, pose: Pose2) {
+        self.pipeline.seed_pose(pose);
+    }
+
+    /// The wrapped pipeline.
+    pub fn pipeline(&self) -> &NativePipeline {
+        &self.pipeline
+    }
+
+    /// The fault injector (schedule ground truth).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// The degradation-event log, in frame order.
+    pub fn events(&self) -> &[DegradationEvent] {
+        &self.core.events
+    }
+
+    /// Recovery metrics so far.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.core.stats()
+    }
+
+    /// Processes one camera frame under supervision: injects the
+    /// frame's faults, steers the pipeline around failed stages,
+    /// settles the degraded-mode state machine, and adjusts the
+    /// motion plan for the active modes.
+    pub fn process(&mut self, image: &GrayImage, time_s: f64) -> SupervisedFrameResult {
+        let faults = self.injector.next_frame();
+        let plan = self.core.plan(&faults);
+
+        // Sensor faults perturb the frame before the pipeline sees it;
+        // a clean frame is passed through untouched (no copy).
+        let storage;
+        let img: &GrayImage = if faults.blackout {
+            storage = blackout_frame(image);
+            &storage
+        } else if let Some(pc) = faults.pixel_corruption {
+            storage = corrupt_pixels(image, pc.fraction, pc.salt);
+            &storage
+        } else {
+            image
+        };
+
+        let ctrl = ProcessControl {
+            skip_detection: plan.skip_detection,
+            skip_localization: plan.skip_localization,
+            pose_fallback: self.core.fallback_pose(plan.skip_localization),
+            track_shift: faults.tracker_shift,
+        };
+        let mut out = self.pipeline.process_with(img, time_s, &ctrl);
+
+        let reported = FrameLatency {
+            detection: out.latency.detection + plan.extra.detection,
+            tracking: out.latency.tracking + plan.extra.tracking,
+            localization: out.latency.localization + plan.extra.localization,
+            fusion: out.latency.fusion + plan.extra.fusion,
+            motion_planning: out.latency.motion_planning + plan.extra.motion_planning,
+        };
+        let verdict = self.core.settle(&faults, out.pose, &plan, reported.end_to_end());
+        if verdict.safe_stop {
+            out.plan = MotionPlan::EmergencyStop;
+        } else if let Some(factor) = verdict.speed_factor {
+            if let MotionPlan::Trajectory(t) = &mut out.plan {
+                t.speed_mps *= factor;
+            }
+        }
+
+        SupervisedFrameResult {
+            result: out,
+            faults,
+            reported,
+            modes: self.core.active_modes(),
+        }
+    }
+}
+
+/// The supervisor mirrored over [`ModeledPipeline`]: stage latencies
+/// come from the calibrated distributions, faults perturb them, and
+/// the same [`SupervisorCore`] policy reacts — cheap large-frame
+/// campaigns with the identical transition semantics.
+#[derive(Debug)]
+pub struct ModeledSupervisor {
+    pipeline: ModeledPipeline,
+    injector: FaultInjector,
+    core: SupervisorCore,
+}
+
+impl ModeledSupervisor {
+    /// Wraps a modeled pipeline with a fault schedule and policy.
+    pub fn new(pipeline: ModeledPipeline, injector: FaultInjector, cfg: SupervisorConfig) -> Self {
+        Self { pipeline, injector, core: SupervisorCore::new(cfg) }
+    }
+
+    /// The degradation-event log, in frame order.
+    pub fn events(&self) -> &[DegradationEvent] {
+        &self.core.events
+    }
+
+    /// Recovery metrics so far.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.core.stats()
+    }
+
+    /// Simulates one supervised frame, returning the reported latency.
+    ///
+    /// Degraded stages cost what their degraded implementations cost:
+    /// a skipped detection is free (tracker predictions only), and a
+    /// dead-reckoned pose costs a constant extrapolation instead of a
+    /// localization sample. The modeled pipeline has no natural
+    /// localization misses, so lock loss is purely injected.
+    pub fn simulate_frame(&mut self, pixel_ratio: f64) -> FrameLatency {
+        let faults = self.injector.next_frame();
+        let plan = self.core.plan(&faults);
+        let base = self.pipeline.simulate_frame(pixel_ratio);
+        let reported = FrameLatency {
+            detection: if plan.skip_detection { 0.0 } else { base.detection }
+                + plan.extra.detection,
+            tracking: base.tracking + plan.extra.tracking,
+            localization: if plan.skip_localization { DEAD_RECKON_MS } else { base.localization }
+                + plan.extra.localization,
+            fusion: base.fusion + plan.extra.fusion,
+            motion_planning: base.motion_planning + plan.extra.motion_planning,
+        };
+        let pose = if plan.skip_localization { None } else { Some(Pose2::default()) };
+        self.core.settle(&faults, pose, &plan, reported.end_to_end());
+        reported
+    }
+
+    /// Simulates `frames` supervised frames, recording reported
+    /// latencies, and returns the distributions with the recovery
+    /// metrics.
+    pub fn simulate(&mut self, frames: usize, pixel_ratio: f64) -> (PipelineStats, RecoveryStats) {
+        let mut stats = PipelineStats {
+            detection: LatencyRecorder::with_capacity(frames),
+            tracking: LatencyRecorder::with_capacity(frames),
+            localization: LatencyRecorder::with_capacity(frames),
+            fusion: LatencyRecorder::with_capacity(frames),
+            motion_planning: LatencyRecorder::with_capacity(frames),
+            end_to_end: LatencyRecorder::with_capacity(frames),
+        };
+        for _ in 0..frames {
+            let f = self.simulate_frame(pixel_ratio);
+            stats.detection.record(f.detection);
+            stats.tracking.record(f.tracking);
+            stats.localization.record(f.localization);
+            stats.fusion.record(f.fusion);
+            stats.motion_planning.record(f.motion_planning);
+            stats.end_to_end.record(f.end_to_end());
+        }
+        (stats, self.recovery_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformConfig;
+    use adsim_faults::FaultConfig;
+    use adsim_platform::Platform;
+
+    fn modeled(seed: u64, cfg: FaultConfig) -> ModeledSupervisor {
+        ModeledSupervisor::new(
+            ModeledPipeline::new(PlatformConfig::uniform(Platform::Gpu), 1),
+            FaultInjector::new(seed, cfg),
+            SupervisorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn clean_run_never_degrades() {
+        let mut sup = modeled(0, FaultConfig::off());
+        let (_, rec) = sup.simulate(2_000, 1.0);
+        assert_eq!(rec.frames, 2_000);
+        assert_eq!(rec.frames_degraded, 0);
+        assert!(sup.events().is_empty());
+        assert!(!rec.degraded_at_end);
+    }
+
+    #[test]
+    fn lock_loss_enters_and_exits_dead_reckoning() {
+        let cfg = FaultConfig { lock_loss_rate: 0.05, ..FaultConfig::off() };
+        let mut sup = modeled(11, cfg);
+        let (_, rec) = sup.simulate(2_000, 1.0);
+        assert!(rec.frames_degraded > 0);
+        assert!(rec.episodes > 0, "degradation must recover");
+        assert!(rec.mean_time_to_recover() > 0.0);
+        let entered = sup.events().iter().any(|e| {
+            matches!(
+                e.kind,
+                DegradationEventKind::Entered { mode: DegradedMode::DeadReckoning, .. }
+            )
+        });
+        let exited = sup.events().iter().any(|e| {
+            matches!(e.kind, DegradationEventKind::Exited { mode: DegradedMode::DeadReckoning, .. })
+        });
+        assert!(entered && exited);
+    }
+
+    #[test]
+    fn sustained_blackout_forces_safe_stop_then_recovers() {
+        let cfg = FaultConfig {
+            blackout_rate: 0.02,
+            blackout_frames: (6, 8),
+            ..FaultConfig::off()
+        };
+        let mut sup = modeled(3, cfg);
+        let (_, rec) = sup.simulate(3_000, 1.0);
+        assert!(rec.safe_stops > 0, "6-frame blackouts must trip the 4-frame threshold");
+        assert!(rec.safe_stop_frames >= rec.safe_stops);
+        let exited_safe = sup.events().iter().any(|e| {
+            matches!(e.kind, DegradationEventKind::Exited { mode: DegradedMode::SafeStop, .. })
+        });
+        assert!(exited_safe, "safe stop must clear after recovery");
+    }
+
+    #[test]
+    fn stall_beyond_retry_budget_goes_tracker_only() {
+        let cfg = FaultConfig {
+            stall_rate: 0.05,
+            stall_attempts: (4, 5), // beyond the default budget of 2
+            ..FaultConfig::off()
+        };
+        let mut sup = modeled(5, cfg);
+        let (_, rec) = sup.simulate(1_000, 1.0);
+        assert!(rec.retries > 0);
+        let tracker_only = sup.events().iter().any(|e| {
+            matches!(
+                e.kind,
+                DegradationEventKind::Entered {
+                    mode: DegradedMode::TrackerOnly,
+                    cause: DegradationCause::DetectionStalled { .. },
+                }
+            )
+        });
+        assert!(tracker_only);
+    }
+
+    #[test]
+    fn spike_over_budget_trips_watchdog() {
+        let cfg = FaultConfig {
+            latency_spike_rate: 0.05,
+            latency_spike_ms: (80.0, 120.0), // over the 50 ms stage budget
+            ..FaultConfig::off()
+        };
+        let mut sup = modeled(9, cfg);
+        sup.simulate(1_000, 1.0);
+        let over_budget = sup.events().iter().any(|e| {
+            matches!(
+                e.kind,
+                DegradationEventKind::Entered {
+                    mode: DegradedMode::TrackerOnly,
+                    cause: DegradationCause::DetectionOverBudget { .. },
+                }
+            )
+        });
+        assert!(over_budget);
+    }
+
+    #[test]
+    fn event_log_is_reproducible() {
+        let run = |seed| {
+            let mut sup = modeled(seed, FaultConfig::stress());
+            sup.simulate(1_500, 1.0);
+            sup.events().to_vec()
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21), run(22));
+    }
+
+    #[test]
+    fn events_render_for_the_log() {
+        let mut sup = modeled(7, FaultConfig::stress());
+        sup.simulate(500, 1.0);
+        assert!(!sup.events().is_empty());
+        for e in sup.events() {
+            assert!(e.to_string().starts_with("frame "));
+        }
+    }
+}

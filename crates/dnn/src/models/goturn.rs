@@ -1,3 +1,4 @@
+use super::error::ModelError;
 use super::spec::{ArchSpec, LayerSpec};
 use crate::layer::Activation;
 use crate::network::{Network, NetworkBuilder};
@@ -64,15 +65,26 @@ pub fn goturn_spec() -> ArchSpec {
 /// assert_eq!(out.shape().dims(), &[1, 4]);
 /// ```
 pub fn goturn_tiny() -> Network {
-    NetworkBuilder::new("goturn-tiny", [1, 2, 32, 32], 0x607)
+    try_goturn_tiny().expect("goturn_tiny layer stack is shape-consistent")
+}
+
+/// Fallible form of [`goturn_tiny`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::Build`] if the layer stack fails shape
+/// propagation (it cannot with the fixed stack below, but the decode
+/// path is typed rather than panicking).
+pub fn try_goturn_tiny() -> Result<Network, ModelError> {
+    let net = NetworkBuilder::new("goturn-tiny", [1, 2, 32, 32], 0x607)
         .conv(8, 5, 2, 2, Activation::Relu)
         .max_pool(2, 2)
         .conv(16, 3, 1, 1, Activation::Relu)
         .flatten()
         .linear(64, Activation::Relu)
         .linear(4, Activation::Sigmoid)
-        .build()
-        .expect("goturn_tiny layer stack is shape-consistent")
+        .build()?;
+    Ok(net)
 }
 
 #[cfg(test)]

@@ -10,10 +10,12 @@
 //!   to actually execute in tests, examples and the native pipeline,
 //!   while exercising the identical layer kinds and decode paths.
 
+mod error;
 mod goturn;
 mod spec;
 mod yolo;
 
-pub use goturn::{goturn_spec, goturn_tiny};
+pub use error::ModelError;
+pub use goturn::{goturn_spec, goturn_tiny, try_goturn_tiny};
 pub use spec::{ArchSpec, LayerSpec};
-pub use yolo::{vgg16_spec, yolo_tiny, yolo_v2_spec};
+pub use yolo::{try_vgg16_spec, try_yolo_tiny, try_yolo_v2_spec, vgg16_spec, yolo_tiny, yolo_v2_spec};

@@ -1,7 +1,24 @@
+use super::error::ModelError;
 use super::spec::{ArchSpec, LayerSpec};
 use crate::detection::ObjectClass;
 use crate::layer::Activation;
 use crate::network::{Network, NetworkBuilder};
+
+/// Validates that a spatial extent pair is a positive multiple of the
+/// network's total downsampling factor.
+fn check_alignment(
+    model: &'static str,
+    height: usize,
+    width: usize,
+    multiple: usize,
+) -> Result<(), ModelError> {
+    if height > 0 && width > 0 && height.is_multiple_of(multiple) && width.is_multiple_of(multiple)
+    {
+        Ok(())
+    } else {
+        Err(ModelError::UnalignedResolution { model, height, width, multiple })
+    }
+}
 
 const LEAKY: Activation = Activation::LeakyRelu(0.1);
 
@@ -37,10 +54,19 @@ fn pool() -> LayerSpec {
 /// assert!(spec.cost().unwrap().gflops() > 10.0);
 /// ```
 pub fn yolo_v2_spec(height: usize, width: usize) -> ArchSpec {
-    assert!(
-        height > 0 && width > 0 && height.is_multiple_of(32) && width.is_multiple_of(32),
-        "YOLO input must be a positive multiple of 32, got {height}x{width}"
-    );
+    try_yolo_v2_spec(height, width)
+        .unwrap_or_else(|e| panic!("YOLO input must be a positive multiple of 32: {e}"))
+}
+
+/// Fallible form of [`yolo_v2_spec`] for resolutions that come from
+/// configuration rather than code.
+///
+/// # Errors
+///
+/// Returns [`ModelError::UnalignedResolution`] unless `height` and
+/// `width` are positive multiples of 32.
+pub fn try_yolo_v2_spec(height: usize, width: usize) -> Result<ArchSpec, ModelError> {
+    check_alignment("yolo-v2", height, width, 32)?;
     let mut layers = vec![
         conv(32, 3, 1),
         LayerSpec::BatchNorm,
@@ -83,7 +109,7 @@ pub fn yolo_v2_spec(height: usize, width: usize) -> ArchSpec {
         pad: 0,
         act: Activation::None,
     });
-    ArchSpec::new("yolo-v2", [1, 3, height, width], layers)
+    Ok(ArchSpec::new("yolo-v2", [1, 3, height, width], layers))
 }
 
 /// VGG16 (Simonyan & Zisserman), the reference network of the paper's
@@ -105,10 +131,19 @@ pub fn yolo_v2_spec(height: usize, width: usize) -> ArchSpec {
 /// assert!(cost.gflops() > 25.0 && cost.gflops() < 40.0);
 /// ```
 pub fn vgg16_spec(height: usize, width: usize) -> ArchSpec {
-    assert!(
-        height > 0 && width > 0 && height.is_multiple_of(32) && width.is_multiple_of(32),
-        "VGG16 input must be a positive multiple of 32, got {height}x{width}"
-    );
+    try_vgg16_spec(height, width)
+        .unwrap_or_else(|e| panic!("VGG16 input must be a positive multiple of 32: {e}"))
+}
+
+/// Fallible form of [`vgg16_spec`] for resolutions that come from
+/// configuration rather than code.
+///
+/// # Errors
+///
+/// Returns [`ModelError::UnalignedResolution`] unless `height` and
+/// `width` are positive multiples of 32.
+pub fn try_vgg16_spec(height: usize, width: usize) -> Result<ArchSpec, ModelError> {
+    check_alignment("vgg16", height, width, 32)?;
     let relu = Activation::Relu;
     let c = |out: usize| LayerSpec::Conv { out, k: 3, stride: 1, pad: 1, act: relu };
     let mut layers = Vec::new();
@@ -122,7 +157,7 @@ pub fn vgg16_spec(height: usize, width: usize) -> ArchSpec {
     layers.push(LayerSpec::Linear { out: 4096, act: relu });
     layers.push(LayerSpec::Linear { out: 4096, act: relu });
     layers.push(LayerSpec::Linear { out: 1000, act: Activation::None });
-    ArchSpec::new("vgg16", [1, 3, height, width], layers)
+    Ok(ArchSpec::new("vgg16", [1, 3, height, width], layers))
 }
 
 /// Reduced-scale YOLO-like detector that runs natively: a three-stage
@@ -147,9 +182,21 @@ pub fn vgg16_spec(height: usize, width: usize) -> ArchSpec {
 /// assert_eq!(net.output_shape().unwrap().dims(), &[1, 9, 4, 4]);
 /// ```
 pub fn yolo_tiny(grid: usize) -> Network {
-    assert!(grid > 0, "grid must be positive");
+    try_yolo_tiny(grid).unwrap_or_else(|e| panic!("grid must be positive: {e}"))
+}
+
+/// Fallible form of [`yolo_tiny`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::ZeroSize`] when `grid == 0`, or
+/// [`ModelError::Build`] if the layer stack fails shape propagation.
+pub fn try_yolo_tiny(grid: usize) -> Result<Network, ModelError> {
+    if grid == 0 {
+        return Err(ModelError::ZeroSize { model: "yolo-tiny", parameter: "grid" });
+    }
     let side = 8 * grid;
-    NetworkBuilder::new("yolo-tiny", [1, 1, side, side], 0xDE7)
+    let net = NetworkBuilder::new("yolo-tiny", [1, 1, side, side], 0xDE7)
         .conv(8, 3, 1, 1, LEAKY)
         .max_pool(2, 2)
         .conv(16, 3, 1, 1, LEAKY)
@@ -157,8 +204,8 @@ pub fn yolo_tiny(grid: usize) -> Network {
         .conv(32, 3, 1, 1, LEAKY)
         .max_pool(2, 2)
         .conv(5 + ObjectClass::COUNT, 1, 1, 0, Activation::None)
-        .build()
-        .expect("yolo_tiny layer stack is shape-consistent for any positive grid")
+        .build()?;
+    Ok(net)
 }
 
 #[cfg(test)]
@@ -193,6 +240,31 @@ mod tests {
     #[should_panic(expected = "multiple of 32")]
     fn rejects_unaligned_resolution() {
         yolo_v2_spec(100, 100);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert_eq!(
+            try_yolo_v2_spec(100, 100).unwrap_err(),
+            ModelError::UnalignedResolution { model: "yolo-v2", height: 100, width: 100, multiple: 32 }
+        );
+        assert_eq!(
+            try_vgg16_spec(0, 224).unwrap_err(),
+            ModelError::UnalignedResolution { model: "vgg16", height: 0, width: 224, multiple: 32 }
+        );
+        assert_eq!(
+            try_yolo_tiny(0).unwrap_err(),
+            ModelError::ZeroSize { model: "yolo-tiny", parameter: "grid" }
+        );
+    }
+
+    #[test]
+    fn try_constructors_agree_with_panicking_forms() {
+        assert_eq!(try_yolo_v2_spec(416, 416).unwrap(), yolo_v2_spec(416, 416));
+        assert_eq!(try_vgg16_spec(224, 224).unwrap(), vgg16_spec(224, 224));
+        let a = try_yolo_tiny(4).unwrap();
+        let b = yolo_tiny(4);
+        assert_eq!(a.output_shape().unwrap(), b.output_shape().unwrap());
     }
 
     #[test]

@@ -1,0 +1,150 @@
+/// Pipeline stage a fault attaches to (the five engines of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultStage {
+    /// Object detection (DET).
+    Detection,
+    /// Object tracking (TRA).
+    Tracking,
+    /// Localization (LOC).
+    Localization,
+    /// Sensor fusion.
+    Fusion,
+    /// Motion planning.
+    MotionPlanning,
+}
+
+impl FaultStage {
+    /// All stages in pipeline order (the injector draws in this order,
+    /// which is part of the deterministic schedule).
+    pub const ALL: [FaultStage; 5] = [
+        FaultStage::Detection,
+        FaultStage::Tracking,
+        FaultStage::Localization,
+        FaultStage::Fusion,
+        FaultStage::MotionPlanning,
+    ];
+}
+
+impl std::fmt::Display for FaultStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultStage::Detection => "DET",
+            FaultStage::Tracking => "TRA",
+            FaultStage::Localization => "LOC",
+            FaultStage::Fusion => "FUSION",
+            FaultStage::MotionPlanning => "MOTPLAN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fault rates and magnitudes for one campaign.
+///
+/// All rates are per-frame probabilities in `[0, 1]`. The default is
+/// [`FaultConfig::off`] — every rate zero — so a supervisor built over
+/// a default config is a transparent wrapper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability per frame of a sensor blackout starting (camera
+    /// delivers an all-black frame for the outage duration).
+    pub blackout_rate: f64,
+    /// Blackout duration range in frames, inclusive.
+    pub blackout_frames: (u32, u32),
+    /// Probability per frame of salt-and-pepper pixel corruption.
+    pub pixel_corruption_rate: f64,
+    /// Fraction of pixels corrupted when pixel corruption fires.
+    pub corrupted_fraction: f64,
+    /// Probability per stage per frame of an added latency spike.
+    pub latency_spike_rate: f64,
+    /// Spike magnitude range (ms), inclusive.
+    pub latency_spike_ms: (f64, f64),
+    /// Probability per frame of a localizer lock loss starting (SLAM
+    /// returns no pose for the outage duration).
+    pub lock_loss_rate: f64,
+    /// Lock-loss duration range in frames, inclusive.
+    pub lock_loss_frames: (u32, u32),
+    /// Probability per frame of tracker divergence (every reported
+    /// track box drifts by a random offset this frame).
+    pub tracker_divergence_rate: f64,
+    /// Maximum divergence offset, in normalized image units.
+    pub tracker_divergence_shift: f32,
+    /// Probability per frame of a worker-pool stall on the detection
+    /// stage (the stage's worker wedges and must be retried).
+    pub stall_rate: f64,
+    /// Cost of each stalled attempt (ms), charged per retry.
+    pub stall_ms: f64,
+    /// Range of failed attempts before a stalled worker clears,
+    /// inclusive. Values beyond the supervisor's retry budget make the
+    /// stage fail outright for the frame.
+    pub stall_attempts: (u32, u32),
+}
+
+impl FaultConfig {
+    /// All fault rates zero: the injector emits only clean frames.
+    pub fn off() -> Self {
+        Self {
+            blackout_rate: 0.0,
+            blackout_frames: (1, 3),
+            pixel_corruption_rate: 0.0,
+            corrupted_fraction: 0.05,
+            latency_spike_rate: 0.0,
+            latency_spike_ms: (20.0, 80.0),
+            lock_loss_rate: 0.0,
+            lock_loss_frames: (1, 4),
+            tracker_divergence_rate: 0.0,
+            tracker_divergence_shift: 0.08,
+            stall_rate: 0.0,
+            stall_ms: 5.0,
+            stall_attempts: (1, 4),
+        }
+    }
+
+    /// A stress preset with every fault class active — the
+    /// determinism tests and the fault campaign's hostile cells use
+    /// this shape.
+    pub fn stress() -> Self {
+        Self {
+            blackout_rate: 0.08,
+            pixel_corruption_rate: 0.10,
+            latency_spike_rate: 0.10,
+            lock_loss_rate: 0.08,
+            tracker_divergence_rate: 0.10,
+            stall_rate: 0.08,
+            ..Self::off()
+        }
+    }
+
+    /// True when every rate is zero (no fault can ever fire).
+    pub fn is_off(&self) -> bool {
+        self.blackout_rate == 0.0
+            && self.pixel_corruption_rate == 0.0
+            && self.latency_spike_rate == 0.0
+            && self.lock_loss_rate == 0.0
+            && self.tracker_divergence_rate == 0.0
+            && self.stall_rate == 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        assert!(FaultConfig::default().is_off());
+        assert!(!FaultConfig::stress().is_off());
+    }
+
+    #[test]
+    fn stage_order_is_pipeline_order() {
+        assert_eq!(FaultStage::ALL[0], FaultStage::Detection);
+        assert_eq!(FaultStage::ALL[4], FaultStage::MotionPlanning);
+        assert_eq!(FaultStage::Localization.to_string(), "LOC");
+    }
+}

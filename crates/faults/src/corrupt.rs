@@ -1,0 +1,71 @@
+use adsim_stats::Rng64;
+use adsim_vision::GrayImage;
+
+/// The camera frame a sensor blackout delivers: all black, same
+/// dimensions.
+pub fn blackout_frame(img: &GrayImage) -> GrayImage {
+    GrayImage::new(img.width(), img.height())
+}
+
+/// Salt-and-pepper corruption: overwrites `fraction` of the pixels
+/// with 0 or 255, positions and polarity drawn from `salt`. The input
+/// is untouched; the same `(image, fraction, salt)` triple always
+/// produces the same corrupted frame.
+pub fn corrupt_pixels(img: &GrayImage, fraction: f64, salt: u64) -> GrayImage {
+    let mut out = img.clone();
+    let len = out.pixels();
+    let hits = ((fraction.clamp(0.0, 1.0) * len as f64).round() as usize).min(len);
+    let mut rng = Rng64::new(salt);
+    let data = out.as_mut_slice();
+    for _ in 0..hits {
+        let idx = rng.range_usize(0, len);
+        data[idx] = if rng.chance(0.5) { 0 } else { 255 };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured() -> GrayImage {
+        GrayImage::from_fn(64, 48, |x, y| ((x * 31 + y * 17) % 200 + 20) as u8)
+    }
+
+    #[test]
+    fn blackout_is_black_and_same_shape() {
+        let img = textured();
+        let black = blackout_frame(&img);
+        assert_eq!((black.width(), black.height()), (img.width(), img.height()));
+        assert!(black.as_slice().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_bounded() {
+        let img = textured();
+        let a = corrupt_pixels(&img, 0.1, 99);
+        let b = corrupt_pixels(&img, 0.1, 99);
+        assert_eq!(a, b);
+        let changed = img
+            .as_slice()
+            .iter()
+            .zip(a.as_slice())
+            .filter(|(x, y)| x != y)
+            .count();
+        assert!(changed > 0, "some pixels must change");
+        // Collisions can only lower the count below the budget.
+        assert!(changed <= (0.1 * img.pixels() as f64).round() as usize);
+        // Corrupted pixels are salt or pepper.
+        for (&orig, &got) in img.as_slice().iter().zip(a.as_slice()) {
+            if orig != got {
+                assert!(got == 0 || got == 255);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let img = textured();
+        assert_eq!(corrupt_pixels(&img, 0.0, 5), img);
+    }
+}

@@ -1,0 +1,360 @@
+use crate::config::{FaultConfig, FaultStage};
+use adsim_stats::Rng64;
+
+/// Salt-and-pepper corruption parameters for one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelCorruption {
+    /// Fraction of pixels overwritten.
+    pub fraction: f64,
+    /// Seed for the pixel positions/values (derived per frame).
+    pub salt: u64,
+}
+
+/// A wedged stage worker: the stage must be retried `attempts` times
+/// before it produces output, each attempt costing `stall_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerStall {
+    /// Stage whose worker stalled.
+    pub stage: FaultStage,
+    /// Failed attempts before the worker clears.
+    pub attempts: u32,
+    /// Cost per failed attempt (ms).
+    pub stall_ms: f64,
+}
+
+/// Everything injected into one frame. `FrameFaults::default()` (all
+/// fields inert) is a clean frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrameFaults {
+    /// Frame index this schedule entry belongs to.
+    pub frame: u64,
+    /// Camera delivers an all-black frame.
+    pub blackout: bool,
+    /// Salt-and-pepper noise on the camera frame.
+    pub pixel_corruption: Option<PixelCorruption>,
+    /// Added latency per stage (ms), at most one entry per stage.
+    pub spikes: Vec<(FaultStage, f64)>,
+    /// SLAM returns no pose this frame.
+    pub lock_loss: bool,
+    /// Every reported track box drifts by this normalized offset.
+    pub tracker_shift: Option<(f32, f32)>,
+    /// A stage worker is wedged and needs retries.
+    pub stall: Option<WorkerStall>,
+}
+
+impl FrameFaults {
+    /// True when nothing was injected this frame.
+    pub fn is_clean(&self) -> bool {
+        !self.blackout
+            && self.pixel_corruption.is_none()
+            && self.spikes.is_empty()
+            && !self.lock_loss
+            && self.tracker_shift.is_none()
+            && self.stall.is_none()
+    }
+
+    /// Total injected latency across all stages (ms), spikes only.
+    pub fn spike_ms(&self) -> f64 {
+        self.spikes.iter().map(|(_, ms)| ms).sum()
+    }
+}
+
+/// One entry of the injector's own event log (what was injected and
+/// when) — the ground truth a supervisor's `DegradationEvent` log is
+/// compared against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Frame the fault fired on.
+    pub frame: u64,
+    /// What fired.
+    pub kind: FaultKind,
+}
+
+/// The fault taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A sensor blackout began.
+    BlackoutStarted {
+        /// Outage length in frames.
+        frames: u32,
+    },
+    /// Salt-and-pepper noise hit the camera frame.
+    PixelCorruption {
+        /// Fraction of pixels overwritten.
+        fraction: f64,
+    },
+    /// A stage took an injected latency hit.
+    LatencySpike {
+        /// Stage hit.
+        stage: FaultStage,
+        /// Added latency (ms).
+        extra_ms: f64,
+    },
+    /// The localizer lost lock.
+    LockLossStarted {
+        /// Outage length in frames.
+        frames: u32,
+    },
+    /// Tracker output diverged.
+    TrackerDivergence {
+        /// Normalized x offset.
+        dx: f32,
+        /// Normalized y offset.
+        dy: f32,
+    },
+    /// A stage worker wedged.
+    WorkerStall {
+        /// Stage whose worker stalled.
+        stage: FaultStage,
+        /// Failed attempts before it clears.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame {:>5}: ", self.frame)?;
+        match self.kind {
+            FaultKind::BlackoutStarted { frames } => {
+                write!(f, "sensor blackout for {frames} frame(s)")
+            }
+            FaultKind::PixelCorruption { fraction } => {
+                write!(f, "pixel corruption ({:.1}% of pixels)", fraction * 100.0)
+            }
+            FaultKind::LatencySpike { stage, extra_ms } => {
+                write!(f, "latency spike on {stage} (+{extra_ms:.1} ms)")
+            }
+            FaultKind::LockLossStarted { frames } => {
+                write!(f, "localizer lock loss for {frames} frame(s)")
+            }
+            FaultKind::TrackerDivergence { dx, dy } => {
+                write!(f, "tracker divergence ({dx:+.3}, {dy:+.3})")
+            }
+            FaultKind::WorkerStall { stage, attempts } => {
+                write!(f, "worker stall on {stage} ({attempts} attempt(s))")
+            }
+        }
+    }
+}
+
+/// The seeded fault schedule generator.
+///
+/// Per-frame draws come from an RNG derived from `seed ^ mix(frame)`,
+/// so the schedule for frame `n` is a pure function of `(seed, config,
+/// n, outage carry-over)` — independent of runtime thread counts and
+/// of how much work earlier frames did. Multi-frame outages (blackout,
+/// lock loss) carry state forward; frames are consumed strictly in
+/// order via [`FaultInjector::next_frame`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    seed: u64,
+    frame: u64,
+    blackout_left: u32,
+    lock_loss_left: u32,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Creates an injector for one campaign.
+    pub fn new(seed: u64, cfg: FaultConfig) -> Self {
+        Self { cfg, seed, frame: 0, blackout_left: 0, lock_loss_left: 0, events: Vec::new() }
+    }
+
+    /// An injector that never injects anything.
+    pub fn disabled() -> Self {
+        Self::new(0, FaultConfig::off())
+    }
+
+    /// The campaign config.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Frames generated so far.
+    pub fn frames(&self) -> u64 {
+        self.frame
+    }
+
+    /// Everything injected so far, in frame order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// RNG for one frame's draws.
+    fn frame_rng(&self, frame: u64) -> Rng64 {
+        // SplitMix-style avalanche over the frame index keeps
+        // neighboring frames' draw streams uncorrelated.
+        let mut z = frame.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng64::new(self.seed ^ z ^ (z >> 31))
+    }
+
+    /// Generates the fault schedule for the next frame. Draw order is
+    /// fixed (blackout, corruption, spikes in stage order, lock loss,
+    /// divergence, stall) and is part of the deterministic contract.
+    pub fn next_frame(&mut self) -> FrameFaults {
+        let frame = self.frame;
+        self.frame += 1;
+        if self.cfg.is_off() {
+            return FrameFaults { frame, ..FrameFaults::default() };
+        }
+        let mut rng = self.frame_rng(frame);
+        let mut out = FrameFaults { frame, ..FrameFaults::default() };
+
+        // Sensor blackout: ongoing outage, or a new one starting.
+        if self.blackout_left > 0 {
+            self.blackout_left -= 1;
+            out.blackout = true;
+        } else if rng.chance(self.cfg.blackout_rate) {
+            let (lo, hi) = self.cfg.blackout_frames;
+            let frames = rng.range_usize(lo as usize, hi as usize + 1) as u32;
+            self.blackout_left = frames.saturating_sub(1);
+            out.blackout = true;
+            self.events.push(FaultEvent { frame, kind: FaultKind::BlackoutStarted { frames } });
+        }
+
+        // Pixel corruption (skipped during a blackout: the frame is
+        // already gone).
+        if !out.blackout && rng.chance(self.cfg.pixel_corruption_rate) {
+            let salt = rng.next_u64();
+            let fraction = self.cfg.corrupted_fraction;
+            out.pixel_corruption = Some(PixelCorruption { fraction, salt });
+            self.events.push(FaultEvent { frame, kind: FaultKind::PixelCorruption { fraction } });
+        }
+
+        // Per-stage latency spikes, in fixed stage order.
+        for stage in FaultStage::ALL {
+            if rng.chance(self.cfg.latency_spike_rate) {
+                let (lo, hi) = self.cfg.latency_spike_ms;
+                let extra_ms = if lo < hi { rng.range_f64(lo, hi) } else { lo };
+                out.spikes.push((stage, extra_ms));
+                self.events.push(FaultEvent {
+                    frame,
+                    kind: FaultKind::LatencySpike { stage, extra_ms },
+                });
+            }
+        }
+
+        // Localizer lock loss.
+        if self.lock_loss_left > 0 {
+            self.lock_loss_left -= 1;
+            out.lock_loss = true;
+        } else if rng.chance(self.cfg.lock_loss_rate) {
+            let (lo, hi) = self.cfg.lock_loss_frames;
+            let frames = rng.range_usize(lo as usize, hi as usize + 1) as u32;
+            self.lock_loss_left = frames.saturating_sub(1);
+            out.lock_loss = true;
+            self.events.push(FaultEvent { frame, kind: FaultKind::LockLossStarted { frames } });
+        }
+
+        // Tracker divergence.
+        if rng.chance(self.cfg.tracker_divergence_rate) {
+            let m = self.cfg.tracker_divergence_shift;
+            let (dx, dy) = if m > 0.0 {
+                (rng.range_f32(-m, m), rng.range_f32(-m, m))
+            } else {
+                (0.0, 0.0)
+            };
+            out.tracker_shift = Some((dx, dy));
+            self.events.push(FaultEvent { frame, kind: FaultKind::TrackerDivergence { dx, dy } });
+        }
+
+        // Worker-pool stall (detection stage worker wedges).
+        if rng.chance(self.cfg.stall_rate) {
+            let (lo, hi) = self.cfg.stall_attempts;
+            let attempts = rng.range_usize(lo as usize, hi as usize + 1) as u32;
+            let stall = WorkerStall {
+                stage: FaultStage::Detection,
+                attempts,
+                stall_ms: self.cfg.stall_ms,
+            };
+            out.stall = Some(stall);
+            self.events.push(FaultEvent {
+                frame,
+                kind: FaultKind::WorkerStall { stage: stall.stage, attempts },
+            });
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(seed: u64, cfg: FaultConfig, n: usize) -> (Vec<FrameFaults>, Vec<FaultEvent>) {
+        let mut inj = FaultInjector::new(seed, cfg);
+        let frames = (0..n).map(|_| inj.next_frame()).collect();
+        (frames, inj.events().to_vec())
+    }
+
+    #[test]
+    fn disabled_injector_emits_only_clean_frames() {
+        let mut inj = FaultInjector::disabled();
+        for i in 0..64 {
+            let f = inj.next_frame();
+            assert_eq!(f.frame, i);
+            assert!(f.is_clean());
+        }
+        assert!(inj.events().is_empty());
+    }
+
+    #[test]
+    fn same_seed_reproduces_schedule_and_event_log() {
+        let (fa, ea) = run(42, FaultConfig::stress(), 256);
+        let (fb, eb) = run(42, FaultConfig::stress(), 256);
+        assert_eq!(fa, fb);
+        assert_eq!(ea, eb);
+        assert!(!ea.is_empty(), "stress config must inject something in 256 frames");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (fa, _) = run(1, FaultConfig::stress(), 256);
+        let (fb, _) = run(2, FaultConfig::stress(), 256);
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn blackouts_last_their_drawn_duration() {
+        let cfg = FaultConfig {
+            blackout_rate: 0.05,
+            blackout_frames: (3, 3),
+            ..FaultConfig::off()
+        };
+        let (frames, events) = run(9, cfg, 400);
+        assert!(!events.is_empty());
+        for e in &events {
+            if let FaultKind::BlackoutStarted { frames: n } = e.kind {
+                assert_eq!(n, 3);
+                // The outage covers this frame and the next two.
+                for k in 0..3u64 {
+                    assert!(frames[(e.frame + k) as usize].blackout, "frame {}", e.frame + k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_fault_kinds_fire_under_stress() {
+        let (_, events) = run(7, FaultConfig::stress(), 2_000);
+        let has = |pred: fn(&FaultKind) -> bool| events.iter().any(|e| pred(&e.kind));
+        assert!(has(|k| matches!(k, FaultKind::BlackoutStarted { .. })));
+        assert!(has(|k| matches!(k, FaultKind::PixelCorruption { .. })));
+        assert!(has(|k| matches!(k, FaultKind::LatencySpike { .. })));
+        assert!(has(|k| matches!(k, FaultKind::LockLossStarted { .. })));
+        assert!(has(|k| matches!(k, FaultKind::TrackerDivergence { .. })));
+        assert!(has(|k| matches!(k, FaultKind::WorkerStall { .. })));
+    }
+
+    #[test]
+    fn events_render_for_the_log() {
+        let (_, events) = run(3, FaultConfig::stress(), 500);
+        for e in &events {
+            assert!(e.to_string().starts_with("frame "));
+        }
+    }
+}

@@ -124,7 +124,12 @@ impl TrackerPool {
                 pairs.push((di, *id, score));
             }
         }
-        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("IoU is finite"));
+        // Score-tied pairs are ordered by (detection, track) index so
+        // association never depends on hash-map iteration order — the
+        // pipeline output is a pure function of its inputs.
+        pairs.sort_by(|a, b| {
+            b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)).then_with(|| a.1.cmp(&b.1))
+        });
         let mut det_used = vec![false; detections.len()];
         let mut track_used: Vec<u64> = Vec::new();
         for (di, id, _) in pairs {

@@ -35,6 +35,12 @@ pub enum MapDecodeError {
         /// Landmarks actually present.
         found: u64,
     },
+    /// A landmark record decodes to a non-finite coordinate —
+    /// corrupted or bit-flipped payload bytes.
+    InvalidLandmark {
+        /// Index of the bad record.
+        index: u64,
+    },
 }
 
 impl std::fmt::Display for MapDecodeError {
@@ -45,6 +51,9 @@ impl std::fmt::Display for MapDecodeError {
             MapDecodeError::BadVersion(v) => write!(f, "unsupported map format version {v}"),
             MapDecodeError::Truncated { expected, found } => {
                 write!(f, "map truncated: header promised {expected} landmarks, found {found}")
+            }
+            MapDecodeError::InvalidLandmark { index } => {
+                write!(f, "landmark record {index} has non-finite coordinates")
             }
         }
     }
@@ -72,20 +81,28 @@ impl PriorMap {
     ///
     /// # Errors
     ///
-    /// Returns a [`MapDecodeError`] for short, foreign, versioned or
-    /// truncated inputs.
+    /// Returns a [`MapDecodeError`] for short, foreign, versioned,
+    /// truncated or corrupted inputs. Every malformed byte stream maps
+    /// to a typed error — decoding never panics.
     pub fn from_bytes(bytes: &[u8]) -> Result<PriorMap, MapDecodeError> {
+        // Infallible on in-range slices, but routed through the error
+        // type anyway: the decoder must not carry a panic path.
+        fn field<const N: usize>(r: &[u8], lo: usize) -> Result<[u8; N], MapDecodeError> {
+            r.get(lo..lo + N)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(MapDecodeError::TooShort)
+        }
         if bytes.len() < 20 {
             return Err(MapDecodeError::TooShort);
         }
         if &bytes[..8] != MAGIC {
             return Err(MapDecodeError::BadMagic);
         }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes(field(bytes, 8)?);
         if version != VERSION {
             return Err(MapDecodeError::BadVersion(version));
         }
-        let count = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let count = u64::from_le_bytes(field(bytes, 12)?);
         let body = &bytes[20..];
         let available = (body.len() / LANDMARK_RECORD_BYTES) as u64;
         if available < count {
@@ -93,11 +110,16 @@ impl PriorMap {
         }
         let mut landmarks = Vec::with_capacity(count as usize);
         for i in 0..count as usize {
-            let r = &body[i * LANDMARK_RECORD_BYTES..(i + 1) * LANDMARK_RECORD_BYTES];
-            let id = u64::from_le_bytes(r[0..8].try_into().expect("8 bytes"));
-            let x = f64::from_le_bytes(r[8..16].try_into().expect("8 bytes"));
-            let y = f64::from_le_bytes(r[16..24].try_into().expect("8 bytes"));
-            let desc: [u8; 32] = r[24..56].try_into().expect("32 bytes");
+            let r = body
+                .get(i * LANDMARK_RECORD_BYTES..(i + 1) * LANDMARK_RECORD_BYTES)
+                .ok_or(MapDecodeError::Truncated { expected: count, found: i as u64 })?;
+            let id = u64::from_le_bytes(field(r, 0)?);
+            let x = f64::from_le_bytes(field(r, 8)?);
+            let y = f64::from_le_bytes(field(r, 16)?);
+            if !x.is_finite() || !y.is_finite() {
+                return Err(MapDecodeError::InvalidLandmark { index: i as u64 });
+            }
+            let desc: [u8; 32] = field(r, 24)?;
             landmarks.push(Landmark::new(id, Point2::new(x, y), Descriptor::new(desc)));
         }
         Ok(PriorMap::new(landmarks))
@@ -171,6 +193,19 @@ mod tests {
             PriorMap::from_bytes(cut).unwrap_err(),
             MapDecodeError::Truncated { expected: 10, found: 9 }
         ));
+    }
+
+    #[test]
+    fn decode_rejects_non_finite_coordinates() {
+        // Overwrite landmark 1's x coordinate with a NaN bit pattern —
+        // the shape a bit-flipped map file takes.
+        let mut bytes = sample_map(3).to_bytes();
+        let off = 20 + LANDMARK_RECORD_BYTES + 8;
+        bytes[off..off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            PriorMap::from_bytes(&bytes).unwrap_err(),
+            MapDecodeError::InvalidLandmark { index: 1 }
+        );
     }
 
     #[test]

@@ -89,6 +89,12 @@ impl GrayImage {
         &self.data
     }
 
+    /// Mutable raw pixels, row-major (in-place perturbation: noise
+    /// injection, masking).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
     /// One image row.
     ///
     /// # Panics

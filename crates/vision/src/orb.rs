@@ -2,6 +2,7 @@ use crate::brief::{describe, Descriptor};
 use crate::fast::{fast_corners, orientation, Keypoint};
 use crate::pyramid::Pyramid;
 use crate::GrayImage;
+use adsim_runtime::Runtime;
 
 /// A keypoint with its rBRIEF descriptor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +47,7 @@ pub struct OrbExtractor {
     fast_threshold: u8,
     n_levels: usize,
     grid: Option<(usize, usize)>,
+    runtime: Runtime,
 }
 
 impl OrbExtractor {
@@ -58,7 +60,21 @@ impl OrbExtractor {
     /// Panics if `max_features` is zero.
     pub fn new(max_features: usize, fast_threshold: u8) -> Self {
         assert!(max_features > 0, "max_features must be positive");
-        Self { max_features, fast_threshold, n_levels: 4, grid: None }
+        Self {
+            max_features,
+            fast_threshold,
+            n_levels: 4,
+            grid: None,
+            runtime: Runtime::serial(),
+        }
+    }
+
+    /// Runs per-pyramid-level detection on a worker pool. Results are
+    /// bit-identical to the serial extractor at any thread count:
+    /// levels land in fixed slots and are flattened in octave order.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 
     /// Sets the number of pyramid levels (default 4).
@@ -100,22 +116,32 @@ impl OrbExtractor {
     pub fn extract_with_cost(&self, img: &GrayImage) -> (Vec<Feature>, OrbCost) {
         let pyramid = Pyramid::build(img, self.n_levels);
         let mut cost = OrbCost { pixels_scanned: pyramid.total_pixels(), ..Default::default() };
-        let mut keypoints: Vec<Keypoint> = Vec::new();
-        for (octave, level) in pyramid.levels().iter().enumerate() {
+        // Per-level detection is independent work: each level fills
+        // its own slot, so the flattened octave-order result is
+        // identical on any worker count (and on the serial path).
+        let levels = pyramid.levels();
+        let mut per_level: Vec<Vec<Keypoint>> = vec![Vec::new(); levels.len()];
+        let rt = self.runtime.for_work(pyramid.total_pixels() * 32);
+        rt.par_chunks_mut(&mut per_level, 1, |octave, slot| {
+            let level = &levels[octave];
             let scale = pyramid.scale(octave);
-            for mut kp in fast_corners(level, self.fast_threshold) {
+            let mut kps = fast_corners(level, self.fast_threshold);
+            for kp in &mut kps {
                 kp.angle = orientation(level, kp.x, kp.y, 15);
                 // Report in full-resolution coordinates.
                 kp.x *= scale;
                 kp.y *= scale;
                 kp.octave = octave;
-                keypoints.push(kp);
             }
-        }
+            slot[0] = kps;
+        });
+        let mut keypoints: Vec<Keypoint> = per_level.into_iter().flatten().collect();
         cost.corners_detected = keypoints.len();
         // Keep the strongest corners (the retention policy ORB uses),
-        // optionally spread over a spatial grid.
-        keypoints.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        // optionally spread over a spatial grid. The sort is stable,
+        // so equal scores keep their octave-order position and the
+        // retained set is deterministic.
+        keypoints.sort_by(|a, b| b.score.total_cmp(&a.score));
         match self.grid {
             None => keypoints.truncate(self.max_features),
             Some((rows, cols)) => {
@@ -250,5 +276,26 @@ mod tests {
     fn same_image_gives_identical_features() {
         let orb = OrbExtractor::new(20, 20);
         assert_eq!(orb.extract(&scene()), orb.extract(&scene()));
+    }
+
+    #[test]
+    fn parallel_extraction_matches_serial_bit_for_bit() {
+        // Rich multi-scale texture so every pyramid level contributes
+        // corners and the parallel path is actually exercised.
+        let img = GrayImage::from_fn(320, 240, |x, y| {
+            let mut h = (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (y as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 31;
+            (h % 230) as u8
+        });
+        let base = OrbExtractor::new(300, 20).with_levels(4);
+        let (serial, serial_cost) = base.extract_with_cost(&img);
+        assert!(!serial.is_empty());
+        for threads in [2, 8] {
+            let par = base.with_runtime(Runtime::new(threads));
+            let (features, cost) = par.extract_with_cost(&img);
+            assert_eq!(serial, features, "threads={threads}");
+            assert_eq!(serial_cost, cost, "threads={threads}");
+        }
     }
 }

@@ -25,6 +25,14 @@ pub enum TrajectoryParseError {
         /// The offending field text.
         field: String,
     },
+    /// A field parsed as a number but was NaN or infinite. Accepting
+    /// these would poison every downstream interpolation and search.
+    NonFiniteNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field text.
+        field: String,
+    },
     /// Timestamps must be strictly increasing.
     NonMonotonicTime {
         /// 1-based line number.
@@ -42,6 +50,9 @@ impl std::fmt::Display for TrajectoryParseError {
             }
             TrajectoryParseError::BadNumber { line, field } => {
                 write!(f, "line {line}: could not parse number from {field:?}")
+            }
+            TrajectoryParseError::NonFiniteNumber { line, field } => {
+                write!(f, "line {line}: non-finite number {field:?}")
             }
             TrajectoryParseError::NonMonotonicTime { line } => {
                 write!(f, "line {line}: timestamps must be strictly increasing")
@@ -100,6 +111,15 @@ impl PoseTrack {
                     line,
                     field: (*f).to_string(),
                 })?;
+                // "nan"/"inf" parse successfully but would panic the
+                // time binary search and poison interpolation later;
+                // reject them at the boundary instead.
+                if !n.is_finite() {
+                    return Err(TrajectoryParseError::NonFiniteNumber {
+                        line,
+                        field: (*f).to_string(),
+                    });
+                }
             }
             if let Some(&last) = times.last() {
                 if nums[0] <= last {
@@ -146,10 +166,7 @@ impl PoseTrack {
         if t >= self.times[last] {
             return self.poses[last];
         }
-        let i = match self
-            .times
-            .binary_search_by(|v| v.partial_cmp(&t).expect("times are finite"))
-        {
+        let i = match self.times.binary_search_by(|v| v.total_cmp(&t)) {
             Ok(i) => return self.poses[i],
             Err(i) => i - 1,
         };
@@ -232,6 +249,22 @@ mod tests {
             TrajectoryParseError::NonMonotonicTime { line: 2 }
         );
         assert_eq!(PoseTrack::from_csv_str("# only comments\n").unwrap_err(), TrajectoryParseError::Empty);
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        // `"nan".parse::<f64>()` succeeds; before this check a NaN
+        // timestamp panicked pose_at_time's binary search at use time
+        // instead of failing at the parse boundary.
+        for bad in ["nan, 0, 0, 0", "inf, 0, 0, 0", "0, 0, NaN, 0"] {
+            assert!(
+                matches!(
+                    PoseTrack::from_csv_str(bad).unwrap_err(),
+                    TrajectoryParseError::NonFiniteNumber { line: 1, .. }
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 }
 

@@ -16,7 +16,9 @@
 //! | [`platform`] | CPU/GPU/FPGA/ASIC latency & power models (Tables 2–3, Fig. 10) |
 //! | [`stats`] | Tail-latency statistics |
 //! | [`workload`] | Synthetic driving scenarios and camera streams |
-//! | [`core`] | The end-to-end pipelines and design-constraint checker |
+//! | [`runtime`] | The std-only fork-join worker pool |
+//! | [`faults`] | Deterministic seeded fault injection |
+//! | [`core`] | The end-to-end pipelines, supervisor, and design-constraint checker |
 //!
 //! # Quickstart
 //!
@@ -37,9 +39,11 @@
 
 pub use adsim_core as core;
 pub use adsim_dnn as dnn;
+pub use adsim_faults as faults;
 pub use adsim_perception as perception;
 pub use adsim_planning as planning;
 pub use adsim_platform as platform;
+pub use adsim_runtime as runtime;
 pub use adsim_slam as slam;
 pub use adsim_stats as stats;
 pub use adsim_tensor as tensor;
