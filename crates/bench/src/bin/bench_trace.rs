@@ -1,0 +1,239 @@
+//! Tracing demonstration over the native driving pipeline.
+//!
+//! Runs the same seeded urban scenario twice through the native
+//! pipeline — once bare, once inside a [`adsim_trace::TraceSession`] —
+//! and asserts the two runs produce bit-identical outputs (tracing
+//! must observe, never perturb). Reports the wall-clock overhead of
+//! recording, prints the per-span tail-latency summary streamed by the
+//! log-bucketed histograms, checks the paper's Fig. 6 per-stage
+//! ordering (DET > TRA > LOC >> FUSION/MOTPLAN) on the traced
+//! medians, and writes two artifacts:
+//!
+//! * `TRACE_pipeline.json` — Chrome trace-event JSON; open it in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` to see
+//!   the DET/LOC fork, per-layer DNN spans, ORB levels and runtime
+//!   worker occupancy on a timeline;
+//! * `BENCH_trace.json` — the numeric report (per-span quantiles,
+//!   overhead, worker utilization).
+//!
+//! ```text
+//! cargo run --release -p adsim-bench --bin bench_trace [-- --quick]
+//! ```
+//!
+//! `--quick` shrinks the frame count for smoke-testing the runner.
+
+use adsim_core::{
+    build_prior_map, DetectorKind, NativePipeline, NativePipelineConfig, TrackerKind,
+};
+use adsim_slam::PriorMap;
+use adsim_trace::{validate_json, worker_utilization, TraceSession, TraceSummary};
+use adsim_vision::{OrthoCamera, Pose2};
+use adsim_workload::{Resolution, Scenario, ScenarioKind};
+use std::time::Instant;
+
+/// Scenario seed shared by both runs.
+const SEED: u64 = 0x72ACE;
+
+/// Shared world assets; the prior map dominates setup cost.
+struct Assets {
+    scenario: Scenario,
+    camera: OrthoCamera,
+    map: PriorMap,
+}
+
+impl Assets {
+    fn build(res: Resolution) -> Self {
+        let scenario = Scenario::new(ScenarioKind::UrbanDrive, SEED);
+        let camera = scenario.camera(res);
+        let poses: Vec<Pose2> = (0..40)
+            .flat_map(|i| {
+                let p = scenario.pose_at(i * 10);
+                [p, Pose2::new(p.x, p.y + 25.0, p.theta), Pose2::new(p.x, p.y - 25.0, p.theta)]
+            })
+            .collect();
+        let map = build_prior_map(scenario.world(), &camera, poses, 300, 25);
+        Self { scenario, camera, map }
+    }
+
+    /// A pipeline configured so every stage exercises its paper
+    /// workload: YOLO detection (DNN), GOTURN tracking (DNN per
+    /// track), ORB + RANSAC localization.
+    fn pipeline(&self) -> NativePipeline {
+        let cfg = NativePipelineConfig {
+            detector: DetectorKind::Yolo { grid: 56, threshold: 0.10 },
+            tracker: TrackerKind::Goturn,
+            tracker_pool: adsim_perception::TrackerPoolConfig {
+                capacity: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut pipe = NativePipeline::new(self.camera, self.map.clone(), cfg);
+        pipe.seed_pose(self.scenario.pose_at(0));
+        pipe
+    }
+
+    /// Runs `frames` frames and returns (deterministic output
+    /// signature, wall-clock ms).
+    fn run(&self, res: Resolution, frames: usize) -> (String, f64) {
+        let mut pipe = self.pipeline();
+        let mut sig = String::new();
+        let t = Instant::now();
+        for frame in self.scenario.stream(res).take(frames) {
+            let out = pipe.process(&frame.image, frame.time_s);
+            match out.pose {
+                Some(p) => sig.push_str(&format!(
+                    "pose {:016x} {:016x} {:016x}; ",
+                    p.x.to_bits(),
+                    p.y.to_bits(),
+                    p.theta.to_bits()
+                )),
+                None => sig.push_str("pose none; "),
+            }
+            for tr in &out.tracks {
+                sig.push_str(&format!(
+                    "trk {} {:08x} {:08x}; ",
+                    tr.track_id,
+                    tr.bbox.cx.to_bits(),
+                    tr.bbox.cy.to_bits()
+                ));
+            }
+            sig.push('\n');
+        }
+        (sig, t.elapsed().as_secs_f64() * 1e3)
+    }
+}
+
+/// The Fig. 6 stage ordering on traced medians: DET > TRA > LOC, and
+/// LOC at least an order of magnitude above fusion and planning.
+fn fig6_ordering(summary: &TraceSummary) -> bool {
+    let p50 = |name: &str| summary.get(name).map_or(0.0, |s| s.p50_ms);
+    let (det, tra, loc) = (p50("stage.det"), p50("stage.tra"), p50("stage.loc"));
+    let (fus, mot) = (p50("stage.fusion"), p50("stage.motplan"));
+    det > tra && tra > loc && loc > 10.0 * fus && loc > 10.0 * mot
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let res = Resolution::Hhd;
+    let frames = if quick { 4 } else { 30 };
+
+    adsim_bench::header(
+        "Trace",
+        "traced vs untraced pipeline: overhead, tail summaries, Chrome export",
+    );
+    let assets = Assets::build(res);
+
+    // -- Untraced baseline. -------------------------------------------
+    let (sig_bare, bare_ms) = assets.run(res, frames);
+    println!("untraced: {frames} frames in {bare_ms:.1} ms");
+
+    // -- Traced run, same seed. ---------------------------------------
+    let session = TraceSession::begin();
+    let (sig_traced, traced_ms) = assets.run(res, frames);
+    let trace = session.finish();
+    println!("traced:   {frames} frames in {traced_ms:.1} ms");
+
+    let identical = sig_bare == sig_traced;
+    println!("\ntraced outputs bit-identical: {}", adsim_bench::mark(identical));
+    assert!(identical, "tracing must not perturb pipeline outputs");
+
+    let overhead_pct = (traced_ms - bare_ms) / bare_ms * 100.0;
+    println!("recording overhead: {overhead_pct:+.2}% wall clock");
+
+    // -- Streaming per-span summaries. --------------------------------
+    let summary = trace.summary();
+    println!("\n{}", summary.table());
+
+    let ordered = fig6_ordering(&summary);
+    println!("Fig. 6 stage ordering (DET > TRA > LOC >> FUS/MOT): {}", adsim_bench::mark(ordered));
+    assert!(ordered, "traced stage medians must reproduce the Fig. 6 ordering");
+
+    // -- Runtime worker occupancy. ------------------------------------
+    let (workers, region_ms) = worker_utilization(&trace.events);
+    if !workers.is_empty() {
+        println!("\nruntime workers ({region_ms:.1} ms in parallel regions):");
+        for w in &workers {
+            println!(
+                "  worker {:>2}: busy {:>8.1} ms over {} regions",
+                w.worker, w.busy_ms, w.regions
+            );
+        }
+    }
+
+    // -- Exports. -----------------------------------------------------
+    let chrome = trace.chrome_json();
+    validate_json(&chrome).expect("Chrome trace export must be well-formed JSON");
+    std::fs::write("TRACE_pipeline.json", &chrome).expect("write TRACE_pipeline.json");
+    println!(
+        "\nwrote TRACE_pipeline.json ({} events) -- open in https://ui.perfetto.dev",
+        trace.events.len()
+    );
+
+    let json = to_json(quick, frames, identical, ordered, bare_ms, traced_ms, &trace, &summary);
+    validate_json(&json).expect("report must be well-formed JSON");
+    std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
+    println!("wrote BENCH_trace.json ({} span names)", summary.spans.len());
+}
+
+/// Hand-rolled JSON (offline policy: no serde). Span names are static
+/// ASCII identifiers, so no escaping is required.
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    quick: bool,
+    frames: usize,
+    identical: bool,
+    ordered: bool,
+    bare_ms: f64,
+    traced_ms: f64,
+    trace: &adsim_trace::Trace,
+    summary: &TraceSummary,
+) -> String {
+    let (workers, region_ms) = worker_utilization(&trace.events);
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"bench_trace\",\n");
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"frames\": {frames},\n"));
+    s.push_str(&format!("  \"bit_identical\": {identical},\n"));
+    s.push_str(&format!("  \"fig6_ordering_ok\": {ordered},\n"));
+    s.push_str(&format!("  \"untraced_ms\": {bare_ms:.3},\n"));
+    s.push_str(&format!("  \"traced_ms\": {traced_ms:.3},\n"));
+    s.push_str(&format!(
+        "  \"overhead_pct\": {:.3},\n",
+        (traced_ms - bare_ms) / bare_ms * 100.0
+    ));
+    s.push_str(&format!("  \"events\": {},\n", trace.events.len()));
+    s.push_str(&format!("  \"parallel_region_ms\": {region_ms:.3},\n"));
+    s.push_str("  \"workers\": [\n");
+    for (i, w) in workers.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"worker\": {}, \"busy_ms\": {:.3}, \"regions\": {}}}{}\n",
+            w.worker,
+            w.busy_ms,
+            w.regions,
+            if i + 1 < workers.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"spans\": [\n");
+    for (i, sp) in summary.spans.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"count\": {}, \"total_ms\": {:.3}, \"mean_ms\": {:.4}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"p99_99_ms\": {:.4}, \
+             \"max_ms\": {:.4}}}{}\n",
+            sp.name,
+            sp.count,
+            sp.total_ms,
+            sp.mean_ms,
+            sp.p50_ms,
+            sp.p95_ms,
+            sp.p99_ms,
+            sp.p99_99_ms,
+            sp.max_ms,
+            if i + 1 < summary.spans.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

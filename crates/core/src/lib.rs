@@ -42,7 +42,7 @@ pub use deadline::{replay_stream, DeadlineStats};
 pub use modeled::{FrameLatency, ModeledPipeline, PipelineStats};
 pub use native::{
     build_prior_map, DetectorKind, NativeFrameResult, NativePipeline, NativePipelineConfig,
-    ProcessControl,
+    ProcessControl, TrackerKind,
 };
 pub use simulation::{ClosedLoopSim, SimReport, SimStep};
 pub use supervisor::{

@@ -1,7 +1,7 @@
 use crate::modeled::FrameLatency;
 use adsim_perception::{
-    BlobDetector, Detector, TemplateTracker, TrackedObject, TrackerPool, TrackerPoolConfig,
-    YoloDetector,
+    BlobDetector, Detector, GoturnTracker, TemplateTracker, TrackedObject, Tracker, TrackerPool,
+    TrackerPoolConfig, YoloDetector,
 };
 use adsim_planning::{Environment, FusedFrame, FusionEngine, MotionPlan, MotionPlanner};
 use adsim_runtime::Runtime;
@@ -26,11 +26,25 @@ pub enum DetectorKind {
     },
 }
 
+/// Which single-object tracker the pool is populated with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackerKind {
+    /// Template matcher — functionally accurate on the synthetic
+    /// worlds, cheap per track.
+    Template,
+    /// GOTURN-style regression DNN per track — exercises the paper's
+    /// Fig. 4 compute structure and makes TRA a DNN workload whose
+    /// cost scales with the number of tracked objects.
+    Goturn,
+}
+
 /// Native pipeline construction parameters.
 #[derive(Debug, Clone)]
 pub struct NativePipelineConfig {
     /// Detector implementation.
     pub detector: DetectorKind,
+    /// Tracker implementation populating the pool.
+    pub tracker: TrackerKind,
     /// ORB feature budget for localization.
     pub orb_features: usize,
     /// FAST threshold for localization.
@@ -53,6 +67,7 @@ impl Default for NativePipelineConfig {
     fn default() -> Self {
         Self {
             detector: DetectorKind::Blob,
+            tracker: TrackerKind::Template,
             orb_features: 300,
             fast_threshold: 25,
             localizer: LocalizerConfig::default(),
@@ -141,13 +156,22 @@ impl NativePipeline {
                 Box::new(YoloDetector::new(grid, threshold).with_runtime(dnn_rt))
             }
         };
+        let pool = match cfg.tracker {
+            TrackerKind::Template => TrackerPool::new(cfg.tracker_pool, |frame, bbox| {
+                Box::new(TemplateTracker::new(frame, bbox)) as Box<dyn Tracker>
+            }),
+            TrackerKind::Goturn => TrackerPool::new(cfg.tracker_pool, |frame, bbox| {
+                Box::new(GoturnTracker::new(frame, bbox)) as Box<dyn Tracker>
+            }),
+        }
+        // Tracking runs after the DET/LOC fork has joined, so its
+        // per-track fan-out may use the full pool.
+        .with_runtime(cfg.runtime);
         Self {
             camera,
-            localizer: Localizer::new(map, camera, orb, cfg.localizer),
+            localizer: Localizer::new(map, camera, orb, cfg.localizer).with_runtime(orb_rt),
             detector,
-            pool: TrackerPool::new(cfg.tracker_pool, |frame, bbox| {
-                Box::new(TemplateTracker::new(frame, bbox))
-            }),
+            pool,
             fusion: FusionEngine::new(),
             motion: MotionPlanner::new(cfg.environment, cfg.cruise_mps),
             runtime: cfg.runtime,
@@ -179,11 +203,24 @@ impl NativePipeline {
         time_s: f64,
         ctrl: &ProcessControl,
     ) -> NativeFrameResult {
+        let _frame_sp = adsim_trace::span("pipeline.frame");
         // Steps 1a/1b: detection and localization in parallel (serial
         // in order on a single-worker runtime). When a stage is
         // skipped there is no fork to run concurrently.
         let localizer = &mut self.localizer;
         let detector = &mut self.detector;
+        let run_loc = |localizer: &mut Localizer| {
+            let _sp = adsim_trace::span("stage.loc");
+            let t = Instant::now();
+            let r = localizer.localize(image);
+            (r, t.elapsed().as_secs_f64() * 1e3)
+        };
+        let run_det = |detector: &mut Box<dyn Detector + Send>| {
+            let _sp = adsim_trace::span("stage.det");
+            let t = Instant::now();
+            let d = detector.detect(image);
+            (d, t.elapsed().as_secs_f64() * 1e3)
+        };
         let ((loc_result, loc_ms), (detections, det_ms)) =
             if ctrl.skip_detection || ctrl.skip_localization {
                 let loc = if ctrl.skip_localization {
@@ -194,34 +231,20 @@ impl NativePipeline {
                     };
                     (lost, 0.0)
                 } else {
-                    let t = Instant::now();
-                    let r = localizer.localize(image);
-                    (r, t.elapsed().as_secs_f64() * 1e3)
+                    run_loc(localizer)
                 };
                 let det = if ctrl.skip_detection {
                     (Vec::new(), 0.0)
                 } else {
-                    let t = Instant::now();
-                    let d = detector.detect(image);
-                    (d, t.elapsed().as_secs_f64() * 1e3)
+                    run_det(detector)
                 };
                 (loc, det)
             } else {
-                self.runtime.join(
-                    move || {
-                        let t = Instant::now();
-                        let r = localizer.localize(image);
-                        (r, t.elapsed().as_secs_f64() * 1e3)
-                    },
-                    move || {
-                        let t = Instant::now();
-                        let d = detector.detect(image);
-                        (d, t.elapsed().as_secs_f64() * 1e3)
-                    },
-                )
+                self.runtime.join(move || run_loc(localizer), move || run_det(detector))
             };
 
         // Step 1c: tracking.
+        let tra_sp = adsim_trace::span("stage.tra");
         let t = Instant::now();
         let mut tracks = self.pool.step(image, &detections);
         if let Some((dx, dy)) = ctrl.track_shift {
@@ -231,6 +254,7 @@ impl NativePipeline {
             }
         }
         let tra_ms = t.elapsed().as_secs_f64() * 1e3;
+        drop(tra_sp);
 
         // Step 2: fusion onto the world frame.
         let pose = loc_result
@@ -238,15 +262,19 @@ impl NativePipeline {
             .or(ctrl.pose_fallback)
             .or(self.localizer.pose())
             .unwrap_or_default();
+        let fus_sp = adsim_trace::span("stage.fusion");
         let t = Instant::now();
         let rows: Vec<_> = tracks.iter().map(|tr| (tr.track_id, tr.class, tr.bbox)).collect();
         let fused = self.fusion.fuse(&self.camera, pose, time_s, &rows);
         let fus_ms = t.elapsed().as_secs_f64() * 1e3;
+        drop(fus_sp);
 
         // Step 3: motion planning.
+        let mot_sp = adsim_trace::span("stage.motplan");
         let t = Instant::now();
         let plan = self.motion.plan(&fused);
         let mot_ms = t.elapsed().as_secs_f64() * 1e3;
+        drop(mot_sp);
 
         NativeFrameResult {
             latency: FrameLatency {

@@ -321,6 +321,22 @@ struct SupervisorCore {
     reckon: Option<Pose2>,
 }
 
+/// Static trace-instant name for a mode transition, so degraded-mode
+/// changes show up on the Chrome-trace timeline next to the stage
+/// spans they interrupt.
+fn transition_instant(mode: DegradedMode, entered: bool) -> &'static str {
+    match (mode, entered) {
+        (DegradedMode::TrackerOnly, true) => "degrade.enter.tracker-only",
+        (DegradedMode::TrackerOnly, false) => "degrade.exit.tracker-only",
+        (DegradedMode::DeadReckoning, true) => "degrade.enter.dead-reckoning",
+        (DegradedMode::DeadReckoning, false) => "degrade.exit.dead-reckoning",
+        (DegradedMode::SpeedReduced, true) => "degrade.enter.speed-reduced",
+        (DegradedMode::SpeedReduced, false) => "degrade.exit.speed-reduced",
+        (DegradedMode::SafeStop, true) => "degrade.enter.safe-stop",
+        (DegradedMode::SafeStop, false) => "degrade.exit.safe-stop",
+    }
+}
+
 /// Emits an enter/exit event when a mode's desired state changes.
 fn toggle_mode(
     slot: &mut Option<u64>,
@@ -335,6 +351,7 @@ fn toggle_mode(
         (None, true) => {
             *slot = Some(frame);
             events.push(DegradationEvent { frame, kind: DegradationEventKind::Entered { mode, cause } });
+            adsim_trace::instant(transition_instant(mode, true));
             if mode == DegradedMode::SafeStop {
                 stats.safe_stops += 1;
             }
@@ -345,6 +362,7 @@ fn toggle_mode(
                 frame,
                 kind: DegradationEventKind::Exited { mode, frames_degraded: frame - since },
             });
+            adsim_trace::instant(transition_instant(mode, false));
         }
         _ => {}
     }
@@ -404,6 +422,7 @@ impl SupervisorCore {
                     frame,
                     kind: DegradationEventKind::Retry { stage: stall.stage, attempt, backoff_ms: backoff },
                 });
+                adsim_trace::instant("degrade.retry");
                 self.stats.retries += 1;
             }
             match stall.stage {

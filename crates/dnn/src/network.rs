@@ -101,8 +101,24 @@ impl Network {
             });
         }
         let mut x = input.clone();
-        for layer in &self.layers {
-            x = layer.forward_with(rt, &x)?;
+        if adsim_trace::enabled() {
+            // The traced path propagates the shape alongside the data so
+            // each layer span carries its exact FLOP/byte cost from
+            // `Layer::cost` (DESIGN.md §8). Compute is unchanged.
+            let _net = adsim_trace::span("dnn.forward");
+            let mut shape = self.input_shape.clone();
+            for (i, layer) in self.layers.iter().enumerate() {
+                let cost = layer.cost(&shape)?;
+                shape = layer.output_shape(&shape)?;
+                let sp = adsim_trace::span_at(span_name(layer.kind()), i)
+                    .with_cost(cost.flops, cost.total_bytes());
+                x = layer.forward_with(rt, &x)?;
+                drop(sp);
+            }
+        } else {
+            for layer in &self.layers {
+                x = layer.forward_with(rt, &x)?;
+            }
         }
         Ok(x)
     }
@@ -120,6 +136,20 @@ impl Network {
             shape = layer.output_shape(&shape)?;
         }
         Ok(NetworkCost::from_layers(layers))
+    }
+}
+
+/// Trace span name for a layer kind. Spans need `&'static str` names,
+/// so the mapping is a closed match over [`Layer::kind`] values.
+fn span_name(kind: &'static str) -> &'static str {
+    match kind {
+        "conv2d" => "dnn.conv2d",
+        "maxpool2d" => "dnn.maxpool2d",
+        "batchnorm" => "dnn.batchnorm",
+        "flatten" => "dnn.flatten",
+        "linear" => "dnn.linear",
+        "activation" => "dnn.activation",
+        _ => "dnn.layer",
     }
 }
 

@@ -1,5 +1,6 @@
 use crate::tracker::Tracker;
 use adsim_dnn::detection::{BBox, Detection, ObjectClass};
+use adsim_runtime::Runtime;
 use adsim_vision::GrayImage;
 use std::collections::HashMap;
 
@@ -54,6 +55,7 @@ pub struct TrackerPool {
     cfg: TrackerPoolConfig,
     tracks: HashMap<u64, (Box<dyn Tracker>, TrackedObject)>,
     next_id: u64,
+    runtime: Runtime,
 }
 
 impl std::fmt::Debug for TrackerPool {
@@ -71,7 +73,24 @@ impl TrackerPool {
         cfg: TrackerPoolConfig,
         factory: impl FnMut(&GrayImage, BBox) -> Box<dyn Tracker> + Send + 'static,
     ) -> Self {
-        Self { factory: Box::new(factory), cfg, tracks: HashMap::new(), next_id: 0 }
+        Self {
+            factory: Box::new(factory),
+            cfg,
+            tracks: HashMap::new(),
+            next_id: 0,
+            runtime: Runtime::serial(),
+        }
+    }
+
+    /// Advances per-track updates on the given worker pool. Track
+    /// updates are independent (each tracker reads the shared frame and
+    /// writes only its own state), and association runs afterwards on
+    /// the deterministically sorted pair list, so the table is
+    /// identical on any thread count.
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 
     /// Number of active tracks.
@@ -92,12 +111,24 @@ impl TrackerPool {
     /// table reflects all updates, associations and expiries.
     pub fn step(&mut self, frame: &GrayImage, detections: &[Detection]) -> Vec<TrackedObject> {
         // 1. Advance every tracker ("predict the trajectories of
-        //    moving objects").
-        for (tracker, obj) in self.tracks.values_mut() {
-            obj.bbox = tracker.update(frame);
-            obj.age += 1;
-            obj.frames_missing += 1;
+        //    moving objects"). Updates are independent, so they fan
+        //    out one-per-worker-task over the pool's runtime; the
+        //    track-id sort pins the task order so scheduling is a pure
+        //    function of the table contents.
+        {
+            let _sp = adsim_trace::span("tra.update");
+            let mut entries: Vec<&mut (Box<dyn Tracker>, TrackedObject)> =
+                self.tracks.values_mut().collect();
+            entries.sort_by_key(|(_, obj)| obj.track_id);
+            let rt = if entries.len() >= 2 { self.runtime } else { Runtime::serial() };
+            rt.par_chunks_mut(&mut entries, 1, |_, slot| {
+                let (tracker, obj) = &mut *slot[0];
+                obj.bbox = tracker.update(frame);
+                obj.age += 1;
+                obj.frames_missing += 1;
+            });
         }
+        let _sp = adsim_trace::span("tra.associate");
 
         // 2. Greedy association, best pairs first. Primary criterion
         //    is IoU; when a tracker has drifted enough that the boxes
@@ -275,6 +306,50 @@ mod tests {
         let t = p.step(&frame(), &[det(0.8, 0.8, ObjectClass::Bicycle)]);
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].class, ObjectClass::Bicycle);
+    }
+
+    #[test]
+    fn parallel_updates_are_bit_identical_across_thread_counts() {
+        let signature = |p: &mut TrackerPool| -> Vec<(u64, [u32; 4], u32, u64)> {
+            // A multi-frame scenario with association churn: objects
+            // drift, one disappears, a new one appears.
+            let mut out = Vec::new();
+            let f = frame();
+            for step in 0..6u32 {
+                let s = step as f32 * 0.02;
+                let mut dets = vec![
+                    det(0.2 + s, 0.2, ObjectClass::Vehicle),
+                    det(0.6, 0.6 - s, ObjectClass::Pedestrian),
+                ];
+                if step < 3 {
+                    dets.push(det(0.8, 0.3 + s, ObjectClass::Bicycle));
+                }
+                if step >= 4 {
+                    dets.push(det(0.4, 0.8, ObjectClass::Vehicle));
+                }
+                for t in p.step(&f, &dets) {
+                    out.push((
+                        t.track_id,
+                        [
+                            t.bbox.cx.to_bits(),
+                            t.bbox.cy.to_bits(),
+                            t.bbox.w.to_bits(),
+                            t.bbox.h.to_bits(),
+                        ],
+                        t.frames_missing,
+                        t.age,
+                    ));
+                }
+            }
+            out
+        };
+        let mut serial = pool(TrackerPoolConfig::default());
+        let expect = signature(&mut serial);
+        for threads in [1usize, 2, 8] {
+            let mut par = pool(TrackerPoolConfig::default())
+                .with_runtime(adsim_runtime::Runtime::new(threads));
+            assert_eq!(signature(&mut par), expect, "threads={threads}");
+        }
     }
 
     #[test]

@@ -11,7 +11,11 @@ use adsim_vision::GrayImage;
 /// bounding box once and then, for each new frame, predicts the
 /// target's new box from the previous target crop and a search region
 /// crop of the current frame.
-pub trait Tracker {
+///
+/// `Send` is a supertrait so the tracker pool can advance its members
+/// on `adsim-runtime` workers; trackers are owned by one pool and never
+/// shared, so no `Sync` bound is needed.
+pub trait Tracker: Send {
     /// Advances the tracker by one frame, returning the predicted box
     /// in normalized image coordinates.
     fn update(&mut self, frame: &GrayImage) -> BBox;

@@ -124,8 +124,13 @@ impl Runtime {
             }
             return;
         }
+        // Region/worker spans cost one relaxed atomic load each when
+        // tracing is off; enabled they make per-worker busy time and
+        // fork-join wall time visible (DESIGN.md §8).
+        let _region = adsim_trace::span(adsim_trace::REGION_SPAN);
         let cursor = AtomicUsize::new(0);
-        let worker_loop = || {
+        let worker_loop = |worker: usize| {
+            let _busy = adsim_trace::span_at(adsim_trace::WORKER_SPAN, worker);
             let mut state = init();
             loop {
                 let start = cursor.fetch_add(grain, Ordering::Relaxed);
@@ -138,10 +143,18 @@ impl Runtime {
             }
         };
         std::thread::scope(|s| {
-            for _ in 1..workers {
-                s.spawn(worker_loop);
+            let wl = &worker_loop;
+            for worker in 1..workers {
+                // Flush after the busy span drops: the scope unblocks
+                // when the closure returns, which may precede the
+                // thread's TLS destructors — an unflushed buffer could
+                // otherwise miss the session that is about to finish.
+                s.spawn(move || {
+                    wl(worker);
+                    adsim_trace::flush_thread();
+                });
             }
-            worker_loop();
+            worker_loop(0);
         });
     }
 
@@ -175,19 +188,27 @@ impl Runtime {
         // Disjoint &mut chunks are handed out through a mutex-guarded
         // iterator; the lock is held only to pop the next chunk, and
         // chunk counts are small relative to per-chunk work.
+        let _region = adsim_trace::span(adsim_trace::REGION_SPAN);
         let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
-        let worker_loop = || loop {
-            let next = queue.lock().expect("chunk queue lock").next();
-            match next {
-                Some((i, chunk)) => f(i, chunk),
-                None => break,
+        let worker_loop = |worker: usize| {
+            let _busy = adsim_trace::span_at(adsim_trace::WORKER_SPAN, worker);
+            loop {
+                let next = queue.lock().expect("chunk queue lock").next();
+                match next {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => break,
+                }
             }
         };
         std::thread::scope(|s| {
-            for _ in 1..workers {
-                s.spawn(worker_loop);
+            let wl = &worker_loop;
+            for worker in 1..workers {
+                s.spawn(move || {
+                    wl(worker);
+                    adsim_trace::flush_thread();
+                });
             }
-            worker_loop();
+            worker_loop(0);
         });
     }
 
@@ -206,9 +227,20 @@ impl Runtime {
             let b = fb();
             return (a, b);
         }
+        let _region = adsim_trace::span(adsim_trace::REGION_SPAN);
         std::thread::scope(|s| {
-            let ha = s.spawn(fa);
-            let b = fb();
+            let ha = s.spawn(move || {
+                let a = {
+                    let _busy = adsim_trace::span_at(adsim_trace::WORKER_SPAN, 1);
+                    fa()
+                };
+                adsim_trace::flush_thread();
+                a
+            });
+            let b = {
+                let _busy = adsim_trace::span_at(adsim_trace::WORKER_SPAN, 0);
+                fb()
+            };
             let a = ha.join().expect("joined task panicked");
             (a, b)
         })

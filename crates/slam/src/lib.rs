@@ -46,4 +46,4 @@ pub use io::MapDecodeError;
 pub use localizer::{LocCost, LocalizeOutcome, LocalizeResult, Localizer, LocalizerConfig};
 pub use map::{Landmark, PriorMap};
 pub use motion::MotionModel;
-pub use solve::{estimate_pose, Correspondence, PoseEstimate};
+pub use solve::{estimate_pose, estimate_pose_with, Correspondence, PoseEstimate};

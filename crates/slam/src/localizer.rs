@@ -1,6 +1,7 @@
 use crate::map::PriorMap;
 use crate::motion::MotionModel;
-use crate::solve::{estimate_pose, Correspondence};
+use crate::solve::{estimate_pose_with, Correspondence};
+use adsim_runtime::Runtime;
 use adsim_vision::{match_descriptors, Feature, GrayImage, OrbExtractor, OrthoCamera, Pose2};
 
 /// Tuning parameters of the [`Localizer`].
@@ -114,6 +115,7 @@ pub struct Localizer {
     motion: MotionModel,
     cfg: LocalizerConfig,
     stats: LocalizerStats,
+    runtime: Runtime,
 }
 
 impl std::fmt::Debug for Localizer {
@@ -133,7 +135,24 @@ impl Localizer {
         orb: OrbExtractor,
         cfg: LocalizerConfig,
     ) -> Self {
-        Self { map, camera, orb, motion: MotionModel::new(), cfg, stats: LocalizerStats::default() }
+        Self {
+            map,
+            camera,
+            orb,
+            motion: MotionModel::new(),
+            cfg,
+            stats: LocalizerStats::default(),
+            runtime: Runtime::serial(),
+        }
+    }
+
+    /// Runs the RANSAC pose-solve scoring on the given worker pool.
+    /// Results are bit-identical on any thread count (see
+    /// [`estimate_pose_with`]).
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 
     /// The prior map (grows when map update is enabled).
@@ -161,7 +180,10 @@ impl Localizer {
     /// Localizes one camera frame.
     pub fn localize(&mut self, frame: &GrayImage) -> LocalizeResult {
         self.stats.frames += 1;
-        let (features, orb_cost) = self.orb.extract_with_cost(frame);
+        let (features, orb_cost) = {
+            let _sp = adsim_trace::span("loc.orb");
+            self.orb.extract_with_cost(frame)
+        };
         let mut cost = LocCost {
             pixels_scanned: orb_cost.pixels_scanned,
             features: features.len(),
@@ -171,7 +193,10 @@ impl Localizer {
 
         // Tracking: narrow search around the motion-model prediction.
         let narrow = self.camera.view_radius() + self.cfg.search_radius;
-        let tracked = self.attempt(&features, predicted, narrow, &mut cost);
+        let tracked = {
+            let _sp = adsim_trace::span("loc.track");
+            self.attempt(&features, predicted, narrow, &mut cost)
+        };
 
         let (estimate, outcome) = match tracked {
             Some(pose) => (Some(pose), LocalizeOutcome::Tracked),
@@ -180,6 +205,7 @@ impl Localizer {
                 // location.
                 cost.relocalized = true;
                 self.stats.relocalizations += 1;
+                let _sp = adsim_trace::span("loc.reloc");
                 let wide = self.camera.view_radius() + self.cfg.reloc_radius;
                 match self.attempt(&features, predicted, wide, &mut cost) {
                     Some(pose) => (Some(pose), LocalizeOutcome::Relocalized),
@@ -191,6 +217,7 @@ impl Localizer {
         if let Some(pose) = estimate {
             self.motion.observe(pose);
             if self.cfg.map_update {
+                let _sp = adsim_trace::span("loc.map_update");
                 self.update_map(&features, &pose, &mut cost);
             }
             if self.cfg.loop_close_interval > 0
@@ -200,6 +227,7 @@ impl Localizer {
                 // trajectory against the map and cancel drift.
                 cost.loop_closed = true;
                 self.stats.loop_closures += 1;
+                let _sp = adsim_trace::span("loc.loop_close");
                 let radius = self.camera.view_radius() + 2.0 * self.cfg.search_radius;
                 let _ = self.attempt(&features, pose, radius, &mut cost);
             }
@@ -240,7 +268,7 @@ impl Localizer {
         } else {
             self.match_global(features, &candidates, cost)
         };
-        let est = estimate_pose(&corrs, self.cfg.min_inliers)?;
+        let est = estimate_pose_with(&self.runtime, &corrs, self.cfg.min_inliers)?;
         // Reject solves that disagree wildly with where we searched —
         // a pathological association, not a pose.
         if est.pose.translation().distance(&around.translation()) > radius {

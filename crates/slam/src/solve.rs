@@ -1,3 +1,4 @@
+use adsim_runtime::Runtime;
 use adsim_vision::{Point2, Pose2};
 
 /// One feature correspondence: where the landmark appears relative to
@@ -57,6 +58,23 @@ const MAX_HYPOTHESES: usize = 64;
 /// assert!(est.pose.distance(&truth) < 1e-9);
 /// ```
 pub fn estimate_pose(corrs: &[Correspondence], min_inliers: usize) -> Option<PoseEstimate> {
+    estimate_pose_with(&Runtime::serial(), corrs, min_inliers)
+}
+
+/// [`estimate_pose`] with hypothesis scoring spread over a worker pool.
+///
+/// Hypothesis poses still enumerate serially in the pinned `(gap, i)`
+/// pair order — enumeration is cheap — but scoring each hypothesis
+/// against every correspondence, the `O(hypotheses × n)` bulk of the
+/// solve, fans out over `rt`'s workers into per-hypothesis slots. The
+/// winner is then selected by replaying the serial first-wins argmax
+/// over those slots, so the result is bit-identical on any thread
+/// count (pinned by the `ransac` parity tests).
+pub fn estimate_pose_with(
+    rt: &Runtime,
+    corrs: &[Correspondence],
+    min_inliers: usize,
+) -> Option<PoseEstimate> {
     let needed = min_inliers.max(2);
     if corrs.len() < needed {
         return None;
@@ -65,20 +83,27 @@ pub fn estimate_pose(corrs: &[Correspondence], min_inliers: usize) -> Option<Pos
 
     // Deterministic hypothesis enumeration: pairs (i, i + gap) with
     // varying gaps, spread over the correspondence set.
-    let mut best: Option<(Pose2, usize)> = None;
-    let mut evaluated = 0;
+    let mut hypotheses: Vec<Pose2> = Vec::new();
     'outer: for gap in 1..n {
         for i in 0..n - gap {
-            if evaluated >= MAX_HYPOTHESES {
+            if hypotheses.len() >= MAX_HYPOTHESES {
                 break 'outer;
             }
             let (a, b) = (&corrs[i], &corrs[i + gap]);
-            let Some(pose) = pose_from_pair(a, b) else { continue };
-            evaluated += 1;
-            let inliers = count_inliers(corrs, &pose);
-            if best.is_none_or(|(_, best_n)| inliers > best_n) {
-                best = Some((pose, inliers));
+            if let Some(pose) = pose_from_pair(a, b) {
+                hypotheses.push(pose);
             }
+        }
+    }
+    let mut counts = vec![0usize; hypotheses.len()];
+    // ~16 scalar ops per residual gate; small solves stay serial.
+    rt.for_work(hypotheses.len() * n * 16).par_chunks_mut(&mut counts, 1, |h, slot| {
+        slot[0] = count_inliers(corrs, &hypotheses[h]);
+    });
+    let mut best: Option<(Pose2, usize)> = None;
+    for (pose, &inliers) in hypotheses.iter().zip(&counts) {
+        if best.is_none_or(|(_, best_n)| inliers > best_n) {
+            best = Some((*pose, inliers));
         }
     }
 
@@ -254,6 +279,44 @@ mod tests {
         let est = estimate_pose(&corrs, 2).unwrap();
         assert!((est.pose.x - 5.0).abs() < 1e-9);
         assert_eq!(est.pose.theta, 0.0);
+    }
+
+    #[test]
+    fn parallel_scoring_is_bit_identical_across_thread_counts() {
+        // A solve large enough to exceed the for_work threshold and
+        // hit MAX_HYPOTHESES, with outliers so the argmax has real
+        // competition between consensus sets.
+        let truth = Pose2::new(7.5, -3.25, 0.625);
+        let mut corrs = Vec::new();
+        for k in 0..40u32 {
+            let k = k as f64;
+            let v = Point2::new((k * 0.7).sin() * 9.0, (k * 1.3).cos() * 9.0);
+            corrs.push(Correspondence { vehicle: v, world: truth.transform(v) });
+        }
+        for k in 0..24u32 {
+            let k = k as f64;
+            corrs.push(Correspondence {
+                vehicle: Point2::new(k * 0.9 - 10.0, k * 0.4),
+                world: Point2::new(200.0 + (k * 37.0) % 29.0, -150.0 - (k * 53.0) % 31.0),
+            });
+        }
+        let serial = estimate_pose(&corrs, 8).unwrap();
+        for threads in [1usize, 2, 8] {
+            let par = estimate_pose_with(&Runtime::new(threads), &corrs, 8).unwrap();
+            assert_eq!(par.pose.x.to_bits(), serial.pose.x.to_bits(), "threads={threads}");
+            assert_eq!(par.pose.y.to_bits(), serial.pose.y.to_bits(), "threads={threads}");
+            assert_eq!(
+                par.pose.theta.to_bits(),
+                serial.pose.theta.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(par.inliers, serial.inliers, "threads={threads}");
+            assert_eq!(
+                par.mean_residual.to_bits(),
+                serial.mean_residual.to_bits(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub fn conv2d_with(
     let k = c_in * kh * kw;
     let cols_n = h_out * w_out;
     let plane = c_out * cols_n;
+    let _sp = adsim_trace::span("tensor.conv2d").with_cost(
+        2 * (n * c_out * k * cols_n) as u64,
+        4 * (input.len() + weight.len() + n * plane) as u64,
+    );
     let mut out = Tensor::zeros([n, c_out, h_out, w_out]);
     let rt = rt.for_work(2 * n * c_out * k * cols_n);
     if n > 1 && rt.threads() > 1 && plane > 0 {

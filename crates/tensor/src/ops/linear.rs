@@ -68,6 +68,8 @@ pub fn matmul_with(rt: &Runtime, a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().clone(),
         });
     }
+    let _sp = adsim_trace::span("tensor.matmul")
+        .with_cost(2 * (m * n * k) as u64, 4 * (m * k + k * n + m * n) as u64);
     let mut out = Tensor::zeros([m, n]);
     matmul_into(
         rt.for_work(2 * m * n * k),
@@ -216,6 +218,10 @@ pub fn linear_with(
             });
         }
     }
+    let _sp = adsim_trace::span("tensor.linear").with_cost(
+        2 * (batch * out_f * in_f) as u64,
+        4 * (batch * in_f + out_f * in_f + batch * out_f) as u64,
+    );
     let mut out = Tensor::zeros([batch, out_f]);
     let rt = rt.for_work(2 * batch * out_f * in_f);
     let xv = input.as_slice();

@@ -1,0 +1,330 @@
+//! Chrome trace-event JSON exporter and a minimal JSON well-formedness
+//! checker (the workspace has no serde; both are hand-rolled).
+
+use crate::recorder::{Event, EventKind, NO_INDEX};
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn category(name: &str) -> &'static str {
+    match name.split('.').next() {
+        Some("pipeline") | Some("stage") => "pipeline",
+        Some("dnn") | Some("tensor") => "compute",
+        Some("orb") | Some("loc") => "vision",
+        Some("runtime") => "runtime",
+        Some("degrade") => "supervisor",
+        _ => "adsim",
+    }
+}
+
+/// Serializes events as Chrome trace-event JSON (the JSON Object
+/// Format: `{"traceEvents": [...]}`), loadable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Spans map to complete events (`"ph":"X"`) with microsecond `ts`/
+/// `dur`, instants to `"ph":"i"` with global scope, counters to
+/// `"ph":"C"`. Thread ids come from the recorder; all events share
+/// `"pid":1`. Indexed span names render as `name#index` so e.g. DNN
+/// layers and ORB pyramid levels stay distinguishable on the timeline.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        push_escaped(&mut out, e.name);
+        if e.index != NO_INDEX {
+            out.push_str(&format!("#{}", e.index));
+        }
+        out.push_str("\",\"cat\":\"");
+        out.push_str(category(e.name));
+        out.push_str("\",\"pid\":1,\"tid\":");
+        out.push_str(&e.tid.to_string());
+        out.push_str(&format!(",\"ts\":{:.3}", e.ts_ns as f64 / 1e3));
+        match e.kind {
+            EventKind::Span { dur_ns, flops, bytes } => {
+                out.push_str(&format!(",\"ph\":\"X\",\"dur\":{:.3}", dur_ns as f64 / 1e3));
+                if flops > 0 || bytes > 0 {
+                    out.push_str(&format!(
+                        ",\"args\":{{\"flops\":{flops},\"bytes\":{bytes}}}"
+                    ));
+                }
+            }
+            EventKind::Instant => {
+                out.push_str(",\"ph\":\"i\",\"s\":\"g\"");
+            }
+            EventKind::Counter { value } => {
+                out.push_str(&format!(",\"ph\":\"C\",\"args\":{{\"value\":{value}}}"));
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Checks that `s` is one well-formed JSON value with no trailing
+/// garbage. A recursive-descent checker, not a parser: it validates
+/// structure (used by the exporter round-trip tests) without building a
+/// document tree.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}", pos = *pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("bad fraction at byte {pos}", pos = *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("bad exponent at byte {pos}", pos = *pos));
+        }
+    }
+    Ok(())
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {p}", p = *pos));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {p}", p = *pos)),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at {p}", p = *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {p}", p = *pos));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {p}", p = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {p}", p = *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {p}", p = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, index: u32, kind: EventKind) -> Event {
+        Event { name, index, tid: 2, ts_ns: 1_234_567, kind }
+    }
+
+    #[test]
+    fn exports_spans_instants_and_counters() {
+        let events = vec![
+            ev("stage.det", NO_INDEX, EventKind::Span { dur_ns: 5_000_000, flops: 0, bytes: 0 }),
+            ev("dnn.conv2d", 3, EventKind::Span { dur_ns: 1_000, flops: 640, bytes: 128 }),
+            ev("degrade.retry", NO_INDEX, EventKind::Instant),
+            ev("util", NO_INDEX, EventKind::Counter { value: 0.75 }),
+        ];
+        let json = chrome_trace_json(&events);
+        validate_json(&json).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"stage.det\""));
+        assert!(json.contains("\"name\":\"dnn.conv2d#3\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":5000.000"));
+        assert!(json.contains("\"flops\":640"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"cat\":\"compute\""));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(json, "{\"traceEvents\":[]}");
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_json_shapes() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e-3",
+            "\"a\\n\\u00e9\"",
+            "{\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}",
+            "  { \"k\" : [ 1 , 2 ] }  ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\" 1}",
+            "01a",
+            "\"unterminated",
+            "{} trailing",
+            "{'single':1}",
+            "{\"a\":1,}",
+            "1.",
+            "1e",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted malformed: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let events =
+            vec![ev("weird\"name\\x", NO_INDEX, EventKind::Instant)];
+        let json = chrome_trace_json(&events);
+        validate_json(&json).unwrap();
+        assert!(json.contains("weird\\\"name\\\\x"));
+    }
+}

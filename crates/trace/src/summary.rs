@@ -1,0 +1,181 @@
+use crate::loghist::LogHistogram;
+use crate::recorder::{Event, EventKind};
+use crate::{REGION_SPAN, WORKER_SPAN};
+
+/// Latency summary of one span name: counts plus the tail quantiles the
+/// paper reports (Fig. 6 plots mean and 99.99th percentile per stage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// Span name.
+    pub name: &'static str,
+    /// Completed spans.
+    pub count: u64,
+    /// Sum of durations (ms, exact).
+    pub total_ms: f64,
+    /// Mean duration (ms, exact).
+    pub mean_ms: f64,
+    /// Median (ms, one-bucket accuracy).
+    pub p50_ms: f64,
+    /// 95th percentile (ms, one-bucket accuracy).
+    pub p95_ms: f64,
+    /// 99th percentile (ms, one-bucket accuracy).
+    pub p99_ms: f64,
+    /// 99.99th percentile (ms, one-bucket accuracy) — the paper's
+    /// headline tail constraint.
+    pub p99_99_ms: f64,
+    /// Smallest duration (ms, exact).
+    pub min_ms: f64,
+    /// Largest duration (ms, exact).
+    pub max_ms: f64,
+}
+
+impl SpanSummary {
+    fn from_histogram(name: &'static str, h: &LogHistogram) -> Self {
+        Self {
+            name,
+            count: h.count(),
+            total_ms: h.sum(),
+            mean_ms: h.mean(),
+            p50_ms: h.quantile(0.50),
+            p95_ms: h.quantile(0.95),
+            p99_ms: h.quantile(0.99),
+            p99_99_ms: h.quantile(0.9999),
+            min_ms: h.min(),
+            max_ms: h.max(),
+        }
+    }
+}
+
+/// Per-span-name latency summaries for a finished trace, sorted by
+/// total time descending (the hottest span first).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// All span summaries, hottest (largest total) first.
+    pub spans: Vec<SpanSummary>,
+}
+
+impl TraceSummary {
+    pub(crate) fn from_histograms(hists: &[(&'static str, LogHistogram)]) -> Self {
+        let mut spans: Vec<SpanSummary> = hists
+            .iter()
+            .map(|(name, h)| SpanSummary::from_histogram(name, h))
+            .collect();
+        spans.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms).then(a.name.cmp(b.name)));
+        Self { spans }
+    }
+
+    /// Summary for one span name, if it recorded any spans.
+    pub fn get(&self, name: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Plain-text table of every span name, hottest first. Columns:
+    /// name, count, mean, p50, p95, p99, p99.99, max (all ms).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "span", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "p99.99_ms", "max_ms"
+        ));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}\n",
+                s.name, s.count, s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms, s.p99_99_ms, s.max_ms
+            ));
+        }
+        out
+    }
+}
+
+/// Busy/idle accounting for one runtime worker, derived from the
+/// runtime's [`WORKER_SPAN`]/[`REGION_SPAN`] spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerUtilization {
+    /// Worker index within its pool.
+    pub worker: u32,
+    /// Total time this worker spent executing tasks (ms).
+    pub busy_ms: f64,
+    /// Number of parallel regions this worker participated in.
+    pub regions: u64,
+}
+
+/// Per-worker utilization from a trace's event stream: total busy time
+/// per [`WORKER_SPAN`] index, plus the total [`REGION_SPAN`] wall time
+/// to divide by. Returns `(workers, total_region_ms)`; utilization of
+/// worker *w* is `busy_ms / total_region_ms`.
+pub fn worker_utilization(events: &[Event]) -> (Vec<WorkerUtilization>, f64) {
+    let mut workers: Vec<WorkerUtilization> = Vec::new();
+    let mut region_ms = 0.0;
+    for e in events {
+        let EventKind::Span { dur_ns, .. } = e.kind else { continue };
+        let dur_ms = dur_ns as f64 / 1e6;
+        if e.name == REGION_SPAN {
+            region_ms += dur_ms;
+        } else if e.name == WORKER_SPAN {
+            match workers.iter_mut().find(|w| w.worker == e.index) {
+                Some(w) => {
+                    w.busy_ms += dur_ms;
+                    w.regions += 1;
+                }
+                None => workers.push(WorkerUtilization {
+                    worker: e.index,
+                    busy_ms: dur_ms,
+                    regions: 1,
+                }),
+            }
+        }
+    }
+    workers.sort_by_key(|w| w.worker);
+    (workers, region_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::NO_INDEX;
+
+    fn span_event(name: &'static str, index: u32, ts_ns: u64, dur_ns: u64) -> Event {
+        Event {
+            name,
+            index,
+            tid: 0,
+            ts_ns,
+            kind: EventKind::Span { dur_ns, flops: 0, bytes: 0 },
+        }
+    }
+
+    #[test]
+    fn summary_sorts_hottest_first_and_gets_by_name() {
+        let mut cold = LogHistogram::new();
+        cold.record(1.0);
+        let mut hot = LogHistogram::new();
+        hot.record(50.0);
+        hot.record(60.0);
+        let s = TraceSummary::from_histograms(&[("cold", cold), ("hot", hot)]);
+        assert_eq!(s.spans[0].name, "hot");
+        assert_eq!(s.get("cold").unwrap().count, 1);
+        assert!(s.get("missing").is_none());
+        let table = s.table();
+        assert!(table.contains("hot") && table.contains("p99.99_ms"), "{table}");
+    }
+
+    #[test]
+    fn worker_utilization_accumulates_per_index() {
+        let events = vec![
+            span_event(REGION_SPAN, NO_INDEX, 0, 10_000_000),
+            span_event(WORKER_SPAN, 0, 0, 9_000_000),
+            span_event(WORKER_SPAN, 1, 0, 5_000_000),
+            span_event(REGION_SPAN, NO_INDEX, 20_000_000, 10_000_000),
+            span_event(WORKER_SPAN, 1, 20_000_000, 8_000_000),
+            span_event("other", 3, 0, 1_000_000),
+        ];
+        let (workers, region_ms) = worker_utilization(&events);
+        assert_eq!(region_ms, 20.0);
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[0].worker, 0);
+        assert_eq!(workers[0].busy_ms, 9.0);
+        assert_eq!(workers[0].regions, 1);
+        assert_eq!(workers[1].busy_ms, 13.0);
+        assert_eq!(workers[1].regions, 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-style grid test: the streaming log-bucketed histogram's
+//! quantile estimates must stay within one bucket width (a factor of
+//! `2^(1/8)`) of the exact quantiles computed by `adsim_stats`'s
+//! sort-based [`LatencyRecorder`], across distribution shapes that
+//! bracket the pipeline's real latency profiles — log-normal bodies
+//! and spiky bimodal tails.
+
+use adsim_stats::{LatencyRecorder, Rng64};
+use adsim_trace::LogHistogram;
+
+const SAMPLES: usize = 10_000;
+const FRACTIONS: [f64; 4] = [0.50, 0.95, 0.99, 0.9999];
+
+/// Feeds the same samples to both estimators and checks every
+/// quantile fraction agrees within one log bucket.
+fn assert_agreement(label: &str, samples: &[f64]) {
+    let mut hist = LogHistogram::new();
+    let mut exact = LatencyRecorder::with_capacity(samples.len());
+    for &s in samples {
+        hist.record(s);
+        exact.record(s);
+    }
+    let growth = LogHistogram::bucket_growth();
+    for f in FRACTIONS {
+        let est = hist.quantile(f);
+        let truth = exact.quantile_fraction(f);
+        assert!(
+            est <= truth * growth && est >= truth / growth,
+            "{label}: p{} estimate {est:.4} ms vs exact {truth:.4} ms \
+             (allowed factor {growth:.4})",
+            f * 100.0
+        );
+    }
+    assert_eq!(hist.count(), samples.len() as u64);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    assert!((hist.mean() - mean).abs() < 1e-9 * mean.max(1.0));
+}
+
+fn log_normal(seed: u64, mu: f64, sigma: f64) -> Vec<f64> {
+    let mut rng = Rng64::new(seed);
+    (0..SAMPLES).map(|_| (mu + sigma * rng.normal()).exp()).collect()
+}
+
+/// Base-mode latency with a `spike_p` chance of a tail spike — the
+/// shape the relocalization path produces (DESIGN.md §5).
+fn spiky(seed: u64, spike_p: f64) -> Vec<f64> {
+    let mut rng = Rng64::new(seed);
+    (0..SAMPLES)
+        .map(|_| {
+            if rng.chance(spike_p) {
+                rng.range_f64(60.0, 100.0)
+            } else {
+                rng.range_f64(5.0, 10.0)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn log_normal_grid_agrees_with_exact_quantiles() {
+    for (mu, sigma) in [(0.0, 0.25), (1.5, 0.5), (3.0, 1.0)] {
+        for seed in [1, 42, 0xBEEF] {
+            let samples = log_normal(seed, mu, sigma);
+            assert_agreement(&format!("log-normal mu={mu} sigma={sigma} seed={seed}"), &samples);
+        }
+    }
+}
+
+#[test]
+fn spiky_bimodal_grid_agrees_with_exact_quantiles() {
+    for spike_p in [0.01, 0.10, 0.30] {
+        for seed in [7, 99, 0xCAFE] {
+            let samples = spiky(seed, spike_p);
+            assert_agreement(&format!("spiky p={spike_p} seed={seed}"), &samples);
+        }
+    }
+}
+
+#[test]
+fn sub_microsecond_and_multi_second_samples_stay_in_range() {
+    // The extremes of the bucket table: values below MIN_MS clamp into
+    // the first bucket, multi-second spans land in late octaves.
+    let samples: Vec<f64> = (1..=1000).map(|i| i as f64 * 5e-6).chain([2_000.0, 9_000.0]).collect();
+    assert_agreement("extreme range", &samples);
+}

@@ -114,6 +114,7 @@ impl OrbExtractor {
 
     /// Extracts features and reports the work performed.
     pub fn extract_with_cost(&self, img: &GrayImage) -> (Vec<Feature>, OrbCost) {
+        let _sp = adsim_trace::span("orb.extract");
         let pyramid = Pyramid::build(img, self.n_levels);
         let mut cost = OrbCost { pixels_scanned: pyramid.total_pixels(), ..Default::default() };
         // Per-level detection is independent work: each level fills
@@ -123,6 +124,7 @@ impl OrbExtractor {
         let mut per_level: Vec<Vec<Keypoint>> = vec![Vec::new(); levels.len()];
         let rt = self.runtime.for_work(pyramid.total_pixels() * 32);
         rt.par_chunks_mut(&mut per_level, 1, |octave, slot| {
+            let _lvl = adsim_trace::span_at("orb.level", octave);
             let level = &levels[octave];
             let scale = pyramid.scale(octave);
             let mut kps = fast_corners(level, self.fast_threshold);
@@ -165,6 +167,7 @@ impl OrbExtractor {
             }
         }
 
+        let _desc = adsim_trace::span("orb.describe");
         let features: Vec<Feature> = keypoints
             .into_iter()
             .map(|kp| {

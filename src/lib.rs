@@ -18,6 +18,7 @@
 //! | [`workload`] | Synthetic driving scenarios and camera streams |
 //! | [`runtime`] | The std-only fork-join worker pool |
 //! | [`faults`] | Deterministic seeded fault injection |
+//! | [`trace`] | Span tracing, streaming tail-latency histograms, Chrome-trace export |
 //! | [`core`] | The end-to-end pipelines, supervisor, and design-constraint checker |
 //!
 //! # Quickstart
@@ -47,6 +48,7 @@ pub use adsim_runtime as runtime;
 pub use adsim_slam as slam;
 pub use adsim_stats as stats;
 pub use adsim_tensor as tensor;
+pub use adsim_trace as trace;
 pub use adsim_vehicle as vehicle;
 pub use adsim_vision as vision;
 pub use adsim_workload as workload;
