@@ -173,7 +173,8 @@ impl NativePipeline {
             detector,
             pool,
             fusion: FusionEngine::new(),
-            motion: MotionPlanner::new(cfg.environment, cfg.cruise_mps),
+            motion: MotionPlanner::new(cfg.environment, cfg.cruise_mps)
+                .with_runtime(cfg.runtime),
             runtime: cfg.runtime,
         }
     }
@@ -265,7 +266,7 @@ impl NativePipeline {
         let fus_sp = adsim_trace::span("stage.fusion");
         let t = Instant::now();
         let rows: Vec<_> = tracks.iter().map(|tr| (tr.track_id, tr.class, tr.bbox)).collect();
-        let fused = self.fusion.fuse(&self.camera, pose, time_s, &rows);
+        let fused = self.fusion.fuse_with(&self.runtime, &self.camera, pose, time_s, &rows);
         let fus_ms = t.elapsed().as_secs_f64() * 1e3;
         drop(fus_sp);
 

@@ -135,7 +135,7 @@ impl Layer {
                 ops::max_pool2d_with(rt, input, *window, *stride)
             }
             Layer::BatchNorm { gamma, beta, mean, var, eps } => {
-                ops::batch_norm(input, gamma, beta, mean, var, *eps)
+                ops::batch_norm_with(rt, input, gamma, beta, mean, var, *eps)
             }
             Layer::Flatten => {
                 let n = input.shape().dim(0);

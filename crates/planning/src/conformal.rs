@@ -4,6 +4,7 @@
 //! road (station × lateral offset × time) and scored for collision,
 //! comfort and progress.
 
+use adsim_runtime::Runtime;
 use adsim_vision::{Point2, Pose2};
 
 /// A road centerline as a polyline with per-vertex stations.
@@ -142,6 +143,9 @@ impl ConformalPlanner {
     /// Plans along `road` from `(station, lateral)` at `speed_mps`,
     /// avoiding moving `obstacles`. Returns `None` only when every
     /// candidate collides (the caller should then brake).
+    ///
+    /// Runs serially; [`ConformalPlanner::plan_with`] is the multicore
+    /// entry point.
     pub fn plan(
         &self,
         road: &Centerline,
@@ -150,53 +154,40 @@ impl ConformalPlanner {
         speed_mps: f64,
         obstacles: &[RoadObstacle],
     ) -> Option<Trajectory> {
+        self.plan_with(&Runtime::serial(), road, station, lateral, speed_mps, obstacles)
+    }
+
+    /// [`ConformalPlanner::plan`] on a worker pool: each candidate
+    /// lateral offset is evaluated (cost + fine-grid collision sweep)
+    /// in its own output slot, then the winner is selected serially in
+    /// lattice-index order with a strict `<` — ties keep the lowest
+    /// index, exactly as the serial loop does, so the chosen
+    /// trajectory is bit-identical on every thread count (no map
+    /// iteration or reduction-order dependence anywhere).
+    pub fn plan_with(
+        &self,
+        rt: &Runtime,
+        road: &Centerline,
+        station: f64,
+        lateral: f64,
+        speed_mps: f64,
+        obstacles: &[RoadObstacle],
+    ) -> Option<Trajectory> {
         let cfg = &self.cfg;
         let steps = (cfg.horizon_s / cfg.dt_s).round() as usize;
+        let candidates = cfg.lateral_offsets.len();
+        // Rough per-candidate op count: the collision sweep dominates.
+        let work = candidates * steps * SUBSTEPS * (60 + 40 * obstacles.len());
+        let mut slots: Vec<Option<(f64, f64, Vec<Pose2>)>> = vec![None; candidates];
+        rt.for_work(work).par_chunks_mut(&mut slots, 1, |i, slot| {
+            let target = cfg.lateral_offsets[i];
+            slot[0] = self.eval_candidate(road, station, lateral, speed_mps, obstacles, target);
+        });
+        // Serial index-order reduction, strict `<`: first minimum wins.
         let mut best: Option<(f64, f64, Vec<Pose2>)> = None;
-        let mut candidates = 0;
-        for &target in &cfg.lateral_offsets {
-            candidates += 1;
-            let mut poses = Vec::with_capacity(steps);
-            let mut collided = false;
-            let cost = cfg.lateral_weight * target.abs()
-                + cfg.swerve_weight * (target - lateral).abs();
-            // Collision is checked on a 4x finer time grid than the
-            // emitted poses: relative speeds of tens of m/s would
-            // otherwise step "through" an obstacle between samples.
-            const SUBSTEPS: usize = 4;
-            for k in 1..=steps {
-                for sub in 1..=SUBSTEPS {
-                    let t = (k - 1) as f64 * cfg.dt_s
-                        + cfg.dt_s * sub as f64 / SUBSTEPS as f64;
-                    let s = station + speed_mps * t;
-                    // Exponential convergence from the current lateral
-                    // offset to the candidate lane.
-                    let blend = 1.0 - (-t / 0.7).exp();
-                    let l = lateral + (target - lateral) * blend;
-                    let p = road.frenet_to_world(s, l);
-                    for o in obstacles {
-                        let os = o.station + o.velocity_mps * t;
-                        let op = road.frenet_to_world(os, o.lateral);
-                        if op.distance(&p) <= o.radius {
-                            collided = true;
-                        }
-                    }
-                    if collided {
-                        break;
-                    }
-                    if sub == SUBSTEPS {
-                        poses.push(Pose2::new(p.x, p.y, road.pose_at(s).theta));
-                    }
-                }
-                if collided {
-                    break;
-                }
-            }
-            if collided {
-                continue;
-            }
-            if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
-                best = Some((cost, target, poses));
+        for cand in slots.into_iter().flatten() {
+            if best.as_ref().is_none_or(|(c, _, _)| cand.0 < *c) {
+                best = Some(cand);
             }
         }
         best.map(|(cost, target_lateral, poses)| Trajectory {
@@ -207,7 +198,53 @@ impl ConformalPlanner {
             candidates,
         })
     }
+
+    /// Scores one candidate lane: `None` when its trajectory collides,
+    /// otherwise `(cost, target, poses)`.
+    fn eval_candidate(
+        &self,
+        road: &Centerline,
+        station: f64,
+        lateral: f64,
+        speed_mps: f64,
+        obstacles: &[RoadObstacle],
+        target: f64,
+    ) -> Option<(f64, f64, Vec<Pose2>)> {
+        let cfg = &self.cfg;
+        let steps = (cfg.horizon_s / cfg.dt_s).round() as usize;
+        let mut poses = Vec::with_capacity(steps);
+        let cost =
+            cfg.lateral_weight * target.abs() + cfg.swerve_weight * (target - lateral).abs();
+        // Collision is checked on a 4x finer time grid than the
+        // emitted poses: relative speeds of tens of m/s would
+        // otherwise step "through" an obstacle between samples.
+        for k in 1..=steps {
+            for sub in 1..=SUBSTEPS {
+                let t = (k - 1) as f64 * cfg.dt_s + cfg.dt_s * sub as f64 / SUBSTEPS as f64;
+                let s = station + speed_mps * t;
+                // Exponential convergence from the current lateral
+                // offset to the candidate lane.
+                let blend = 1.0 - (-t / 0.7).exp();
+                let l = lateral + (target - lateral) * blend;
+                let p = road.frenet_to_world(s, l);
+                for o in obstacles {
+                    let os = o.station + o.velocity_mps * t;
+                    let op = road.frenet_to_world(os, o.lateral);
+                    if op.distance(&p) <= o.radius {
+                        return None;
+                    }
+                }
+                if sub == SUBSTEPS {
+                    poses.push(Pose2::new(p.x, p.y, road.pose_at(s).theta));
+                }
+            }
+        }
+        Some((cost, target, poses))
+    }
 }
+
+/// Collision substeps per emitted pose (see `eval_candidate`).
+const SUBSTEPS: usize = 4;
 
 #[cfg(test)]
 mod tests {

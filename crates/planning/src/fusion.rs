@@ -1,6 +1,12 @@
 use adsim_dnn::detection::ObjectClass;
+use adsim_runtime::Runtime;
 use adsim_vision::{OrthoCamera, Point2, Pose2};
 use std::collections::HashMap;
+
+/// Approximate scalar-operation cost of projecting one track (camera
+/// transform with trig, extent scaling, velocity differencing) — the
+/// `Runtime::for_work` estimate that keeps small object tables serial.
+const PROJECT_WORK_PER_TRACK: usize = 200;
 
 /// Minimal view of a tracked object the fusion engine needs. Defined
 /// here (rather than importing `adsim-perception`) to keep the planning
@@ -84,44 +90,72 @@ impl FusionEngine {
         Self::default()
     }
 
-    /// Fuses one frame.
+    /// Fuses one frame serially. Equivalent to [`FusionEngine::fuse_with`]
+    /// on a serial runtime.
     ///
     /// `tracks` is the tracked-object table, `ego` the localizer's
     /// pose estimate, `time_s` the frame timestamp used for velocity
     /// differencing.
-    pub fn fuse<T: TrackedLike>(
+    pub fn fuse<T: TrackedLike + Sync>(
         &mut self,
         camera: &OrthoCamera,
         ego: Pose2,
         time_s: f64,
         tracks: &[T],
     ) -> FusedFrame {
-        let mut objects = Vec::with_capacity(tracks.len());
-        let mut seen = Vec::with_capacity(tracks.len());
-        for t in tracks {
-            let b = t.bbox();
-            let u = b.cx as f64 * camera.width() as f64;
-            let v = b.cy as f64 * camera.height() as f64;
-            let position = camera.image_to_world(&ego, u, v);
-            let extent = (
-                b.w as f64 * camera.width() as f64 * camera.meters_per_pixel(),
-                b.h as f64 * camera.height() as f64 * camera.meters_per_pixel(),
-            );
-            let velocity = match self.history.get(&t.track_id()) {
-                Some(&(prev_pos, prev_t)) if time_s > prev_t => {
-                    (position - prev_pos) * (1.0 / (time_s - prev_t))
-                }
-                _ => Point2::default(),
-            };
-            self.history.insert(t.track_id(), (position, time_s));
-            seen.push(t.track_id());
-            objects.push(FusedObject {
-                track_id: t.track_id(),
-                class: t.class(),
-                position,
-                extent,
-                velocity,
+        self.fuse_with(&Runtime::serial(), camera, ego, time_s, tracks)
+    }
+
+    /// [`FusionEngine::fuse`] on a worker pool: the per-object
+    /// projections (camera transform, extent scaling, velocity
+    /// differencing) are pure reads of the pre-frame history, so they
+    /// fan out across the runtime's workers with each object writing
+    /// its own output slot; history mutation then runs serially in
+    /// input order. Output order is the input track order and every
+    /// velocity is differenced against the *previous* frame's entry,
+    /// independent of the worker count — results are bit-identical on
+    /// every thread count.
+    pub fn fuse_with<T: TrackedLike + Sync>(
+        &mut self,
+        rt: &Runtime,
+        camera: &OrthoCamera,
+        ego: Pose2,
+        time_s: f64,
+        tracks: &[T],
+    ) -> FusedFrame {
+        let history = &self.history;
+        let mut slots: Vec<Option<FusedObject>> = vec![None; tracks.len()];
+        rt.for_work(tracks.len() * PROJECT_WORK_PER_TRACK)
+            .par_chunks_mut(&mut slots, 1, |i, slot| {
+                let t = &tracks[i];
+                let b = t.bbox();
+                let u = b.cx as f64 * camera.width() as f64;
+                let v = b.cy as f64 * camera.height() as f64;
+                let position = camera.image_to_world(&ego, u, v);
+                let extent = (
+                    b.w as f64 * camera.width() as f64 * camera.meters_per_pixel(),
+                    b.h as f64 * camera.height() as f64 * camera.meters_per_pixel(),
+                );
+                let velocity = match history.get(&t.track_id()) {
+                    Some(&(prev_pos, prev_t)) if time_s > prev_t => {
+                        (position - prev_pos) * (1.0 / (time_s - prev_t))
+                    }
+                    _ => Point2::default(),
+                };
+                slot[0] = Some(FusedObject {
+                    track_id: t.track_id(),
+                    class: t.class(),
+                    position,
+                    extent,
+                    velocity,
+                });
             });
+        let objects: Vec<FusedObject> =
+            slots.into_iter().map(|s| s.expect("every slot projected")).collect();
+        let mut seen = Vec::with_capacity(tracks.len());
+        for obj in &objects {
+            self.history.insert(obj.track_id, (obj.position, time_s));
+            seen.push(obj.track_id);
         }
         // Forget tracks that disappeared so ids can be recycled safely.
         self.history.retain(|id, _| seen.contains(id));

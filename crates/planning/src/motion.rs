@@ -2,6 +2,7 @@ use crate::acc::{AdaptiveCruise, IdmParams};
 use crate::conformal::{Centerline, ConformalPlanner, RoadObstacle, Trajectory};
 use crate::fusion::FusedFrame;
 use crate::lattice::{LatticePlanner, Obstacle, Path};
+use adsim_runtime::Runtime;
 use adsim_vision::{Point2, Pose2};
 
 /// The driving environment, which selects the planning strategy
@@ -60,10 +61,13 @@ pub struct MotionPlanner {
     lattice: LatticePlanner,
     acc: AdaptiveCruise,
     cruise_mps: f64,
+    runtime: Runtime,
 }
 
 impl MotionPlanner {
-    /// Creates a planner for an environment with a cruise speed.
+    /// Creates a planner for an environment with a cruise speed. Runs
+    /// serially; chain [`MotionPlanner::with_runtime`] to evaluate
+    /// lattice candidates on a worker pool.
     pub fn new(environment: Environment, cruise_mps: f64) -> Self {
         Self {
             environment,
@@ -71,7 +75,16 @@ impl MotionPlanner {
             lattice: LatticePlanner::default(),
             acc: AdaptiveCruise::new(IdmParams::cruise(cruise_mps)),
             cruise_mps,
+            runtime: Runtime::serial(),
         }
+    }
+
+    /// Evaluates conformal-lattice candidates on `rt`'s workers.
+    /// Results are bit-identical to the serial planner on every thread
+    /// count.
+    pub fn with_runtime(mut self, rt: Runtime) -> Self {
+        self.runtime = rt;
+        self
     }
 
     /// The active environment.
@@ -99,7 +112,14 @@ impl MotionPlanner {
                         radius: o.extent.0.max(o.extent.1) / 2.0 + 1.0,
                     })
                     .collect();
-                match self.conformal.plan(road, station, lateral, self.cruise_mps, &obstacles) {
+                match self.conformal.plan_with(
+                    &self.runtime,
+                    road,
+                    station,
+                    lateral,
+                    self.cruise_mps,
+                    &obstacles,
+                ) {
                     Some(mut t) => {
                         // Longitudinal control: follow the nearest
                         // lead vehicle in the selected lane with IDM.

@@ -23,6 +23,7 @@
 mod error;
 pub mod ops;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use error::TensorError;

@@ -1,6 +1,13 @@
 use adsim_runtime::Runtime;
 
+use crate::simd::{self, Isa};
 use crate::Tensor;
+
+/// Contiguous spans of elements for the worker pool: a few chunks per
+/// worker so an uneven finisher cannot straggle the join.
+fn elementwise_span(len: usize, threads: usize) -> usize {
+    len.div_ceil(4 * threads).max(1)
+}
 
 /// Rectified linear unit: `max(0, x)` element-wise.
 ///
@@ -13,23 +20,46 @@ use crate::Tensor;
 /// assert_eq!(ops::relu(&t).as_slice(), &[0.0, 0.0, 2.0]);
 /// ```
 pub fn relu(t: &Tensor) -> Tensor {
-    t.map(|x| x.max(0.0))
+    relu_with(&Runtime::serial(), t)
 }
 
-/// [`relu`] on a worker pool.
+/// [`relu`] on a worker pool with the host's detected SIMD backend.
 pub fn relu_with(rt: &Runtime, t: &Tensor) -> Tensor {
-    t.map_with(rt, |x| x.max(0.0))
+    relu_isa(rt, t, simd::active())
+}
+
+/// [`relu`] on a worker pool and an explicit SIMD backend. The kernel
+/// is FMA-free, so every backend is bit-identical.
+pub fn relu_isa(rt: &Runtime, t: &Tensor, isa: Isa) -> Tensor {
+    let mut out = t.clone();
+    let rt = rt.for_work(out.len());
+    let span = elementwise_span(out.len(), rt.threads());
+    rt.par_chunks_mut(out.as_mut_slice(), span, |_, chunk| simd::relu(isa, chunk));
+    out
 }
 
 /// Leaky ReLU with negative slope `alpha`, the activation YOLO uses
 /// throughout its convolutional trunk.
 pub fn leaky_relu(t: &Tensor, alpha: f32) -> Tensor {
-    t.map(move |x| if x >= 0.0 { x } else { alpha * x })
+    leaky_relu_with(&Runtime::serial(), t, alpha)
 }
 
-/// [`leaky_relu`] on a worker pool.
+/// [`leaky_relu`] on a worker pool with the host's detected SIMD
+/// backend.
 pub fn leaky_relu_with(rt: &Runtime, t: &Tensor, alpha: f32) -> Tensor {
-    t.map_with(rt, move |x| if x >= 0.0 { x } else { alpha * x })
+    leaky_relu_isa(rt, t, alpha, simd::active())
+}
+
+/// [`leaky_relu`] on a worker pool and an explicit SIMD backend. The
+/// kernel is FMA-free, so every backend is bit-identical.
+pub fn leaky_relu_isa(rt: &Runtime, t: &Tensor, alpha: f32, isa: Isa) -> Tensor {
+    let mut out = t.clone();
+    let rt = rt.for_work(out.len());
+    let span = elementwise_span(out.len(), rt.threads());
+    rt.par_chunks_mut(out.as_mut_slice(), span, |_, chunk| {
+        simd::leaky_relu(isa, chunk, alpha);
+    });
+    out
 }
 
 /// Logistic sigmoid, used by the detection head to squash objectness

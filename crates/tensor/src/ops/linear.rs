@@ -1,5 +1,6 @@
 use adsim_runtime::Runtime;
 
+use crate::simd::{self, Isa};
 use crate::{Result, Tensor, TensorError};
 
 /// A-rows per register block of the matmul microkernel: four output
@@ -35,16 +36,28 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     matmul_with(&Runtime::serial(), a, b)
 }
 
-/// [`matmul`] on a worker pool: output row blocks are partitioned
-/// across the runtime's workers, and each block runs a register-blocked
-/// `MR = 4` microkernel over `KC`-row panels of B. Per output element
-/// the k-accumulation order is identical on every thread count, so
-/// results do not depend on the runtime.
+/// [`matmul`] on a worker pool with the host's detected SIMD backend.
+/// Equivalent to [`matmul_isa`] with [`simd::active`].
 ///
 /// # Errors
 ///
 /// Same conditions as [`matmul`].
 pub fn matmul_with(rt: &Runtime, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_isa(rt, a, b, simd::active())
+}
+
+/// [`matmul`] on a worker pool and an explicit SIMD backend: output
+/// row blocks are partitioned across the runtime's workers, and each
+/// block runs a register-blocked `MR = 4` lane microkernel over
+/// `KC`-row panels of B. Per output element the k-accumulation order
+/// is identical on every thread count, so results do not depend on the
+/// runtime; vector backends contract multiply-add pairs into FMAs, so
+/// results agree with [`Isa::SCALAR`] to ≤1e-5 relative error.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_isa(rt: &Runtime, a: &Tensor, b: &Tensor, isa: Isa) -> Result<Tensor> {
     if a.shape().rank() != 2 {
         return Err(TensorError::RankMismatch {
             op: "matmul",
@@ -73,6 +86,7 @@ pub fn matmul_with(rt: &Runtime, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = Tensor::zeros([m, n]);
     matmul_into(
         rt.for_work(2 * m * n * k),
+        isa,
         a.as_slice(),
         b.as_slice(),
         out.as_mut_slice(),
@@ -85,9 +99,13 @@ pub fn matmul_with(rt: &Runtime, a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// The raw-slice matmul core shared with the conv2d lowering:
 /// `ov[m × n] += av[m × k] · bv[k × n]` (callers pass zeroed output).
-/// Row blocks of `MR` rows go to the pool's workers.
+/// Row blocks of `MR` rows go to the pool's workers; within a block
+/// the `simd` lane microkernels accumulate one `KC`-row panel of B at
+/// a time while it is cache-resident.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn matmul_into(
     rt: Runtime,
+    isa: Isa,
     av: &[f32],
     bv: &[f32],
     ov: &mut [f32],
@@ -112,31 +130,22 @@ pub(crate) fn matmul_into(
                 let (o0, rest) = orows.split_at_mut(n);
                 let (o1, rest) = rest.split_at_mut(n);
                 let (o2, o3) = rest.split_at_mut(n);
-                for kk in k0..k1 {
-                    let a0 = av[i0 * k + kk];
-                    let a1 = av[(i0 + 1) * k + kk];
-                    let a2 = av[(i0 + 2) * k + kk];
-                    let a3 = av[(i0 + 3) * k + kk];
-                    let brow = &bv[kk * n..(kk + 1) * n];
-                    for (j, &bj) in brow.iter().enumerate() {
-                        o0[j] += a0 * bj;
-                        o1[j] += a1 * bj;
-                        o2[j] += a2 * bj;
-                        o3[j] += a3 * bj;
-                    }
-                }
+                simd::gemm4(
+                    isa,
+                    &av[i0 * k..],
+                    k,
+                    k0,
+                    k1,
+                    bv,
+                    n,
+                    o0,
+                    o1,
+                    o2,
+                    o3,
+                );
             } else {
                 for (r, orow) in orows.chunks_mut(n).enumerate() {
-                    for kk in k0..k1 {
-                        let aik = av[(i0 + r) * k + kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let brow = &bv[kk * n..(kk + 1) * n];
-                        for (o, &bj) in orow.iter_mut().zip(brow) {
-                            *o += aik * bj;
-                        }
-                    }
+                    simd::gemm1(isa, &av[(i0 + r) * k..], k0, k1, bv, n, orow);
                 }
             }
         }
@@ -170,10 +179,8 @@ pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<
     linear_with(&Runtime::serial(), input, weight, bias)
 }
 
-/// [`linear`] on a worker pool. Large batches partition across batch
-/// rows; the inference-common `batch = 1` case partitions across
-/// contiguous spans of output features, so the GOTURN-style regression
-/// head still uses every core.
+/// [`linear`] on a worker pool with the host's detected SIMD backend.
+/// Equivalent to [`linear_isa`] with [`simd::active`].
 ///
 /// # Errors
 ///
@@ -183,6 +190,26 @@ pub fn linear_with(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
+) -> Result<Tensor> {
+    linear_isa(rt, input, weight, bias, simd::active())
+}
+
+/// [`linear`] on a worker pool and an explicit SIMD backend. Large
+/// batches partition across batch rows; the inference-common
+/// `batch = 1` case partitions across contiguous spans of output
+/// features, so the GOTURN-style regression head still uses every
+/// core. Each output is one [`simd::dot`] over the input row and a
+/// weight row (scalar backend: strictly sequential accumulation).
+///
+/// # Errors
+///
+/// Same conditions as [`linear`].
+pub fn linear_isa(
+    rt: &Runtime,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    isa: Isa,
 ) -> Result<Tensor> {
     if input.shape().rank() != 2 {
         return Err(TensorError::RankMismatch {
@@ -232,10 +259,7 @@ pub fn linear_with(
         let xrow = &xv[bi * in_f..(bi + 1) * in_f];
         for (o, of) in orow.iter_mut().zip(of0..) {
             let wrow = &wv[of * in_f..(of + 1) * in_f];
-            let mut acc = 0.0f32;
-            for (x, w) in xrow.iter().zip(wrow) {
-                acc += x * w;
-            }
+            let acc = simd::dot(isa, xrow, wrow);
             *o = acc + bv.map_or(0.0, |b| b[of]);
         }
     };
@@ -287,10 +311,14 @@ mod tests {
         let x = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let w = Tensor::from_vec([2, 3], vec![0.5, -1.0, 2.0, 1.0, 1.0, 1.0]).unwrap();
         let y = linear(&x, &w, None).unwrap();
-        // Manual transpose of w for comparison via matmul.
+        // Manual transpose of w for comparison via matmul. The two
+        // paths use different microkernels (dot vs GEMM), which may
+        // round differently under FMA backends — compare to tolerance.
         let wt = Tensor::from_vec([3, 2], vec![0.5, 1.0, -1.0, 1.0, 2.0, 1.0]).unwrap();
         let expect = matmul(&x, &wt).unwrap();
-        assert_eq!(y, expect);
+        for (a, b) in y.iter().zip(expect.iter()) {
+            assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0), "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -12,13 +12,15 @@ mod norm;
 mod pool;
 
 pub use activation::{
-    leaky_relu, leaky_relu_with, relu, relu_with, sigmoid, sigmoid_with, softmax, softmax_with,
-    tanh, tanh_with,
+    leaky_relu, leaky_relu_isa, leaky_relu_with, relu, relu_isa, relu_with, sigmoid, sigmoid_with,
+    softmax, softmax_with, tanh, tanh_with,
 };
-pub use conv::{conv2d, conv2d_direct, conv2d_with, im2col};
-pub use linear::{linear, linear_with, matmul, matmul_with};
-pub use norm::batch_norm;
-pub use pool::{avg_pool2d, avg_pool2d_with, max_pool2d, max_pool2d_with};
+pub use conv::{conv2d, conv2d_direct, conv2d_isa, conv2d_with, im2col};
+pub use linear::{linear, linear_isa, linear_with, matmul, matmul_isa, matmul_with};
+pub use norm::{batch_norm, batch_norm_isa, batch_norm_with};
+pub use pool::{
+    avg_pool2d, avg_pool2d_isa, avg_pool2d_with, max_pool2d, max_pool2d_isa, max_pool2d_with,
+};
 
 /// Output spatial size of a convolution/pooling window sweep.
 ///

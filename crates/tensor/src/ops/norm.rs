@@ -1,3 +1,6 @@
+use adsim_runtime::Runtime;
+
+use crate::simd::{self, Isa};
 use crate::{Result, Tensor, TensorError};
 
 /// Inference-time batch normalization over an NCHW tensor.
@@ -5,6 +8,8 @@ use crate::{Result, Tensor, TensorError};
 /// Applies `gamma[c] * (x - mean[c]) / sqrt(var[c] + eps) + beta[c]`
 /// per channel, using the folded statistics a trained network would
 /// carry. YOLOv2 batch-normalizes every convolutional layer.
+///
+/// Runs serially; [`batch_norm_with`] is the multicore entry point.
 ///
 /// # Errors
 ///
@@ -32,7 +37,47 @@ pub fn batch_norm(
     var: &Tensor,
     eps: f32,
 ) -> Result<Tensor> {
-    let (n, c, h, w) = input.shape().as_nchw()?;
+    batch_norm_with(&Runtime::serial(), input, gamma, beta, mean, var, eps)
+}
+
+/// [`batch_norm`] on a worker pool with the host's detected SIMD
+/// backend. Equivalent to [`batch_norm_isa`] with [`simd::active`].
+///
+/// # Errors
+///
+/// Same conditions as [`batch_norm`].
+pub fn batch_norm_with(
+    rt: &Runtime,
+    input: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    mean: &Tensor,
+    var: &Tensor,
+    eps: f32,
+) -> Result<Tensor> {
+    batch_norm_isa(rt, input, gamma, beta, mean, var, eps, simd::active())
+}
+
+/// [`batch_norm`] on a worker pool and an explicit SIMD backend: each
+/// `n × c` plane is one task, folded to `x·scale + shift` with the
+/// channel's statistics. The plane kernel keeps multiply and add as
+/// separate roundings (no FMA), so every backend is bit-identical.
+///
+/// # Errors
+///
+/// Same conditions as [`batch_norm`].
+#[allow(clippy::too_many_arguments)]
+pub fn batch_norm_isa(
+    rt: &Runtime,
+    input: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    mean: &Tensor,
+    var: &Tensor,
+    eps: f32,
+    isa: Isa,
+) -> Result<Tensor> {
+    let (_, c, h, w) = input.shape().as_nchw()?;
     for (name, t) in [("gamma", gamma), ("beta", beta), ("mean", mean), ("var", var)] {
         if t.shape().rank() != 1 || t.shape().dim(0) != c {
             return Err(TensorError::InvalidParameter {
@@ -42,18 +87,16 @@ pub fn batch_norm(
         }
     }
     let mut out = input.clone();
-    let data = out.as_mut_slice();
     let (g, b, m, v) = (gamma.as_slice(), beta.as_slice(), mean.as_slice(), var.as_slice());
     let plane = h * w;
-    for batch in 0..n {
-        for ch in 0..c {
+    if plane > 0 && c > 0 {
+        let rt = rt.for_work(3 * out.len());
+        rt.par_chunks_mut(out.as_mut_slice(), plane, |idx, chunk| {
+            let ch = idx % c;
             let scale = g[ch] / (v[ch] + eps).sqrt();
             let shift = b[ch] - m[ch] * scale;
-            let base = (batch * c + ch) * plane;
-            for x in &mut data[base..base + plane] {
-                *x = *x * scale + shift;
-            }
-        }
+            simd::scale_shift(isa, chunk, scale, shift);
+        });
     }
     Ok(out)
 }

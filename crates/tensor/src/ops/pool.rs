@@ -1,6 +1,7 @@
 use super::out_extent;
 use adsim_runtime::Runtime;
 
+use crate::simd::{self, Isa};
 use crate::{Result, Tensor, TensorError};
 
 /// 2-D max pooling over an NCHW tensor.
@@ -23,7 +24,7 @@ use crate::{Result, Tensor, TensorError};
 /// assert_eq!(out.as_slice(), &[4.0]);
 /// ```
 pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
-    pool2d(&Runtime::serial(), input, window, stride, PoolKind::Max)
+    max_pool2d_isa(&Runtime::serial(), input, window, stride, simd::active())
 }
 
 /// [`max_pool2d`] on a worker pool: each `n × c` plane is one task.
@@ -37,7 +38,23 @@ pub fn max_pool2d_with(
     window: usize,
     stride: usize,
 ) -> Result<Tensor> {
-    pool2d(rt, input, window, stride, PoolKind::Max)
+    max_pool2d_isa(rt, input, window, stride, simd::active())
+}
+
+/// [`max_pool2d`] on a worker pool and an explicit SIMD backend. The
+/// kernel is FMA-free, so every backend is bit-identical.
+///
+/// # Errors
+///
+/// Same conditions as [`max_pool2d`].
+pub fn max_pool2d_isa(
+    rt: &Runtime,
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    isa: Isa,
+) -> Result<Tensor> {
+    pool2d(rt, input, window, stride, PoolKind::Max, isa)
 }
 
 /// 2-D average pooling over an NCHW tensor.
@@ -46,7 +63,7 @@ pub fn max_pool2d_with(
 ///
 /// Same conditions as [`max_pool2d`].
 pub fn avg_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
-    pool2d(&Runtime::serial(), input, window, stride, PoolKind::Avg)
+    avg_pool2d_isa(&Runtime::serial(), input, window, stride, simd::active())
 }
 
 /// [`avg_pool2d`] on a worker pool.
@@ -60,7 +77,23 @@ pub fn avg_pool2d_with(
     window: usize,
     stride: usize,
 ) -> Result<Tensor> {
-    pool2d(rt, input, window, stride, PoolKind::Avg)
+    avg_pool2d_isa(rt, input, window, stride, simd::active())
+}
+
+/// [`avg_pool2d`] on a worker pool and an explicit SIMD backend. The
+/// kernel is FMA-free, so every backend is bit-identical.
+///
+/// # Errors
+///
+/// Same conditions as [`avg_pool2d`].
+pub fn avg_pool2d_isa(
+    rt: &Runtime,
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    isa: Isa,
+) -> Result<Tensor> {
+    pool2d(rt, input, window, stride, PoolKind::Avg, isa)
 }
 
 #[derive(Clone, Copy)]
@@ -75,6 +108,7 @@ fn pool2d(
     window: usize,
     stride: usize,
     kind: PoolKind,
+    isa: Isa,
 ) -> Result<Tensor> {
     let (n, c, h, w) = input.shape().as_nchw()?;
     let (h_out, w_out) = match (
@@ -97,26 +131,57 @@ fn pool2d(
     if out_plane > 0 {
         rt.par_chunks_mut(out.as_mut_slice(), out_plane, |img, dplane| {
             let sbase = img * in_plane;
-            for oy in 0..h_out {
-                for ox in 0..w_out {
-                    let mut acc = match kind {
+            if stride == 1 {
+                // Stride-1 windows overlap: accumulate whole output
+                // rows with the lane kernels — each (ky, kx) tap is
+                // one shifted input-row segment, visited in the same
+                // order as the per-element loop, so every backend is
+                // bit-identical.
+                for oy in 0..h_out {
+                    let drow = &mut dplane[oy * w_out..(oy + 1) * w_out];
+                    drow.fill(match kind {
                         PoolKind::Max => f32::NEG_INFINITY,
                         PoolKind::Avg => 0.0,
-                    };
+                    });
                     for ky in 0..window {
-                        let row = sbase + (oy * stride + ky) * w + ox * stride;
+                        let row = sbase + (oy + ky) * w;
                         for kx in 0..window {
-                            let v = src[row + kx];
+                            let srow = &src[row + kx..row + kx + w_out];
                             match kind {
-                                PoolKind::Max => acc = acc.max(v),
-                                PoolKind::Avg => acc += v,
+                                PoolKind::Max => simd::max_assign(isa, drow, srow),
+                                PoolKind::Avg => simd::add_assign(isa, drow, srow),
                             }
                         }
                     }
                     if let PoolKind::Avg = kind {
-                        acc /= (window * window) as f32;
+                        // Multiply by the reciprocal (not divide) so
+                        // the vector and scalar backends round
+                        // identically; exact for power-of-two windows.
+                        simd::scale_shift(isa, drow, 1.0 / (window * window) as f32, 0.0);
                     }
-                    dplane[oy * w_out + ox] = acc;
+                }
+            } else {
+                for oy in 0..h_out {
+                    for ox in 0..w_out {
+                        let mut acc = match kind {
+                            PoolKind::Max => f32::NEG_INFINITY,
+                            PoolKind::Avg => 0.0,
+                        };
+                        for ky in 0..window {
+                            let row = sbase + (oy * stride + ky) * w + ox * stride;
+                            for kx in 0..window {
+                                let v = src[row + kx];
+                                match kind {
+                                    PoolKind::Max => acc = acc.max(v),
+                                    PoolKind::Avg => acc += v,
+                                }
+                            }
+                        }
+                        if let PoolKind::Avg = kind {
+                            acc /= (window * window) as f32;
+                        }
+                        dplane[oy * w_out + ox] = acc;
+                    }
                 }
             }
         });

@@ -1,0 +1,114 @@
+//! AVX2 + FMA backend: 256-bit lanes, FMA-contracted GEMM.
+//!
+//! Every function here carries `#[target_feature(enable = "avx2,fma")]`;
+//! within that context the arithmetic intrinsics are safe calls, and
+//! only the unaligned load/store intrinsics (raw-pointer access) need
+//! `unsafe` blocks. Callers reach these kernels exclusively through
+//! the `dispatch!` match in `super`, whose `unsafe` arm is justified
+//! by one-time runtime feature detection.
+
+use core::arch::x86_64::*;
+
+#[derive(Clone, Copy)]
+pub(super) struct Lanes(__m256);
+
+impl Lanes {
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn splat(v: f32) -> Self {
+        Lanes(_mm256_set1_ps(v))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn load(src: &[f32], i: usize) -> Self {
+        let s = &src[i..i + 8];
+        // SAFETY: the bounds check above proves `s` spans 8 readable
+        // f32s; `loadu` has no alignment requirement.
+        Lanes(unsafe { _mm256_loadu_ps(s.as_ptr()) })
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn store(self, dst: &mut [f32], i: usize) {
+        let d = &mut dst[i..i + 8];
+        // SAFETY: the bounds check above proves `d` spans 8 writable
+        // f32s; `storeu` has no alignment requirement.
+        unsafe { _mm256_storeu_ps(d.as_mut_ptr(), self.0) }
+    }
+
+    /// `acc + self·b` as one fused multiply-add (single rounding) —
+    /// the only op where this backend's rounding differs from scalar.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn mul_add(self, b: Self, acc: Self) -> Self {
+        Lanes(_mm256_fmadd_ps(self.0, b.0, acc.0))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn mul(self, o: Self) -> Self {
+        Lanes(_mm256_mul_ps(self.0, o.0))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn add(self, o: Self) -> Self {
+        Lanes(_mm256_add_ps(self.0, o.0))
+    }
+
+    /// `maxps` returns the second operand when a lane compares
+    /// unordered, so `x.max(splat(0.0))` maps NaN to 0 exactly like
+    /// scalar `f32::max(x, 0.0)` in the ReLU kernel.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn max(self, o: Self) -> Self {
+        Lanes(_mm256_max_ps(self.0, o.0))
+    }
+
+    /// Per-lane `if self ≥ 0 { self } else { neg }`; NaN lanes
+    /// compare unordered and take `neg`, matching the scalar branch.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn select_ge_zero(self, neg: Self) -> Self {
+        let mask = _mm256_cmp_ps::<_CMP_GE_OQ>(self.0, _mm256_setzero_ps());
+        Lanes(_mm256_blendv_ps(neg.0, self.0, mask))
+    }
+}
+
+lane_kernels!(#[target_feature(enable = "avx2,fma")]);
+
+/// Two 8-lane FMA accumulators, horizontally summed once, then a
+/// sequential scalar tail.
+#[target_feature(enable = "avx2,fma")]
+pub(super) fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let n = x.len().min(y.len());
+    let mut acc0 = Lanes::splat(0.0);
+    let mut acc1 = Lanes::splat(0.0);
+    let mut i = 0;
+    while i + 16 <= n {
+        acc0 = Lanes::load(x, i).mul_add(Lanes::load(y, i), acc0);
+        acc1 = Lanes::load(x, i + 8).mul_add(Lanes::load(y, i + 8), acc1);
+        i += 16;
+    }
+    while i + 8 <= n {
+        acc0 = Lanes::load(x, i).mul_add(Lanes::load(y, i), acc0);
+        i += 8;
+    }
+    let mut acc = hsum(acc0.add(acc1));
+    for (a, b) in x[i..n].iter().zip(&y[i..n]) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Horizontal sum of 8 lanes: fold 256→128, then pairwise shuffles.
+#[target_feature(enable = "avx2,fma")]
+fn hsum(v: Lanes) -> f32 {
+    let lo = _mm256_castps256_ps128(v.0);
+    let hi = _mm256_extractf128_ps::<1>(v.0);
+    let quad = _mm_add_ps(lo, hi);
+    let dual = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+    let single = _mm_add_ss(dual, _mm_shuffle_ps::<0b01>(dual, dual));
+    _mm_cvtss_f32(single)
+}

@@ -1,0 +1,90 @@
+//! NEON backend: the 8-wide `Lanes` API over a pair of 128-bit
+//! registers.
+//!
+//! NEON is part of the `aarch64` baseline (the enclosing `cfg` proves
+//! `target_feature = "neon"` statically), so these are plain safe
+//! functions — no runtime probe or `unsafe` dispatch is needed; only
+//! the raw-pointer load/store intrinsics carry `unsafe` blocks.
+
+use core::arch::aarch64::*;
+
+#[derive(Clone, Copy)]
+pub(super) struct Lanes(float32x4_t, float32x4_t);
+
+impl Lanes {
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        Lanes(vdupq_n_f32(v), vdupq_n_f32(v))
+    }
+
+    #[inline(always)]
+    fn load(src: &[f32], i: usize) -> Self {
+        let s = &src[i..i + 8];
+        // SAFETY: the bounds check above proves `s` spans 8 readable
+        // f32s; vld1q has no alignment requirement.
+        unsafe { Lanes(vld1q_f32(s.as_ptr()), vld1q_f32(s.as_ptr().add(4))) }
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f32], i: usize) {
+        let d = &mut dst[i..i + 8];
+        // SAFETY: the bounds check above proves `d` spans 8 writable
+        // f32s; vst1q has no alignment requirement.
+        unsafe {
+            vst1q_f32(d.as_mut_ptr(), self.0);
+            vst1q_f32(d.as_mut_ptr().add(4), self.1);
+        }
+    }
+
+    /// `acc + self·b` as fused multiply-adds (single rounding) — the
+    /// only op where this backend's rounding differs from scalar.
+    #[inline(always)]
+    fn mul_add(self, b: Self, acc: Self) -> Self {
+        Lanes(vfmaq_f32(acc.0, self.0, b.0), vfmaq_f32(acc.1, self.1, b.1))
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        Lanes(vmulq_f32(self.0, o.0), vmulq_f32(self.1, o.1))
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        Lanes(vaddq_f32(self.0, o.0), vaddq_f32(self.1, o.1))
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        Lanes(vmaxq_f32(self.0, o.0), vmaxq_f32(self.1, o.1))
+    }
+
+    /// Per-lane `if self ≥ 0 { self } else { neg }`; NaN lanes
+    /// compare false and take `neg`, matching the scalar branch.
+    #[inline(always)]
+    fn select_ge_zero(self, neg: Self) -> Self {
+        let zero = vdupq_n_f32(0.0);
+        Lanes(
+            vbslq_f32(vcgeq_f32(self.0, zero), self.0, neg.0),
+            vbslq_f32(vcgeq_f32(self.1, zero), self.1, neg.1),
+        )
+    }
+}
+
+lane_kernels!();
+
+/// One 8-lane FMA accumulator chain, horizontally summed once, then a
+/// sequential scalar tail.
+pub(super) fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let n = x.len().min(y.len());
+    let mut acc = Lanes::splat(0.0);
+    let mut i = 0;
+    while i + 8 <= n {
+        acc = Lanes::load(x, i).mul_add(Lanes::load(y, i), acc);
+        i += 8;
+    }
+    let mut s = vaddvq_f32(vaddq_f32(acc.0, acc.1));
+    for (a, b) in x[i..n].iter().zip(&y[i..n]) {
+        s += a * b;
+    }
+    s
+}

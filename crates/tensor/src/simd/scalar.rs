@@ -1,0 +1,73 @@
+//! Portable scalar backend: the 8-wide `Lanes` API over `[f32; 8]`.
+//!
+//! This backend defines the reference semantics for every kernel —
+//! `mul_add` is a separate multiply and add (never `f32::mul_add`),
+//! matching what the pre-SIMD tensor ops computed element by element.
+//! It compiles with whatever baseline auto-vectorization the target
+//! allows (e.g. SSE2 on `x86_64`), which is exactly the "scalar
+//! microkernel" the benchmark harness compares against.
+
+#[derive(Clone, Copy)]
+pub(super) struct Lanes([f32; 8]);
+
+impl Lanes {
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        Lanes([v; 8])
+    }
+
+    #[inline(always)]
+    fn load(src: &[f32], i: usize) -> Self {
+        Lanes(src[i..i + 8].try_into().expect("8 lanes"))
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f32], i: usize) {
+        dst[i..i + 8].copy_from_slice(&self.0);
+    }
+
+    /// `acc + self·b` with two roundings (multiply, then add).
+    #[inline(always)]
+    fn mul_add(self, b: Self, acc: Self) -> Self {
+        Lanes(std::array::from_fn(|l| acc.0[l] + self.0[l] * b.0[l]))
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        Lanes(std::array::from_fn(|l| self.0[l] * o.0[l]))
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        Lanes(std::array::from_fn(|l| self.0[l] + o.0[l]))
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        Lanes(std::array::from_fn(|l| self.0[l].max(o.0[l])))
+    }
+
+    /// Per-lane `if self ≥ 0 { self } else { neg }`.
+    #[inline(always)]
+    fn select_ge_zero(self, neg: Self) -> Self {
+        Lanes(std::array::from_fn(|l| {
+            if self.0[l] >= 0.0 {
+                self.0[l]
+            } else {
+                neg.0[l]
+            }
+        }))
+    }
+}
+
+lane_kernels!();
+
+/// Strictly sequential dot product — bit-identical to the historical
+/// `linear` inner loop.
+pub(super) fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}

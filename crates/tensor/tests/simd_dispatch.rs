@@ -1,0 +1,214 @@
+//! SIMD-vs-scalar parity and dispatch coverage.
+//!
+//! Every kernel is exercised on **both** the detected backend
+//! (`simd::active()`) and the portable scalar backend (`Isa::SCALAR`,
+//! invoked directly through the `_isa` entry points — not via the
+//! `force-scalar` feature) in one run, so CI on any host covers both
+//! paths. The contract under test is the crate's numerics policy:
+//!
+//! * FMA-free kernels (relu, leaky-relu, pooling, batch-norm, conv
+//!   bias) are **bit-identical** across backends;
+//! * the FMA-contracted GEMM kernels (matmul, conv2d, linear) agree
+//!   with scalar to ≤1e-5 **relative** error;
+//! * for a fixed backend, every kernel is bit-identical across
+//!   1/2/8-thread runtimes.
+
+use adsim_runtime::Runtime;
+use adsim_tensor::simd::{self, Isa};
+use adsim_tensor::{ops, Tensor};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Deterministic non-trivial fill: varied signs and magnitudes.
+fn fill(shape: impl Into<adsim_tensor::Shape>) -> Tensor {
+    let shape = shape.into();
+    let n = shape.len();
+    Tensor::from_vec(
+        shape,
+        (0..n)
+            .map(|i| ((i * 2_654_435_761 % 1_000) as f32 / 500.0 - 1.0) * 0.7)
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn assert_rel_close(a: &Tensor, b: &Tensor, ctx: &str) {
+    assert_eq!(a.shape(), b.shape(), "{ctx}: shapes differ");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-5 * y.abs().max(1.0),
+            "{ctx}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+fn assert_bits_equal(a: &Tensor, b: &Tensor, ctx: &str) {
+    assert_eq!(a.shape(), b.shape(), "{ctx}: shapes differ");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: element {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn dispatch_reports_both_paths() {
+    let active = simd::active();
+    // With force-scalar the probe must be pinned to the fallback;
+    // without it the probe may be either, but SCALAR is constructible
+    // and callable everywhere.
+    if cfg!(feature = "force-scalar") {
+        assert!(active.is_scalar(), "force-scalar must pin the fallback");
+    }
+    assert!(Isa::SCALAR.is_scalar());
+    assert_ne!(Isa::SCALAR.name(), "");
+    assert_ne!(active.name(), "");
+}
+
+#[test]
+fn matmul_simd_matches_scalar_within_fma_tolerance() {
+    // Non-multiple-of-4 rows, non-multiple-of-16 columns, and a
+    // k larger than one 256-row panel.
+    for (m, k, n) in [(1, 1, 1), (4, 8, 16), (7, 300, 23), (33, 65, 40)] {
+        let a = fill([m, k]);
+        let b = fill([k, n]);
+        let scalar = ops::matmul_isa(&Runtime::serial(), &a, &b, Isa::SCALAR).unwrap();
+        for t in THREADS {
+            let rt = Runtime::new(t);
+            let vec = ops::matmul_isa(&rt, &a, &b, simd::active()).unwrap();
+            assert_rel_close(&vec, &scalar, &format!("matmul {m}x{k}x{n} t={t}"));
+            let sc = ops::matmul_isa(&rt, &a, &b, Isa::SCALAR).unwrap();
+            assert_bits_equal(&sc, &scalar, &format!("scalar matmul {m}x{k}x{n} t={t}"));
+        }
+    }
+}
+
+#[test]
+fn linear_simd_matches_scalar_within_fma_tolerance() {
+    let x = fill([3, 70]);
+    let w = fill([19, 70]);
+    let bias = fill([19]);
+    let scalar = ops::linear_isa(&Runtime::serial(), &x, &w, Some(&bias), Isa::SCALAR).unwrap();
+    for t in THREADS {
+        let rt = Runtime::new(t);
+        let vec = ops::linear_isa(&rt, &x, &w, Some(&bias), simd::active()).unwrap();
+        assert_rel_close(&vec, &scalar, &format!("linear t={t}"));
+        let sc = ops::linear_isa(&rt, &x, &w, Some(&bias), Isa::SCALAR).unwrap();
+        assert_bits_equal(&sc, &scalar, &format!("scalar linear t={t}"));
+    }
+}
+
+#[test]
+fn conv2d_simd_matches_scalar_within_fma_tolerance() {
+    let input = fill([2, 3, 13, 17]);
+    let weight = fill([5, 3, 3, 3]);
+    let bias = fill([5]);
+    for (stride, pad) in [(1, 1), (2, 0)] {
+        let scalar = ops::conv2d_isa(
+            &Runtime::serial(),
+            &input,
+            &weight,
+            Some(&bias),
+            stride,
+            pad,
+            Isa::SCALAR,
+        )
+        .unwrap();
+        for t in THREADS {
+            let rt = Runtime::new(t);
+            let vec =
+                ops::conv2d_isa(&rt, &input, &weight, Some(&bias), stride, pad, simd::active())
+                    .unwrap();
+            assert_rel_close(&vec, &scalar, &format!("conv s={stride} p={pad} t={t}"));
+            let sc = ops::conv2d_isa(&rt, &input, &weight, Some(&bias), stride, pad, Isa::SCALAR)
+                .unwrap();
+            assert_bits_equal(&sc, &scalar, &format!("scalar conv s={stride} p={pad} t={t}"));
+        }
+    }
+}
+
+#[test]
+fn activations_are_bit_identical_across_backends() {
+    // Length not a multiple of 8 exercises the scalar tails.
+    let t = fill([3, 7, 11]);
+    let scalar_relu = ops::relu_isa(&Runtime::serial(), &t, Isa::SCALAR);
+    let scalar_leaky = ops::leaky_relu_isa(&Runtime::serial(), &t, 0.1, Isa::SCALAR);
+    for threads in THREADS {
+        let rt = Runtime::new(threads);
+        assert_bits_equal(
+            &ops::relu_isa(&rt, &t, simd::active()),
+            &scalar_relu,
+            &format!("relu t={threads}"),
+        );
+        assert_bits_equal(
+            &ops::leaky_relu_isa(&rt, &t, 0.1, simd::active()),
+            &scalar_leaky,
+            &format!("leaky_relu t={threads}"),
+        );
+    }
+}
+
+#[test]
+fn pooling_is_bit_identical_across_backends() {
+    let t = fill([2, 3, 19, 21]);
+    for (window, stride) in [(2, 1), (3, 1), (2, 2), (3, 2)] {
+        let max_s =
+            ops::max_pool2d_isa(&Runtime::serial(), &t, window, stride, Isa::SCALAR).unwrap();
+        let avg_s =
+            ops::avg_pool2d_isa(&Runtime::serial(), &t, window, stride, Isa::SCALAR).unwrap();
+        for threads in THREADS {
+            let rt = Runtime::new(threads);
+            assert_bits_equal(
+                &ops::max_pool2d_isa(&rt, &t, window, stride, simd::active()).unwrap(),
+                &max_s,
+                &format!("max_pool w={window} s={stride} t={threads}"),
+            );
+            assert_bits_equal(
+                &ops::avg_pool2d_isa(&rt, &t, window, stride, simd::active()).unwrap(),
+                &avg_s,
+                &format!("avg_pool w={window} s={stride} t={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_norm_is_bit_identical_across_backends() {
+    let x = fill([2, 5, 9, 13]);
+    let gamma = fill([5]);
+    let beta = fill([5]);
+    let mean = fill([5]);
+    let var = Tensor::from_vec([5], vec![0.5, 1.0, 2.0, 0.25, 4.0]).unwrap();
+    let scalar = ops::batch_norm_isa(
+        &Runtime::serial(),
+        &x,
+        &gamma,
+        &beta,
+        &mean,
+        &var,
+        1e-5,
+        Isa::SCALAR,
+    )
+    .unwrap();
+    // The _with entry must match the serial entry exactly too.
+    let plain = ops::batch_norm(&x, &gamma, &beta, &mean, &var, 1e-5).unwrap();
+    for threads in THREADS {
+        let rt = Runtime::new(threads);
+        let vec = ops::batch_norm_isa(&rt, &x, &gamma, &beta, &mean, &var, 1e-5, simd::active())
+            .unwrap();
+        assert_bits_equal(&vec, &scalar, &format!("batch_norm t={threads}"));
+        assert_bits_equal(&vec, &plain, &format!("batch_norm vs plain t={threads}"));
+    }
+}
+
+#[test]
+fn hamming_is_exact_on_both_backends() {
+    let mut a = [0u8; 32];
+    let mut b = [0u8; 32];
+    for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+        *x = (i as u8).wrapping_mul(37);
+        *y = (i as u8).wrapping_mul(37) ^ (1 << (i % 8));
+    }
+    // Exactly one flipped bit per byte.
+    assert_eq!(simd::hamming256_isa(Isa::SCALAR, &a, &b), 32);
+    assert_eq!(simd::hamming256_isa(simd::active(), &a, &b), 32);
+    assert_eq!(simd::hamming256(&a, &b), 32);
+}

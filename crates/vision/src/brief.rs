@@ -44,13 +44,11 @@ impl Descriptor {
         &self.bits
     }
 
-    /// Hamming distance to another descriptor, in `0..=256`.
+    /// Hamming distance to another descriptor, in `0..=256`, computed
+    /// as four `u64` XOR + popcount words (endian-agnostic: XOR and
+    /// popcount commute with any byte order).
     pub fn hamming(&self, other: &Descriptor) -> u32 {
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        adsim_tensor::simd::hamming256(&self.bits, &other.bits)
     }
 }
 
@@ -153,6 +151,33 @@ mod tests {
                 assert!((-PATCH_R..=PATCH_R).contains(&v));
             }
         }
+    }
+
+    #[test]
+    fn hamming_matches_per_bit_reference() {
+        // The u64-word XOR+popcount path must equal a naive bit count
+        // on irregular patterns (every byte differing in varied bits).
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+            *x = (i as u8).wrapping_mul(151).wrapping_add(43);
+            *y = (i as u8).wrapping_mul(97).wrapping_add(211);
+        }
+        let (da, db) = (Descriptor::new(a), Descriptor::new(b));
+        let expect: u32 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| {
+                let mut d = x ^ y;
+                let mut n = 0;
+                while d != 0 {
+                    n += (d & 1) as u32;
+                    d >>= 1;
+                }
+                n
+            })
+            .sum();
+        assert_eq!(da.hamming(&db), expect);
     }
 
     #[test]

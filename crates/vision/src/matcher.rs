@@ -40,11 +40,14 @@ pub fn match_descriptors(
     if train.is_empty() {
         return out;
     }
+    // Hoist backend detection out of the O(query × train) loop so the
+    // inner distance is a straight XOR + hardware-popcount chain.
+    let isa = adsim_tensor::simd::active();
     for (qi, q) in query.iter().enumerate() {
         let mut best = (usize::MAX, u32::MAX);
         let mut second = u32::MAX;
         for (ti, t) in train.iter().enumerate() {
-            let d = q.hamming(t);
+            let d = adsim_tensor::simd::hamming256_isa(isa, q.as_bytes(), t.as_bytes());
             if d < best.1 {
                 second = best.1;
                 best = (ti, d);
