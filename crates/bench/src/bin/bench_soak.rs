@@ -1,0 +1,460 @@
+//! Chaos soak campaign over the guarded, supervised driving pipeline.
+//!
+//! Runs a grid of fault mixes × derived seeds through the native
+//! pipeline with the safety-monitor guard active and checks the
+//! end-to-end safety contract on every run:
+//!
+//! * **Detection coverage** — every injected data-plane fault
+//!   (blackout, stuck sensor, pixel corruption) must be caught by the
+//!   checksummed hand-off (digest mismatch or stuck-frame verdict);
+//!   coverage ≥ 95 % per data-bearing cell.
+//! * **No uncaught violations** — any frame on which a monitor trips
+//!   or a bad payload is confirmed must leave the supervisor in a
+//!   degraded mode that same frame (escalation can never be dropped).
+//! * **Bounded recovery** — the longest completed degradation episode
+//!   stays under a fixed frame bound.
+//! * **Safe-stop reachability** — hostile mixes must command at least
+//!   one safe stop somewhere in the campaign.
+//! * **Determinism** — re-running one faulted cell with the same seed
+//!   reproduces the degradation log, the guard event log and every
+//!   non-wall-clock cell field byte for byte.
+//!
+//! A guards-on vs guards-off overhead measurement on a clean run and
+//! the full per-cell table land in `BENCH_soak.json`.
+//!
+//! ```text
+//! cargo run --release -p adsim-bench --bin bench_soak [-- --smoke | -- --quick]
+//! ```
+//!
+//! `--smoke` is the tier-1 wiring check: two seeds, three mixes, a
+//! dozen frames per run. `--quick` keeps the full mix grid but trims
+//! seeds and frames.
+
+use adsim_core::{
+    build_prior_map, GuardConfig, NativePipeline, NativePipelineConfig, Supervisor,
+    SupervisorConfig,
+};
+use adsim_faults::{FaultConfig, FaultInjector};
+use adsim_slam::PriorMap;
+use adsim_stats::Quantile;
+use adsim_vision::{OrthoCamera, Pose2};
+use adsim_workload::{Resolution, Scenario, ScenarioKind};
+
+/// Campaign base seed; per-run seeds derive from it below.
+const SEED: u64 = 0x50A_C0DE;
+
+/// Longest tolerated completed degradation episode (frames). Outages
+/// in the mixes run up to 6 frames and recovery hysteresis adds
+/// `recover_frames`; anything past this bound means the supervisor
+/// wedged in a degraded mode instead of recovering.
+const TTR_BOUND_FRAMES: u64 = 50;
+
+/// The i-th derived campaign seed (golden-ratio stride, like the
+/// injector's own per-frame derivation).
+fn derived_seed(i: u64) -> u64 {
+    SEED ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).max(1)
+}
+
+/// One fault mix of the soak grid.
+struct Mix {
+    name: &'static str,
+    cfg: FaultConfig,
+}
+
+fn mixes() -> Vec<Mix> {
+    vec![
+        Mix { name: "clean", cfg: FaultConfig::off() },
+        Mix {
+            name: "data",
+            cfg: FaultConfig {
+                blackout_rate: 0.06,
+                blackout_frames: (2, 5),
+                pixel_corruption_rate: 0.25,
+                corrupted_fraction: 0.05,
+                stuck_rate: 0.12,
+                stuck_frames: (1, 3),
+                ..FaultConfig::off()
+            },
+        },
+        Mix {
+            name: "timing",
+            cfg: FaultConfig {
+                latency_spike_rate: 0.30,
+                stall_rate: 0.15,
+                timestamp_skew_rate: 0.30,
+                // Beyond the guard's max inter-frame gap, so skews are
+                // directly observable at the LOC boundary.
+                timestamp_skew_s: (0.6, 1.2),
+                ..FaultConfig::off()
+            },
+        },
+        Mix {
+            name: "divergence",
+            cfg: FaultConfig {
+                tracker_divergence_rate: 0.30,
+                tracker_divergence_shift: 0.40,
+                lock_loss_rate: 0.10,
+                lock_loss_frames: (2, 5),
+                ..FaultConfig::off()
+            },
+        },
+        Mix { name: "everything", cfg: FaultConfig::stress() },
+    ]
+}
+
+/// One soak run's outcome, destined for the JSON report.
+struct Cell {
+    mix: &'static str,
+    guard: &'static str,
+    seed: u64,
+    frames: u64,
+    injected_data_faults: u64,
+    detected_data_faults: u64,
+    dual_recovered: u64,
+    monitor_trips: u64,
+    uncaught: u64,
+    episodes: u64,
+    mean_ttr_frames: f64,
+    max_ttr_frames: u64,
+    degraded_rate: f64,
+    safe_stops: u64,
+    p99_ms: f64,
+}
+
+impl Cell {
+    /// Detected fraction of injected data-plane faults (1.0 when
+    /// nothing was injected — there was nothing to miss).
+    fn coverage(&self) -> f64 {
+        if self.injected_data_faults == 0 {
+            1.0
+        } else {
+            self.detected_data_faults as f64 / self.injected_data_faults as f64
+        }
+    }
+
+    /// Everything deterministic about the run — the wall-clock p99 is
+    /// the only field excluded. The determinism re-run compares this.
+    fn signature(&self) -> String {
+        format!(
+            "{} {} {:#x} frames={} injected={} detected={} recovered={} trips={} \
+             uncaught={} episodes={} ttr={:.4}/{} degraded={:.6} safestops={}",
+            self.mix,
+            self.guard,
+            self.seed,
+            self.frames,
+            self.injected_data_faults,
+            self.detected_data_faults,
+            self.dual_recovered,
+            self.monitor_trips,
+            self.uncaught,
+            self.episodes,
+            self.mean_ttr_frames,
+            self.max_ttr_frames,
+            self.degraded_rate,
+            self.safe_stops,
+        )
+    }
+}
+
+/// Shared world assets; rebuilding the prior map per run would
+/// dominate the campaign runtime.
+struct Assets {
+    scenario: Scenario,
+    camera: OrthoCamera,
+    map: PriorMap,
+}
+
+impl Assets {
+    fn build(res: Resolution) -> Self {
+        let scenario = Scenario::new(ScenarioKind::UrbanDrive, 11);
+        let camera = scenario.camera(res);
+        let poses: Vec<Pose2> = (0..40)
+            .flat_map(|i| {
+                let p = scenario.pose_at(i * 10);
+                [p, Pose2::new(p.x, p.y + 25.0, p.theta), Pose2::new(p.x, p.y - 25.0, p.theta)]
+            })
+            .collect();
+        let map = build_prior_map(scenario.world(), &camera, poses, 300, 25);
+        Self { scenario, camera, map }
+    }
+
+    fn supervisor(&self, seed: u64, faults: FaultConfig, guard: GuardConfig) -> Supervisor {
+        let mut pipe = NativePipeline::new(
+            self.camera,
+            self.map.clone(),
+            NativePipelineConfig::default(),
+        );
+        pipe.seed_pose(self.scenario.pose_at(0));
+        let cfg = SupervisorConfig { guard, ..SupervisorConfig::default() };
+        Supervisor::new(pipe, FaultInjector::new(seed, faults), cfg)
+    }
+
+    /// Runs one soak cell; returns the cell plus the rendered
+    /// degradation + guard event logs for the determinism re-run.
+    fn run(
+        &self,
+        res: Resolution,
+        frames: usize,
+        mix: &Mix,
+        guard_name: &'static str,
+        guard: GuardConfig,
+        seed: u64,
+    ) -> (Cell, Vec<String>) {
+        let mut sup = self.supervisor(seed, mix.cfg.clone(), guard);
+        let mut e2e = adsim_stats::LatencyRecorder::with_capacity(frames);
+        let mut injected = 0u64;
+        let mut uncaught = 0u64;
+        for frame in self.scenario.stream(res).take(frames) {
+            let before = *sup.guard_stats();
+            let out = sup.process(&frame.image, frame.time_s);
+            e2e.record(out.reported.end_to_end());
+            let after = *sup.guard_stats();
+
+            // Ground truth: did the injector touch the sensor payload?
+            let data_fault =
+                out.faults.blackout || out.faults.stuck || out.faults.pixel_corruption.is_some();
+            injected += data_fault as u64;
+
+            // Escalation contract: a confirmed-bad payload or a tripped
+            // monitor must leave a degraded mode active this frame. A
+            // dual-execution *recovery* is the one benign detection —
+            // the vote repaired the payload, nothing to escalate.
+            let detected = (after.digest_mismatches + after.stuck_detected)
+                > (before.digest_mismatches + before.stuck_detected);
+            let recovered = after.dual_recovered > before.dual_recovered;
+            let tripped = after.monitor_trips() > before.monitor_trips();
+            if ((detected && !recovered) || tripped) && !out.modes.any() {
+                uncaught += 1;
+            }
+        }
+        let stats = sup.recovery_stats();
+        let gs = *sup.guard_stats();
+        let mut log: Vec<String> = sup.events().iter().map(|e| e.to_string()).collect();
+        log.extend(sup.guard_events().iter().map(|e| e.to_string()));
+        let cell = Cell {
+            mix: mix.name,
+            guard: guard_name,
+            seed,
+            frames: stats.frames,
+            injected_data_faults: injected,
+            detected_data_faults: gs.digest_mismatches + gs.stuck_detected,
+            dual_recovered: gs.dual_recovered,
+            monitor_trips: gs.monitor_trips(),
+            uncaught,
+            episodes: stats.episodes,
+            mean_ttr_frames: stats.mean_time_to_recover(),
+            max_ttr_frames: stats.max_recover_frames,
+            degraded_rate: stats.degraded_rate(),
+            safe_stops: stats.safe_stops,
+            p99_ms: e2e.quantile(Quantile::P99),
+        };
+        (cell, log)
+    }
+}
+
+fn report_cell(c: &Cell) {
+    println!(
+        "  {:>10}/{:<7} seed={:>18} frames={:<4} injected={:<3} detected={:<3} \
+         cov={:>5.1}% trips={:<3} uncaught={} ttr={:<4.1} max={:<3} safestops={:<2} p99={:.2} ms",
+        c.mix,
+        c.guard,
+        format!("{:#x}", c.seed),
+        c.frames,
+        c.injected_data_faults,
+        c.detected_data_faults,
+        c.coverage() * 100.0,
+        c.monitor_trips,
+        c.uncaught,
+        c.mean_ttr_frames,
+        c.max_ttr_frames,
+        c.safe_stops,
+        c.p99_ms,
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let res = Resolution::Hhd;
+    let (n_seeds, frames, mode) = if smoke {
+        (2u64, 12usize, "smoke")
+    } else if quick {
+        (2, 20, "quick")
+    } else {
+        (4, 60, "full")
+    };
+
+    adsim_bench::header(
+        "Soak",
+        "fault-mix x seed chaos campaign under safety monitors and a checksummed data plane",
+    );
+    let assets = Assets::build(res);
+    let all_mixes = mixes();
+    let grid: Vec<&Mix> = if smoke {
+        all_mixes.iter().filter(|m| matches!(m.name, "clean" | "data" | "everything")).collect()
+    } else {
+        all_mixes.iter().collect()
+    };
+
+    // -- Soak grid: every mix × every derived seed, guards on. --------
+    println!("soak grid ({} mixes x {n_seeds} seeds, {frames} frames/run):", grid.len());
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut repro: Option<(&Mix, u64, Vec<String>, String)> = None;
+    for mix in &grid {
+        for i in 0..n_seeds {
+            let seed = derived_seed(i);
+            let (cell, log) =
+                assets.run(res, frames, mix, "default", GuardConfig::default(), seed);
+            report_cell(&cell);
+            if repro.is_none() && cell.injected_data_faults > 0 {
+                repro = Some((mix, seed, log, cell.signature()));
+            }
+            cells.push(cell);
+        }
+    }
+
+    // The data mix again under dual-execution voting: transient
+    // corruption must be repaired in place (recoveries observed) while
+    // coverage and escalation guarantees keep holding.
+    let data_mix = all_mixes.iter().find(|m| m.name == "data").expect("data mix exists");
+    println!("dual-execution voting ({n_seeds} seeds):");
+    for i in 0..n_seeds {
+        let (cell, _) =
+            assets.run(res, frames, data_mix, "voting", GuardConfig::voting(), derived_seed(i));
+        report_cell(&cell);
+        cells.push(cell);
+    }
+
+    // -- The safety contract, checked over every cell. ----------------
+    let mut contract_ok = true;
+    for c in &cells {
+        if c.injected_data_faults > 0 && c.coverage() < 0.95 {
+            println!(
+                "  FAIL {}/{} seed {:#x}: coverage {:.1}% < 95%",
+                c.mix,
+                c.guard,
+                c.seed,
+                c.coverage() * 100.0
+            );
+            contract_ok = false;
+        }
+        if c.uncaught > 0 {
+            println!(
+                "  FAIL {}/{} seed {:#x}: {} uncaught violation(s)",
+                c.mix, c.guard, c.seed, c.uncaught
+            );
+            contract_ok = false;
+        }
+        if c.max_ttr_frames > TTR_BOUND_FRAMES {
+            println!(
+                "  FAIL {}/{} seed {:#x}: max TTR {} frames > bound {}",
+                c.mix, c.guard, c.seed, c.max_ttr_frames, TTR_BOUND_FRAMES
+            );
+            contract_ok = false;
+        }
+    }
+    let safe_stops: u64 = cells.iter().map(|c| c.safe_stops).sum();
+    if safe_stops == 0 {
+        println!("  FAIL: no soak run ever reached a safe stop");
+        contract_ok = false;
+    }
+    println!(
+        "\nsafety contract (coverage >= 95%, zero uncaught, TTR <= {TTR_BOUND_FRAMES}, \
+         safe stop reached): {}",
+        adsim_bench::mark(contract_ok)
+    );
+    assert!(contract_ok, "soak safety contract violated");
+
+    // -- Determinism: same seed + mix => byte-identical logs. ---------
+    let (mix, seed, first_log, first_sig) = repro.expect("grid has a data-bearing cell");
+    let (second, second_log) =
+        assets.run(res, frames, mix, "default", GuardConfig::default(), seed);
+    let deterministic = first_log == second_log && first_sig == second.signature();
+    println!(
+        "determinism re-run ({} log lines): {}",
+        first_log.len(),
+        adsim_bench::mark(deterministic)
+    );
+    assert!(deterministic, "same seed and mix must reproduce logs and counters exactly");
+
+    // -- Overhead: guards on vs off over a clean run. The two
+    // supervisors are interleaved frame by frame in alternating order
+    // so wall-clock drift (thermal, cache) hits both probes equally
+    // instead of whichever ran second.
+    let clean = all_mixes.iter().find(|m| m.name == "clean").expect("clean mix exists");
+    let overhead_frames = if smoke || quick { frames } else { 40 };
+    let mut sup_off = assets.supervisor(SEED, clean.cfg.clone(), GuardConfig::off());
+    let mut sup_on = assets.supervisor(SEED, clean.cfg.clone(), GuardConfig::default());
+    let mut e2e_off = adsim_stats::LatencyRecorder::with_capacity(overhead_frames);
+    let mut e2e_on = adsim_stats::LatencyRecorder::with_capacity(overhead_frames);
+    for (i, frame) in assets.scenario.stream(res).take(overhead_frames).enumerate() {
+        let (first, second, first_rec, second_rec) = if i % 2 == 0 {
+            (&mut sup_off, &mut sup_on, &mut e2e_off, &mut e2e_on)
+        } else {
+            (&mut sup_on, &mut sup_off, &mut e2e_on, &mut e2e_off)
+        };
+        first_rec.record(first.process(&frame.image, frame.time_s).reported.end_to_end());
+        second_rec.record(second.process(&frame.image, frame.time_s).reported.end_to_end());
+    }
+    let off_ms = e2e_off.quantile(Quantile::P50);
+    let on_ms = e2e_on.quantile(Quantile::P50);
+    println!("overhead probe guards-off: p50 {off_ms:.3} ms over {overhead_frames} frames");
+    println!("overhead probe guards-on:  p50 {on_ms:.3} ms over {overhead_frames} frames");
+    let overhead_pct = if off_ms > 0.0 { (on_ms - off_ms) / off_ms * 100.0 } else { 0.0 };
+    println!("guards-on overhead: {overhead_pct:+.2}% (wall clock; see tests/guard.rs for the bit-identity pin)");
+
+    let json = to_json(mode, deterministic, off_ms, on_ms, overhead_pct, &cells);
+    std::fs::write("BENCH_soak.json", &json).expect("write BENCH_soak.json");
+    println!("\nwrote BENCH_soak.json ({} cells)", cells.len());
+}
+
+/// Hand-rolled JSON (offline policy: no serde). All values are numbers,
+/// booleans or plain ASCII identifiers, so no escaping is required.
+fn to_json(
+    mode: &str,
+    deterministic: bool,
+    off_ms: f64,
+    on_ms: f64,
+    overhead_pct: f64,
+    cells: &[Cell],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"bench_soak\",\n");
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"deterministic\": {deterministic},\n"));
+    s.push_str(&format!("  \"ttr_bound_frames\": {TTR_BOUND_FRAMES},\n"));
+    s.push_str(&format!(
+        "  \"overhead\": {{\"guards_off_p50_ms\": {off_ms:.4}, \"guards_on_p50_ms\": {on_ms:.4}, \
+         \"overhead_pct\": {overhead_pct:.2}}},\n"
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"mix\": \"{}\", \"guard\": \"{}\", \"seed\": {}, \"frames\": {}, \
+             \"injected_data_faults\": {}, \"detected_data_faults\": {}, \"coverage\": {:.4}, \
+             \"dual_recovered\": {}, \"monitor_trips\": {}, \"uncaught\": {}, \"episodes\": {}, \
+             \"mean_ttr_frames\": {:.4}, \"max_ttr_frames\": {}, \"degraded_rate\": {:.6}, \
+             \"safe_stops\": {}, \"p99_ms\": {:.4}}}{}\n",
+            c.mix,
+            c.guard,
+            c.seed,
+            c.frames,
+            c.injected_data_faults,
+            c.detected_data_faults,
+            c.coverage(),
+            c.dual_recovered,
+            c.monitor_trips,
+            c.uncaught,
+            c.episodes,
+            c.mean_ttr_frames,
+            c.max_ttr_frames,
+            c.degraded_rate,
+            c.safe_stops,
+            c.p99_ms,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -67,6 +67,22 @@ impl DeadlineStats {
 /// let stats = replay_stream(&mut pipe, 2_000, 100.0, 100.0, 1.0);
 /// assert!(stats.effective_fps > 9.0);
 /// ```
+/// Whole camera periods elapsed at `now_ms`.
+///
+/// On a multi-hour horizon the quotient can exceed what fits in the
+/// mantissa — and with a degenerate clock it can go negative or
+/// non-finite. The `f64 → usize` `as` cast saturates rather than
+/// wrapping, and non-finite / negative inputs pin to frame 0, so the
+/// replay clock can never jump backwards through a cast.
+fn frames_elapsed(now_ms: f64, period_ms: f64) -> usize {
+    let n = (now_ms / period_ms).floor();
+    if n.is_finite() && n > 0.0 {
+        n as usize // saturates at usize::MAX for huge horizons
+    } else {
+        0
+    }
+}
+
 pub fn replay_stream(
     pipeline: &mut ModeledPipeline,
     frames: usize,
@@ -82,8 +98,8 @@ pub fn replay_stream(
     while next_capture < frames {
         // The pipeline becomes free at `now_ms`; it takes the newest
         // captured frame at or before `now_ms` (or waits for the next).
-        let newest = (now_ms / period_ms).floor() as usize;
-        let take = newest.min(frames - 1).max(next_capture.saturating_sub(0));
+        let newest = frames_elapsed(now_ms, period_ms);
+        let take = newest.min(frames - 1).max(next_capture);
         let (capture_idx, capture_time) = if newest >= next_capture {
             (take, take as f64 * period_ms)
         } else {
@@ -109,7 +125,11 @@ pub fn replay_stream(
     }
     if stats.processed > 0 {
         stats.mean_reaction_ms = reaction_sum / stats.processed as f64;
-        stats.effective_fps = stats.processed as f64 / (now_ms / 1_000.0);
+        if now_ms > 0.0 {
+            // Guarded: a pathological zero-latency pipeline would
+            // otherwise divide by zero and report infinite FPS.
+            stats.effective_fps = stats.processed as f64 / (now_ms / 1_000.0);
+        }
     }
     stats
 }
@@ -165,6 +185,28 @@ mod tests {
         assert_eq!(stats.deadline_misses, 0);
         assert!(!stats.meets_constraints(10.0));
         assert!(!stats.meets_constraints(0.0));
+    }
+
+    #[test]
+    fn frames_elapsed_clamps_degenerate_clocks() {
+        // Ordinary operation.
+        assert_eq!(frames_elapsed(0.0, 100.0), 0);
+        assert_eq!(frames_elapsed(99.9, 100.0), 0);
+        assert_eq!(frames_elapsed(100.0, 100.0), 1);
+        assert_eq!(frames_elapsed(1_000.0, 100.0), 10);
+        // A clock that went backwards or broke pins to frame 0 instead
+        // of wrapping through the cast.
+        assert_eq!(frames_elapsed(-5_000.0, 100.0), 0);
+        assert_eq!(frames_elapsed(f64::NAN, 100.0), 0);
+        assert_eq!(frames_elapsed(f64::NEG_INFINITY, 100.0), 0);
+        // An *infinite* quotient is a broken clock, not a long horizon
+        // — it pins to 0 with the other degenerate inputs.
+        assert_eq!(frames_elapsed(f64::INFINITY, 100.0), 0);
+        // A finite horizon beyond usize saturates instead of wrapping.
+        assert_eq!(frames_elapsed(1e300, 1e-3), usize::MAX);
+        // Multi-day horizons stay exact (quotient within the mantissa).
+        let day_ms = 24.0 * 3_600.0 * 1_000.0;
+        assert_eq!(frames_elapsed(30.0 * day_ms, 100.0), 30 * 864_000);
     }
 
     #[test]

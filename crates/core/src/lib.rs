@@ -49,3 +49,6 @@ pub use supervisor::{
     ActiveModes, DegradationCause, DegradationEvent, DegradationEventKind, DegradedMode,
     ModeledSupervisor, RecoveryStats, SupervisedFrameResult, Supervisor, SupervisorConfig,
 };
+// Guard types surface in the supervisor API (config, causes, logs);
+// re-export them so `adsim_core` alone is enough to drive it.
+pub use adsim_guard::{GuardConfig, GuardEvent, GuardStats, Monitor, PipelineGuard, Violation};

@@ -1,4 +1,5 @@
 use crate::modeled::FrameLatency;
+use adsim_dnn::detection::Detection;
 use adsim_perception::{
     BlobDetector, Detector, GoturnTracker, TemplateTracker, TrackedObject, Tracker, TrackerPool,
     TrackerPoolConfig, YoloDetector,
@@ -107,6 +108,10 @@ pub struct ProcessControl {
 pub struct NativeFrameResult {
     /// Measured wall-clock latencies (ms).
     pub latency: FrameLatency,
+    /// Raw detector output (empty when the stage was skipped) — the
+    /// DET → TRA hand-off payload, exposed for stage-boundary
+    /// monitoring.
+    pub detections: Vec<Detection>,
     /// Localizer pose estimate (`None` when lost).
     pub pose: Option<Pose2>,
     /// Tracked-object table after this frame.
@@ -285,6 +290,7 @@ impl NativePipeline {
                 fusion: fus_ms,
                 motion_planning: mot_ms,
             },
+            detections,
             pose: loc_result.pose,
             tracks,
             fused,

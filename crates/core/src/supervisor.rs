@@ -28,6 +28,7 @@
 use crate::modeled::{FrameLatency, ModeledPipeline, PipelineStats};
 use crate::native::{NativeFrameResult, NativePipeline, ProcessControl};
 use adsim_faults::{blackout_frame, corrupt_pixels, FaultInjector, FaultStage, FrameFaults};
+use adsim_guard::{digest_image, GuardConfig, GuardEvent, GuardStats, Monitor, PipelineGuard};
 use adsim_planning::MotionPlan;
 use adsim_stats::LatencyRecorder;
 use adsim_vision::{GrayImage, Pose2};
@@ -90,6 +91,12 @@ pub enum DegradationCause {
         /// Consecutive blacked-out frames.
         blackout_frames: u32,
     },
+    /// A safety monitor rejected a stage output or a delivered sensor
+    /// payload (see `adsim-guard`).
+    MonitorTripped {
+        /// The monitor that tripped.
+        monitor: Monitor,
+    },
 }
 
 impl std::fmt::Display for DegradationCause {
@@ -108,6 +115,9 @@ impl std::fmt::Display for DegradationCause {
                 f,
                 "confidence collapse ({lost_frames} lost / {blackout_frames} blacked-out frames)"
             ),
+            DegradationCause::MonitorTripped { monitor } => {
+                write!(f, "safety monitor tripped ({monitor})")
+            }
         }
     }
 }
@@ -187,6 +197,9 @@ pub struct SupervisorConfig {
     pub degraded_speed_factor: f64,
     /// End-to-end deadline for reported-latency accounting (ms).
     pub deadline_ms: f64,
+    /// Safety-monitor and data-plane configuration (native supervisor
+    /// only; the modeled mirror has no stage payloads to check).
+    pub guard: GuardConfig,
 }
 
 impl Default for SupervisorConfig {
@@ -200,6 +213,7 @@ impl Default for SupervisorConfig {
             recover_frames: 3,
             degraded_speed_factor: 0.5,
             deadline_ms: 100.0,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -296,6 +310,46 @@ struct StagePlan {
 struct Verdict {
     safe_stop: bool,
     speed_factor: Option<f64>,
+}
+
+/// Which guard monitors tripped this frame, folded into the settle
+/// decision. The modeled mirror has no stage payloads, so it settles
+/// with the default (all clear).
+#[derive(Debug, Clone, Copy, Default)]
+struct MonitorFlags {
+    detection: bool,
+    tracker: bool,
+    localization: bool,
+    planner: bool,
+    data: bool,
+}
+
+impl MonitorFlags {
+    /// Perception-side trips: distrust the inputs, cap the speed.
+    fn soft(&self) -> bool {
+        self.detection || self.tracker || self.localization || self.data
+    }
+
+    /// Any trip at all (blocks the healthy streak).
+    fn any(&self) -> bool {
+        self.soft() || self.planner
+    }
+
+    /// The first tripped perception-side monitor, boundary order, for
+    /// the transition log.
+    fn first_soft(&self) -> Option<Monitor> {
+        if self.data {
+            Some(Monitor::DataPlane)
+        } else if self.detection {
+            Some(Monitor::Detection)
+        } else if self.tracker {
+            Some(Monitor::Tracker)
+        } else if self.localization {
+            Some(Monitor::Localization)
+        } else {
+            None
+        }
+    }
 }
 
 /// The shared watchdog + degraded-mode state machine. Both the native
@@ -413,10 +467,18 @@ impl SupervisorCore {
         let mut skip_detection = false;
         let mut detection_cause = None;
         if let Some(stall) = faults.stall {
-            let attempts_run = stall.attempts.min(self.cfg.max_retries);
+            // Hard cap independent of config: beyond 32 doublings the
+            // backoff alone exceeds any sane stage budget, and the cap
+            // keeps the `u32 → i32` exponent cast below wrap range no
+            // matter what `max_retries` a config asks for.
+            const RETRY_HARD_CAP: u32 = 32;
+            let attempts_run = stall.attempts.min(self.cfg.max_retries).min(RETRY_HARD_CAP);
             let mut stall_cost = 0.0;
             for attempt in 1..=attempts_run {
-                let backoff = self.cfg.retry_backoff_ms * 2f64.powi(attempt as i32 - 1);
+                // Each attempt's backoff saturates at the stage budget
+                // — the watchdog would abandon the stage there anyway.
+                let backoff = (self.cfg.retry_backoff_ms * 2f64.powi(attempt as i32 - 1))
+                    .min(self.cfg.stage_budget_ms);
                 stall_cost += stall.stall_ms + backoff;
                 self.events.push(DegradationEvent {
                     frame,
@@ -494,6 +556,7 @@ impl SupervisorCore {
         pose: Option<Pose2>,
         plan: &StagePlan,
         reported_e2e_ms: f64,
+        monitors: MonitorFlags,
     ) -> Verdict {
         let frame = faults.frame;
         let had_pose = pose.is_some();
@@ -515,7 +578,7 @@ impl SupervisorCore {
         } else {
             self.consecutive_blackout = 0;
         }
-        let healthy = had_pose && !faults.blackout && detection_ran;
+        let healthy = had_pose && !faults.blackout && detection_ran && !monitors.any();
         if healthy {
             self.healthy_streak += 1;
         } else {
@@ -528,12 +591,15 @@ impl SupervisorCore {
         if want_safe && self.healthy_streak >= self.cfg.recover_frames {
             want_safe = false;
         }
-        if self.consecutive_lost >= self.cfg.lock_loss_safe_stop
-            || self.consecutive_blackout >= self.cfg.blackout_safe_stop
-        {
+        let collapse = self.consecutive_lost >= self.cfg.lock_loss_safe_stop
+            || self.consecutive_blackout >= self.cfg.blackout_safe_stop;
+        // A planner-envelope trip means the plan itself is unsafe —
+        // the only safe output this frame is an emergency stop.
+        if collapse || monitors.planner {
             want_safe = true;
         }
-        let want_speed_red = (want_tracker_only || want_dead_reck) && !want_safe;
+        let want_speed_red =
+            (want_tracker_only || want_dead_reck || monitors.soft()) && !want_safe;
 
         toggle_mode(
             &mut self.tracker_only_since,
@@ -553,25 +619,39 @@ impl SupervisorCore {
             DegradationCause::LockLost { injected: faults.lock_loss },
             frame,
         );
+        // When a monitor trip is the *only* reason for the speed cap,
+        // log it as the cause; a cap riding along with tracker-only /
+        // dead-reckoning keeps the accompanying-degradation cause.
+        let speed_red_cause = match monitors.first_soft() {
+            Some(monitor) if !(want_tracker_only || want_dead_reck) => {
+                DegradationCause::MonitorTripped { monitor }
+            }
+            _ => DegradationCause::AccompanyingDegradation,
+        };
         toggle_mode(
             &mut self.speed_red_since,
             &mut self.events,
             &mut self.stats,
             DegradedMode::SpeedReduced,
             want_speed_red,
-            DegradationCause::AccompanyingDegradation,
+            speed_red_cause,
             frame,
         );
+        let safe_cause = if monitors.planner && !collapse {
+            DegradationCause::MonitorTripped { monitor: Monitor::Planner }
+        } else {
+            DegradationCause::ConfidenceCollapse {
+                lost_frames: self.consecutive_lost,
+                blackout_frames: self.consecutive_blackout,
+            }
+        };
         toggle_mode(
             &mut self.safe_stop_since,
             &mut self.events,
             &mut self.stats,
             DegradedMode::SafeStop,
             want_safe,
-            DegradationCause::ConfidenceCollapse {
-                lost_frames: self.consecutive_lost,
-                blackout_frames: self.consecutive_blackout,
-            },
+            safe_cause,
             frame,
         );
 
@@ -642,12 +722,22 @@ pub struct Supervisor {
     pipeline: NativePipeline,
     injector: FaultInjector,
     core: SupervisorCore,
+    guard: PipelineGuard,
+    /// The sensor payload delivered last frame, kept only while
+    /// stuck-at faults are enabled (a wedged sensor re-delivers it).
+    last_delivered: Option<GrayImage>,
 }
 
 impl Supervisor {
     /// Wraps a pipeline with a fault schedule and supervision policy.
     pub fn new(pipeline: NativePipeline, injector: FaultInjector, cfg: SupervisorConfig) -> Self {
-        Self { pipeline, injector, core: SupervisorCore::new(cfg) }
+        Self {
+            pipeline,
+            injector,
+            core: SupervisorCore::new(cfg),
+            guard: PipelineGuard::new(cfg.guard),
+            last_delivered: None,
+        }
     }
 
     /// Seeds the localizer (GPS bootstrap), as on the bare pipeline.
@@ -675,20 +765,41 @@ impl Supervisor {
         self.core.stats()
     }
 
+    /// The safety guard's trip log, in frame order.
+    pub fn guard_events(&self) -> &[GuardEvent] {
+        self.guard.events()
+    }
+
+    /// The safety guard's counters (digest checks, trips per monitor).
+    pub fn guard_stats(&self) -> &GuardStats {
+        self.guard.stats()
+    }
+
     /// Processes one camera frame under supervision: injects the
-    /// frame's faults, steers the pipeline around failed stages,
-    /// settles the degraded-mode state machine, and adjusts the
-    /// motion plan for the active modes.
+    /// frame's faults, verifies the delivered payload against its
+    /// capture digest, steers the pipeline around failed stages, runs
+    /// the stage-boundary monitors on the outputs, settles the
+    /// degraded-mode state machine, and adjusts the motion plan for
+    /// the active modes.
     pub fn process(&mut self, image: &GrayImage, time_s: f64) -> SupervisedFrameResult {
         let faults = self.injector.next_frame();
-        let plan = self.core.plan(&faults);
+        let mut plan = self.core.plan(&faults);
+        let frame = faults.frame;
+        // The sensor clock the pipeline sees, skew included.
+        let delivered_time_s = time_s + faults.time_skew_s.unwrap_or(0.0);
 
         // Sensor faults perturb the frame before the pipeline sees it;
-        // a clean frame is passed through untouched (no copy).
+        // a clean frame is passed through untouched (no copy). `last`
+        // is the previously delivered payload — a stuck sensor
+        // re-delivers it verbatim.
+        let last = self.last_delivered.take();
         let storage;
         let img: &GrayImage = if faults.blackout {
             storage = blackout_frame(image);
             &storage
+        } else if faults.stuck {
+            // Wedged on the very first frame: nothing older to repeat.
+            last.as_ref().unwrap_or(image)
         } else if let Some(pc) = faults.pixel_corruption {
             storage = corrupt_pixels(image, pc.fraction, pc.salt);
             &storage
@@ -696,13 +807,51 @@ impl Supervisor {
             image
         };
 
+        // Checksummed data plane: the digest travels with the capture;
+        // the delivered payload is re-hashed at the pipeline boundary.
+        // The optional dual-execution vote asks the sensor once more —
+        // persistent faults (blackout, stuck) reproduce on the second
+        // delivery, transient transport corruption does not.
+        let mut recovered = None;
+        let mut data_bad = false;
+        if self.core.cfg.guard.enabled && self.core.cfg.guard.data_plane {
+            let expected = digest_image(image);
+            let (dv, replacement) = self.guard.check_delivery(frame, expected, img, || {
+                if faults.blackout {
+                    blackout_frame(image)
+                } else if faults.stuck {
+                    last.clone().unwrap_or_else(|| image.clone())
+                } else {
+                    image.clone()
+                }
+            });
+            recovered = replacement;
+            data_bad = dv.is_bad();
+        }
+        let img: &GrayImage = recovered.as_ref().unwrap_or(img);
+
+        // A payload the guard distrusts must not feed the detector:
+        // force tracker-only perception for the frame.
+        if data_bad && !plan.skip_detection {
+            plan.skip_detection = true;
+            plan.detection_cause =
+                Some(DegradationCause::MonitorTripped { monitor: Monitor::DataPlane });
+        }
+
+        // Remember what was delivered (for next frame's stuck replay),
+        // but only when stuck faults can occur — the clone is a whole
+        // frame.
+        if self.injector.config().stuck_rate > 0.0 {
+            self.last_delivered = Some(img.clone());
+        }
+
         let ctrl = ProcessControl {
             skip_detection: plan.skip_detection,
             skip_localization: plan.skip_localization,
             pose_fallback: self.core.fallback_pose(plan.skip_localization),
             track_shift: faults.tracker_shift,
         };
-        let mut out = self.pipeline.process_with(img, time_s, &ctrl);
+        let mut out = self.pipeline.process_with(img, delivered_time_s, &ctrl);
 
         let reported = FrameLatency {
             detection: out.latency.detection + plan.extra.detection,
@@ -711,7 +860,29 @@ impl Supervisor {
             fusion: out.latency.fusion + plan.extra.fusion,
             motion_planning: out.latency.motion_planning + plan.extra.motion_planning,
         };
-        let verdict = self.core.settle(&faults, out.pose, &plan, reported.end_to_end());
+
+        // Stage-boundary invariant monitors on this frame's outputs.
+        let dets =
+            if plan.skip_detection { None } else { Some(out.detections.as_slice()) };
+        let gv = self.guard.check_frame(
+            frame,
+            delivered_time_s,
+            dets,
+            &out.tracks,
+            out.pose,
+            &out.fused,
+            &out.plan,
+        );
+        let monitors = MonitorFlags {
+            detection: gv.tripped(Monitor::Detection),
+            tracker: gv.tripped(Monitor::Tracker),
+            localization: gv.tripped(Monitor::Localization),
+            planner: gv.tripped(Monitor::Planner),
+            data: data_bad,
+        };
+
+        let verdict =
+            self.core.settle(&faults, out.pose, &plan, reported.end_to_end(), monitors);
         if verdict.safe_stop {
             out.plan = MotionPlan::EmergencyStop;
         } else if let Some(factor) = verdict.speed_factor {
@@ -777,7 +948,7 @@ impl ModeledSupervisor {
             motion_planning: base.motion_planning + plan.extra.motion_planning,
         };
         let pose = if plan.skip_localization { None } else { Some(Pose2::default()) };
-        self.core.settle(&faults, pose, &plan, reported.end_to_end());
+        self.core.settle(&faults, pose, &plan, reported.end_to_end(), MonitorFlags::default());
         reported
     }
 
@@ -909,6 +1080,36 @@ mod tests {
             )
         });
         assert!(over_budget);
+    }
+
+    #[test]
+    fn retry_backoff_is_clamped_on_absurd_budgets() {
+        // A config asking for effectively unbounded retries must not
+        // wrap the backoff exponent or charge unbounded virtual time:
+        // retries cap at 32 per frame and each backoff saturates at
+        // the stage budget.
+        let faults = FaultConfig {
+            stall_rate: 1.0,
+            stall_attempts: (10_000, 20_000),
+            ..FaultConfig::off()
+        };
+        let sup_cfg = SupervisorConfig { max_retries: u32::MAX, ..SupervisorConfig::default() };
+        let mut sup = ModeledSupervisor::new(
+            ModeledPipeline::new(PlatformConfig::uniform(Platform::Gpu), 1),
+            FaultInjector::new(17, faults),
+            sup_cfg,
+        );
+        let lat = sup.simulate_frame(1.0);
+        assert!(lat.end_to_end().is_finite());
+        let rec = sup.recovery_stats();
+        assert!(rec.retries <= 32, "retries {} beyond the hard cap", rec.retries);
+        assert!(rec.retries > 0);
+        for e in sup.events() {
+            if let DegradationEventKind::Retry { backoff_ms, .. } = e.kind {
+                assert!(backoff_ms.is_finite());
+                assert!(backoff_ms <= sup_cfg.stage_budget_ms, "backoff {backoff_ms}");
+            }
+        }
     }
 
     #[test]

@@ -77,6 +77,16 @@ pub struct FaultConfig {
     /// inclusive. Values beyond the supervisor's retry budget make the
     /// stage fail outright for the frame.
     pub stall_attempts: (u32, u32),
+    /// Probability per frame of the sensor wedging and re-delivering
+    /// its previous frame for the outage duration (stuck-at sensor).
+    pub stuck_rate: f64,
+    /// Stuck-at outage duration range in frames, inclusive.
+    pub stuck_frames: (u32, u32),
+    /// Probability per frame of the capture timestamp being skewed.
+    pub timestamp_skew_rate: f64,
+    /// Skew magnitude range (s), inclusive; the sign is drawn per
+    /// fault, so skews move timestamps both forward and backward.
+    pub timestamp_skew_s: (f64, f64),
 }
 
 impl FaultConfig {
@@ -96,6 +106,10 @@ impl FaultConfig {
             stall_rate: 0.0,
             stall_ms: 5.0,
             stall_attempts: (1, 4),
+            stuck_rate: 0.0,
+            stuck_frames: (1, 3),
+            timestamp_skew_rate: 0.0,
+            timestamp_skew_s: (0.02, 0.25),
         }
     }
 
@@ -110,6 +124,8 @@ impl FaultConfig {
             lock_loss_rate: 0.08,
             tracker_divergence_rate: 0.10,
             stall_rate: 0.08,
+            stuck_rate: 0.06,
+            timestamp_skew_rate: 0.06,
             ..Self::off()
         }
     }
@@ -122,6 +138,8 @@ impl FaultConfig {
             && self.lock_loss_rate == 0.0
             && self.tracker_divergence_rate == 0.0
             && self.stall_rate == 0.0
+            && self.stuck_rate == 0.0
+            && self.timestamp_skew_rate == 0.0
     }
 }
 

@@ -30,6 +30,8 @@ pub struct FrameFaults {
     pub frame: u64,
     /// Camera delivers an all-black frame.
     pub blackout: bool,
+    /// Sensor is stuck: it re-delivers its previous output frame.
+    pub stuck: bool,
     /// Salt-and-pepper noise on the camera frame.
     pub pixel_corruption: Option<PixelCorruption>,
     /// Added latency per stage (ms), at most one entry per stage.
@@ -40,17 +42,21 @@ pub struct FrameFaults {
     pub tracker_shift: Option<(f32, f32)>,
     /// A stage worker is wedged and needs retries.
     pub stall: Option<WorkerStall>,
+    /// Offset added to the frame's capture timestamp (s).
+    pub time_skew_s: Option<f64>,
 }
 
 impl FrameFaults {
     /// True when nothing was injected this frame.
     pub fn is_clean(&self) -> bool {
         !self.blackout
+            && !self.stuck
             && self.pixel_corruption.is_none()
             && self.spikes.is_empty()
             && !self.lock_loss
             && self.tracker_shift.is_none()
             && self.stall.is_none()
+            && self.time_skew_s.is_none()
     }
 
     /// Total injected latency across all stages (ms), spikes only.
@@ -75,6 +81,11 @@ pub struct FaultEvent {
 pub enum FaultKind {
     /// A sensor blackout began.
     BlackoutStarted {
+        /// Outage length in frames.
+        frames: u32,
+    },
+    /// The sensor wedged and began repeating its last output frame.
+    StuckFrameStarted {
         /// Outage length in frames.
         frames: u32,
     },
@@ -109,6 +120,11 @@ pub enum FaultKind {
         /// Failed attempts before it clears.
         attempts: u32,
     },
+    /// The frame's capture timestamp was skewed.
+    TimestampSkew {
+        /// Offset added to the timestamp (s).
+        skew_s: f64,
+    },
 }
 
 impl std::fmt::Display for FaultEvent {
@@ -117,6 +133,9 @@ impl std::fmt::Display for FaultEvent {
         match self.kind {
             FaultKind::BlackoutStarted { frames } => {
                 write!(f, "sensor blackout for {frames} frame(s)")
+            }
+            FaultKind::StuckFrameStarted { frames } => {
+                write!(f, "sensor stuck for {frames} frame(s)")
             }
             FaultKind::PixelCorruption { fraction } => {
                 write!(f, "pixel corruption ({:.1}% of pixels)", fraction * 100.0)
@@ -133,24 +152,111 @@ impl std::fmt::Display for FaultEvent {
             FaultKind::WorkerStall { stage, attempts } => {
                 write!(f, "worker stall on {stage} ({attempts} attempt(s))")
             }
+            FaultKind::TimestampSkew { skew_s } => {
+                write!(f, "timestamp skew ({skew_s:+.3} s)")
+            }
         }
     }
 }
 
+/// A fault class the injector draws independently each frame. Each
+/// class owns a private RNG stream derived from
+/// `seed ^ mix(frame) ^ mix(class salt)`, so the draw for one class is
+/// a pure function of `(seed, config, frame)` — independent of every
+/// other class and of the order the classes are evaluated in. This is
+/// the draw-order-stability contract `crates/faults/tests/draw_order.rs`
+/// pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Sensor blackout.
+    Blackout,
+    /// Stuck-at sensor (frame repeat).
+    StuckFrame,
+    /// Salt-and-pepper pixel corruption.
+    PixelCorruption,
+    /// Per-stage latency spikes.
+    LatencySpikes,
+    /// Localizer lock loss.
+    LockLoss,
+    /// Tracker divergence.
+    TrackerDivergence,
+    /// Worker-pool stall.
+    WorkerStall,
+    /// Capture-timestamp skew.
+    TimestampSkew,
+}
+
+impl FaultClass {
+    /// The canonical draw order (matches [`FaultInjector::next_frame`]).
+    /// Any permutation of this slice produces the identical schedule.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::Blackout,
+        FaultClass::StuckFrame,
+        FaultClass::PixelCorruption,
+        FaultClass::LatencySpikes,
+        FaultClass::LockLoss,
+        FaultClass::TrackerDivergence,
+        FaultClass::WorkerStall,
+        FaultClass::TimestampSkew,
+    ];
+
+    /// Salt separating this class's per-frame RNG stream from the
+    /// other classes'. Values are arbitrary but fixed: changing them
+    /// changes every seeded schedule.
+    fn salt(self) -> u64 {
+        match self {
+            FaultClass::Blackout => 0x01,
+            FaultClass::StuckFrame => 0x02,
+            FaultClass::PixelCorruption => 0x03,
+            FaultClass::LatencySpikes => 0x04,
+            FaultClass::LockLoss => 0x05,
+            FaultClass::TrackerDivergence => 0x06,
+            FaultClass::WorkerStall => 0x07,
+            FaultClass::TimestampSkew => 0x08,
+        }
+    }
+}
+
+/// SplitMix-style avalanche, used to derive per-frame and per-class
+/// RNG streams from the campaign seed.
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Raw per-class draw results for one frame, before outage carry-over
+/// and cross-class gating are applied.
+#[derive(Debug, Clone, Default)]
+struct FrameDraws {
+    blackout_frames: Option<u32>,
+    stuck_frames: Option<u32>,
+    corruption: Option<PixelCorruption>,
+    spikes: Vec<(FaultStage, f64)>,
+    lock_loss_frames: Option<u32>,
+    shift: Option<(f32, f32)>,
+    stall: Option<WorkerStall>,
+    skew_s: Option<f64>,
+}
+
 /// The seeded fault schedule generator.
 ///
-/// Per-frame draws come from an RNG derived from `seed ^ mix(frame)`,
-/// so the schedule for frame `n` is a pure function of `(seed, config,
-/// n, outage carry-over)` — independent of runtime thread counts and
-/// of how much work earlier frames did. Multi-frame outages (blackout,
-/// lock loss) carry state forward; frames are consumed strictly in
-/// order via [`FaultInjector::next_frame`].
+/// Per-frame, per-class draws come from an RNG derived from
+/// `seed ^ mix(frame) ^ mix(class)`, so the schedule entry for frame
+/// `n` is a pure function of `(seed, config, n, outage carry-over)` —
+/// independent of runtime thread counts, of how much work earlier
+/// frames did, and of the order the fault classes are drawn in.
+/// Multi-frame outages (blackout, stuck frame, lock loss) carry state
+/// forward; frames are consumed strictly in order via
+/// [`FaultInjector::next_frame`].
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     cfg: FaultConfig,
     seed: u64,
     frame: u64,
     blackout_left: u32,
+    stuck_left: u32,
     lock_loss_left: u32,
     events: Vec<FaultEvent>,
 }
@@ -158,7 +264,15 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector for one campaign.
     pub fn new(seed: u64, cfg: FaultConfig) -> Self {
-        Self { cfg, seed, frame: 0, blackout_left: 0, lock_loss_left: 0, events: Vec::new() }
+        Self {
+            cfg,
+            seed,
+            frame: 0,
+            blackout_left: 0,
+            stuck_left: 0,
+            lock_loss_left: 0,
+            events: Vec::new(),
+        }
     }
 
     /// An injector that never injects anything.
@@ -181,100 +295,193 @@ impl FaultInjector {
         &self.events
     }
 
-    /// RNG for one frame's draws.
-    fn frame_rng(&self, frame: u64) -> Rng64 {
-        // SplitMix-style avalanche over the frame index keeps
-        // neighboring frames' draw streams uncorrelated.
-        let mut z = frame.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        Rng64::new(self.seed ^ z ^ (z >> 31))
+    /// RNG for one class's draws on one frame.
+    fn class_rng(&self, frame: u64, class: FaultClass) -> Rng64 {
+        Rng64::new(self.seed ^ mix(frame) ^ mix(class.salt()))
     }
 
-    /// Generates the fault schedule for the next frame. Draw order is
-    /// fixed (blackout, corruption, spikes in stage order, lock loss,
-    /// divergence, stall) and is part of the deterministic contract.
+    /// Computes one class's raw draw for `frame` into `draws`. Pure:
+    /// reads only `(seed, cfg, frame)`; carry-over and gating are
+    /// resolved canonically afterwards, so evaluation order between
+    /// classes cannot matter.
+    fn draw_class(&self, frame: u64, class: FaultClass, draws: &mut FrameDraws) {
+        let mut rng = self.class_rng(frame, class);
+        match class {
+            FaultClass::Blackout => {
+                if rng.chance(self.cfg.blackout_rate) {
+                    let (lo, hi) = self.cfg.blackout_frames;
+                    draws.blackout_frames =
+                        Some(rng.range_usize(lo as usize, hi as usize + 1) as u32);
+                }
+            }
+            FaultClass::StuckFrame => {
+                if rng.chance(self.cfg.stuck_rate) {
+                    let (lo, hi) = self.cfg.stuck_frames;
+                    draws.stuck_frames =
+                        Some(rng.range_usize(lo as usize, hi as usize + 1) as u32);
+                }
+            }
+            FaultClass::PixelCorruption => {
+                if rng.chance(self.cfg.pixel_corruption_rate) {
+                    let salt = rng.next_u64();
+                    draws.corruption =
+                        Some(PixelCorruption { fraction: self.cfg.corrupted_fraction, salt });
+                }
+            }
+            FaultClass::LatencySpikes => {
+                // One sub-stream per stage, derived from the class
+                // stream, so stages are also order-independent.
+                for (i, stage) in FaultStage::ALL.into_iter().enumerate() {
+                    let mut srng = Rng64::new(rng.next_u64() ^ mix(i as u64));
+                    if srng.chance(self.cfg.latency_spike_rate) {
+                        let (lo, hi) = self.cfg.latency_spike_ms;
+                        let extra_ms = if lo < hi { srng.range_f64(lo, hi) } else { lo };
+                        draws.spikes.push((stage, extra_ms));
+                    }
+                }
+            }
+            FaultClass::LockLoss => {
+                if rng.chance(self.cfg.lock_loss_rate) {
+                    let (lo, hi) = self.cfg.lock_loss_frames;
+                    draws.lock_loss_frames =
+                        Some(rng.range_usize(lo as usize, hi as usize + 1) as u32);
+                }
+            }
+            FaultClass::TrackerDivergence => {
+                if rng.chance(self.cfg.tracker_divergence_rate) {
+                    let m = self.cfg.tracker_divergence_shift;
+                    draws.shift = Some(if m > 0.0 {
+                        (rng.range_f32(-m, m), rng.range_f32(-m, m))
+                    } else {
+                        (0.0, 0.0)
+                    });
+                }
+            }
+            FaultClass::WorkerStall => {
+                if rng.chance(self.cfg.stall_rate) {
+                    let (lo, hi) = self.cfg.stall_attempts;
+                    draws.stall = Some(WorkerStall {
+                        stage: FaultStage::Detection,
+                        attempts: rng.range_usize(lo as usize, hi as usize + 1) as u32,
+                        stall_ms: self.cfg.stall_ms,
+                    });
+                }
+            }
+            FaultClass::TimestampSkew => {
+                if rng.chance(self.cfg.timestamp_skew_rate) {
+                    let (lo, hi) = self.cfg.timestamp_skew_s;
+                    let mag = if lo < hi { rng.range_f64(lo, hi) } else { lo };
+                    draws.skew_s = Some(if rng.chance(0.5) { mag } else { -mag });
+                }
+            }
+        }
+    }
+
+    /// Generates the fault schedule for the next frame, drawing the
+    /// classes in canonical order ([`FaultClass::ALL`]). Because each
+    /// class has its own derived RNG stream, any permutation produces
+    /// the identical schedule — see
+    /// [`FaultInjector::next_frame_ordered`].
     pub fn next_frame(&mut self) -> FrameFaults {
+        self.next_frame_ordered(&FaultClass::ALL)
+    }
+
+    /// [`FaultInjector::next_frame`] with an explicit class evaluation
+    /// order. `order` must mention each class at most once; omitted
+    /// classes draw nothing this frame. The resulting schedule and
+    /// event log are identical for every permutation of
+    /// [`FaultClass::ALL`] — the per-class RNG derivation makes draw
+    /// order a free refactoring dimension, which
+    /// `crates/faults/tests/draw_order.rs` asserts.
+    pub fn next_frame_ordered(&mut self, order: &[FaultClass]) -> FrameFaults {
         let frame = self.frame;
         self.frame += 1;
         if self.cfg.is_off() {
             return FrameFaults { frame, ..FrameFaults::default() };
         }
-        let mut rng = self.frame_rng(frame);
+
+        // Phase 1: raw per-class draws, in the caller's order. Each
+        // draw touches only its own RNG stream and its own slot.
+        let mut draws = FrameDraws::default();
+        for &class in order {
+            self.draw_class(frame, class, &mut draws);
+        }
+
+        // Phase 2: canonical resolution — outage carry-over and
+        // cross-class gating — independent of the draw order above.
         let mut out = FrameFaults { frame, ..FrameFaults::default() };
 
         // Sensor blackout: ongoing outage, or a new one starting.
         if self.blackout_left > 0 {
             self.blackout_left -= 1;
             out.blackout = true;
-        } else if rng.chance(self.cfg.blackout_rate) {
-            let (lo, hi) = self.cfg.blackout_frames;
-            let frames = rng.range_usize(lo as usize, hi as usize + 1) as u32;
+        } else if let Some(frames) = draws.blackout_frames {
             self.blackout_left = frames.saturating_sub(1);
             out.blackout = true;
             self.events.push(FaultEvent { frame, kind: FaultKind::BlackoutStarted { frames } });
         }
 
-        // Pixel corruption (skipped during a blackout: the frame is
-        // already gone).
-        if !out.blackout && rng.chance(self.cfg.pixel_corruption_rate) {
-            let salt = rng.next_u64();
-            let fraction = self.cfg.corrupted_fraction;
-            out.pixel_corruption = Some(PixelCorruption { fraction, salt });
-            self.events.push(FaultEvent { frame, kind: FaultKind::PixelCorruption { fraction } });
+        // Stuck-at sensor (suppressed during a blackout: the camera is
+        // delivering nothing to repeat).
+        if self.stuck_left > 0 {
+            self.stuck_left -= 1;
+            out.stuck = !out.blackout;
+        } else if let Some(frames) = draws.stuck_frames {
+            if !out.blackout {
+                self.stuck_left = frames.saturating_sub(1);
+                out.stuck = true;
+                self.events
+                    .push(FaultEvent { frame, kind: FaultKind::StuckFrameStarted { frames } });
+            }
+        }
+
+        // Pixel corruption (skipped during a blackout or a stuck
+        // frame: corruption perturbs a *fresh* frame in transport).
+        if !out.blackout && !out.stuck {
+            if let Some(pc) = draws.corruption {
+                out.pixel_corruption = Some(pc);
+                self.events.push(FaultEvent {
+                    frame,
+                    kind: FaultKind::PixelCorruption { fraction: pc.fraction },
+                });
+            }
         }
 
         // Per-stage latency spikes, in fixed stage order.
-        for stage in FaultStage::ALL {
-            if rng.chance(self.cfg.latency_spike_rate) {
-                let (lo, hi) = self.cfg.latency_spike_ms;
-                let extra_ms = if lo < hi { rng.range_f64(lo, hi) } else { lo };
-                out.spikes.push((stage, extra_ms));
-                self.events.push(FaultEvent {
-                    frame,
-                    kind: FaultKind::LatencySpike { stage, extra_ms },
-                });
-            }
+        for &(stage, extra_ms) in &draws.spikes {
+            out.spikes.push((stage, extra_ms));
+            self.events.push(FaultEvent { frame, kind: FaultKind::LatencySpike { stage, extra_ms } });
         }
 
         // Localizer lock loss.
         if self.lock_loss_left > 0 {
             self.lock_loss_left -= 1;
             out.lock_loss = true;
-        } else if rng.chance(self.cfg.lock_loss_rate) {
-            let (lo, hi) = self.cfg.lock_loss_frames;
-            let frames = rng.range_usize(lo as usize, hi as usize + 1) as u32;
+        } else if let Some(frames) = draws.lock_loss_frames {
             self.lock_loss_left = frames.saturating_sub(1);
             out.lock_loss = true;
             self.events.push(FaultEvent { frame, kind: FaultKind::LockLossStarted { frames } });
         }
 
         // Tracker divergence.
-        if rng.chance(self.cfg.tracker_divergence_rate) {
-            let m = self.cfg.tracker_divergence_shift;
-            let (dx, dy) = if m > 0.0 {
-                (rng.range_f32(-m, m), rng.range_f32(-m, m))
-            } else {
-                (0.0, 0.0)
-            };
+        if let Some((dx, dy)) = draws.shift {
             out.tracker_shift = Some((dx, dy));
             self.events.push(FaultEvent { frame, kind: FaultKind::TrackerDivergence { dx, dy } });
         }
 
         // Worker-pool stall (detection stage worker wedges).
-        if rng.chance(self.cfg.stall_rate) {
-            let (lo, hi) = self.cfg.stall_attempts;
-            let attempts = rng.range_usize(lo as usize, hi as usize + 1) as u32;
-            let stall = WorkerStall {
-                stage: FaultStage::Detection,
-                attempts,
-                stall_ms: self.cfg.stall_ms,
-            };
+        if let Some(stall) = draws.stall {
             out.stall = Some(stall);
             self.events.push(FaultEvent {
                 frame,
-                kind: FaultKind::WorkerStall { stage: stall.stage, attempts },
+                kind: FaultKind::WorkerStall { stage: stall.stage, attempts: stall.attempts },
             });
+        }
+
+        // Capture-timestamp skew.
+        if let Some(skew_s) = draws.skew_s {
+            out.time_skew_s = Some(skew_s);
+            self.events.push(FaultEvent { frame, kind: FaultKind::TimestampSkew { skew_s } });
         }
 
         out
@@ -339,15 +546,48 @@ mod tests {
     }
 
     #[test]
+    fn stuck_frames_last_their_drawn_duration() {
+        let cfg = FaultConfig { stuck_rate: 0.05, stuck_frames: (2, 2), ..FaultConfig::off() };
+        let (frames, events) = run(31, cfg, 400);
+        assert!(!events.is_empty(), "stuck faults must fire at 5% over 400 frames");
+        for e in &events {
+            if let FaultKind::StuckFrameStarted { frames: n } = e.kind {
+                assert_eq!(n, 2);
+                for k in 0..2u64 {
+                    assert!(frames[(e.frame + k) as usize].stuck, "frame {}", e.frame + k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timestamp_skew_stays_in_range() {
+        let cfg = FaultConfig {
+            timestamp_skew_rate: 0.2,
+            timestamp_skew_s: (0.05, 0.4),
+            ..FaultConfig::off()
+        };
+        let (frames, events) = run(5, cfg, 400);
+        assert!(!events.is_empty());
+        for f in &frames {
+            if let Some(s) = f.time_skew_s {
+                assert!((0.05..=0.4).contains(&s.abs()), "skew {s}");
+            }
+        }
+    }
+
+    #[test]
     fn all_fault_kinds_fire_under_stress() {
         let (_, events) = run(7, FaultConfig::stress(), 2_000);
         let has = |pred: fn(&FaultKind) -> bool| events.iter().any(|e| pred(&e.kind));
         assert!(has(|k| matches!(k, FaultKind::BlackoutStarted { .. })));
+        assert!(has(|k| matches!(k, FaultKind::StuckFrameStarted { .. })));
         assert!(has(|k| matches!(k, FaultKind::PixelCorruption { .. })));
         assert!(has(|k| matches!(k, FaultKind::LatencySpike { .. })));
         assert!(has(|k| matches!(k, FaultKind::LockLossStarted { .. })));
         assert!(has(|k| matches!(k, FaultKind::TrackerDivergence { .. })));
         assert!(has(|k| matches!(k, FaultKind::WorkerStall { .. })));
+        assert!(has(|k| matches!(k, FaultKind::TimestampSkew { .. })));
     }
 
     #[test]
@@ -355,6 +595,23 @@ mod tests {
         let (_, events) = run(3, FaultConfig::stress(), 500);
         for e in &events {
             assert!(e.to_string().starts_with("frame "));
+        }
+    }
+
+    #[test]
+    fn corruption_is_gated_behind_fresh_frames() {
+        let cfg = FaultConfig {
+            blackout_rate: 0.2,
+            stuck_rate: 0.2,
+            pixel_corruption_rate: 0.5,
+            ..FaultConfig::off()
+        };
+        let (frames, _) = run(12, cfg, 600);
+        for f in &frames {
+            if f.blackout || f.stuck {
+                assert!(f.pixel_corruption.is_none(), "frame {}", f.frame);
+            }
+            assert!(!(f.blackout && f.stuck), "blackout dominates stuck");
         }
     }
 }

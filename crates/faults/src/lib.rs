@@ -33,5 +33,5 @@ mod injector;
 pub use config::{FaultConfig, FaultStage};
 pub use corrupt::{blackout_frame, corrupt_pixels};
 pub use injector::{
-    FaultEvent, FaultInjector, FaultKind, FrameFaults, PixelCorruption, WorkerStall,
+    FaultClass, FaultEvent, FaultInjector, FaultKind, FrameFaults, PixelCorruption, WorkerStall,
 };

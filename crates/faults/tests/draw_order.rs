@@ -1,0 +1,184 @@
+//! Property-style grid pinning the injector's draw-order contract.
+//!
+//! PR 2 documented that fault schedules are derived per frame from
+//! `seed ^ splitmix(frame)` so they survive draw-order refactors; this
+//! grid *asserts* it. Each fault class now owns a private per-frame
+//! RNG stream (`seed ^ mix(frame) ^ mix(class)`), so:
+//!
+//! 1. **Permutation stability** — evaluating the classes in any order
+//!    yields the bit-identical schedule and event log.
+//! 2. **Config projection** — disabling one class leaves every other
+//!    class's draws untouched (modulo explicit cross-class gating,
+//!    which is asserted separately).
+
+use adsim_faults::{FaultClass, FaultConfig, FaultEvent, FaultInjector, FrameFaults};
+
+const SEEDS: [u64; 4] = [1, 42, 0xC0FFEE, 0xFA_0175];
+const FRAMES: usize = 300;
+
+/// Some fixed permutations of the canonical class order, including
+/// the exact reverse and a couple of interleavings.
+fn permutations() -> Vec<Vec<FaultClass>> {
+    let all = FaultClass::ALL;
+    let mut reversed = all.to_vec();
+    reversed.reverse();
+    // Rotations hit every "class X drawn first" case.
+    let mut perms = vec![all.to_vec(), reversed];
+    for rot in 1..all.len() {
+        let mut p = all.to_vec();
+        p.rotate_left(rot);
+        perms.push(p);
+    }
+    // A swap-heavy shuffle (deterministic, hand-picked).
+    perms.push(vec![
+        FaultClass::TimestampSkew,
+        FaultClass::PixelCorruption,
+        FaultClass::WorkerStall,
+        FaultClass::Blackout,
+        FaultClass::TrackerDivergence,
+        FaultClass::StuckFrame,
+        FaultClass::LockLoss,
+        FaultClass::LatencySpikes,
+    ]);
+    perms
+}
+
+fn run_ordered(
+    seed: u64,
+    cfg: &FaultConfig,
+    order: &[FaultClass],
+) -> (Vec<FrameFaults>, Vec<FaultEvent>) {
+    let mut inj = FaultInjector::new(seed, cfg.clone());
+    let frames = (0..FRAMES).map(|_| inj.next_frame_ordered(order)).collect();
+    (frames, inj.events().to_vec())
+}
+
+fn configs() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("stress", FaultConfig::stress()),
+        (
+            "outages-only",
+            FaultConfig {
+                blackout_rate: 0.1,
+                stuck_rate: 0.1,
+                lock_loss_rate: 0.1,
+                ..FaultConfig::off()
+            },
+        ),
+        (
+            "data-plane",
+            FaultConfig {
+                pixel_corruption_rate: 0.25,
+                stuck_rate: 0.1,
+                timestamp_skew_rate: 0.15,
+                ..FaultConfig::off()
+            },
+        ),
+        (
+            "timing-only",
+            FaultConfig { latency_spike_rate: 0.2, stall_rate: 0.1, ..FaultConfig::off() },
+        ),
+    ]
+}
+
+#[test]
+fn schedules_identical_under_permuted_draw_order() {
+    for (name, cfg) in configs() {
+        for seed in SEEDS {
+            let canonical = run_ordered(seed, &cfg, &FaultClass::ALL);
+            assert!(
+                !canonical.1.is_empty(),
+                "{name}/seed {seed}: grid cell must actually inject faults"
+            );
+            for (pi, perm) in permutations().iter().enumerate() {
+                let permuted = run_ordered(seed, &cfg, perm);
+                assert_eq!(
+                    canonical, permuted,
+                    "{name}/seed {seed}/perm {pi}: schedule changed with draw order"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn next_frame_matches_canonical_order() {
+    for seed in SEEDS {
+        let mut a = FaultInjector::new(seed, FaultConfig::stress());
+        let mut b = FaultInjector::new(seed, FaultConfig::stress());
+        for _ in 0..FRAMES {
+            assert_eq!(a.next_frame(), b.next_frame_ordered(&FaultClass::ALL));
+        }
+        assert_eq!(a.events(), b.events());
+    }
+}
+
+/// Disabling independent fault classes must not shift any other
+/// class's draws: the spike/stall/skew/divergence schedule under the
+/// full stress config equals the schedule with outage classes zeroed.
+/// (Blackout/stuck/corruption gate each other by design, so only the
+/// truly independent classes are projected here.)
+#[test]
+fn disabling_one_class_does_not_shift_the_others() {
+    for seed in SEEDS {
+        let full = run_ordered(seed, &FaultConfig::stress(), &FaultClass::ALL).0;
+        let no_outage_cfg = FaultConfig {
+            blackout_rate: 0.0,
+            stuck_rate: 0.0,
+            lock_loss_rate: 0.0,
+            ..FaultConfig::stress()
+        };
+        let projected = run_ordered(seed, &no_outage_cfg, &FaultClass::ALL).0;
+        for (f, p) in full.iter().zip(&projected) {
+            assert_eq!(f.spikes, p.spikes, "seed {seed} frame {}", f.frame);
+            assert_eq!(f.stall, p.stall, "seed {seed} frame {}", f.frame);
+            assert_eq!(f.time_skew_s, p.time_skew_s, "seed {seed} frame {}", f.frame);
+            assert_eq!(f.tracker_shift, p.tracker_shift, "seed {seed} frame {}", f.frame);
+        }
+    }
+}
+
+/// The cross-class gating contract: blackout dominates stuck, and
+/// corruption only ever lands on fresh frames.
+#[test]
+fn gating_is_canonical_regardless_of_draw_order() {
+    let cfg = FaultConfig {
+        blackout_rate: 0.15,
+        stuck_rate: 0.15,
+        pixel_corruption_rate: 0.4,
+        ..FaultConfig::off()
+    };
+    for seed in SEEDS {
+        for perm in permutations() {
+            let (frames, _) = run_ordered(seed, &cfg, &perm);
+            for f in &frames {
+                assert!(!(f.blackout && f.stuck), "seed {seed} frame {}", f.frame);
+                if f.blackout || f.stuck {
+                    assert!(f.pixel_corruption.is_none(), "seed {seed} frame {}", f.frame);
+                }
+            }
+        }
+    }
+}
+
+/// A class omitted from the order draws nothing, and its absence does
+/// not perturb the remaining classes.
+#[test]
+fn omitted_classes_draw_nothing_and_perturb_nothing() {
+    let order: Vec<FaultClass> = FaultClass::ALL
+        .into_iter()
+        .filter(|c| !matches!(c, FaultClass::Blackout | FaultClass::StuckFrame))
+        .collect();
+    for seed in SEEDS {
+        let (frames, _) = run_ordered(seed, &FaultConfig::stress(), &order);
+        let (full, _) = run_ordered(seed, &FaultConfig::stress(), &FaultClass::ALL);
+        for (f, g) in frames.iter().zip(&full) {
+            assert!(!f.blackout && !f.stuck, "seed {seed} frame {}", f.frame);
+            assert_eq!(f.spikes, g.spikes);
+            assert_eq!(f.lock_loss, g.lock_loss);
+            assert_eq!(f.tracker_shift, g.tracker_shift);
+            assert_eq!(f.stall, g.stall);
+            assert_eq!(f.time_skew_s, g.time_skew_s);
+        }
+    }
+}

@@ -122,6 +122,10 @@ pub struct Trajectory {
     pub target_lateral: f64,
     /// Commanded speed (m/s).
     pub speed_mps: f64,
+    /// Time between consecutive poses (s) — consumers that align the
+    /// trajectory with predicted obstacle motion (safety monitors,
+    /// controllers) need the sample period, not just the samples.
+    pub dt_s: f64,
     /// Cost of the selected candidate.
     pub cost: f64,
     /// Number of candidates evaluated (work metric).
@@ -194,6 +198,7 @@ impl ConformalPlanner {
             poses,
             target_lateral,
             speed_mps,
+            dt_s: cfg.dt_s,
             cost,
             candidates,
         })

@@ -2,9 +2,25 @@
 //! primitives, the approach the paper's motion planner uses "when the
 //! vehicle is in a large opening area like parking lot or rural area"
 //! (§3.1.5, citing Pivtoraiko et al.).
+//!
+//! The search expands nodes in fixed-size batches: each round pops up
+//! to [`BATCH`] entries from the frontier serially, evaluates their
+//! successor primitives and collision tests in parallel (each item
+//! writes its own slot), then merges results back into the frontier
+//! serially in batch-index order. Because the batch size is a
+//! constant — never derived from the worker count — and the merge
+//! order is fixed, the planner visits an identical node sequence and
+//! returns a bit-identical path on every thread count (pinned by
+//! `tests/parallel_parity.rs`).
 
+use adsim_runtime::Runtime;
 use adsim_vision::{geometry::normalize_angle, Point2, Pose2};
 use std::collections::{BinaryHeap, HashMap};
+
+/// Nodes expanded per parallel round. Fixed — independent of the
+/// runtime's thread count — so the visited-node sequence (and thus
+/// the returned path) does not depend on available parallelism.
+const BATCH: usize = 8;
 
 /// A disc obstacle on the ground plane (a fused object plus a safety
 /// margin).
@@ -82,6 +98,9 @@ struct NodeKey {
 #[derive(Debug, Clone, Copy)]
 struct OpenEntry {
     f: f64,
+    /// Cost-to-come at push time; an entry whose `g` exceeds the
+    /// node's current best is stale (lazy deletion).
+    g: f64,
     key: NodeKey,
 }
 
@@ -111,8 +130,24 @@ impl LatticePlanner {
 
     /// Plans from `start` to within the goal tolerance of `goal`,
     /// avoiding all `obstacles`. Returns `None` when no path exists
-    /// within the expansion budget.
+    /// within the expansion budget. Runs the search serially; see
+    /// [`LatticePlanner::plan_with`] for the parallel entry point.
     pub fn plan(&self, start: Pose2, goal: Point2, obstacles: &[Obstacle]) -> Option<Path> {
+        self.plan_with(&Runtime::serial(), start, goal, obstacles)
+    }
+
+    /// [`LatticePlanner::plan`] with successor evaluation on `runtime`
+    /// workers. The result is bit-identical to the serial search on
+    /// any thread count: the frontier is popped and merged serially in
+    /// a fixed order; only the pure per-node work (primitive
+    /// generation, collision tests) fans out.
+    pub fn plan_with(
+        &self,
+        runtime: &Runtime,
+        start: Pose2,
+        goal: Point2,
+        obstacles: &[Obstacle],
+    ) -> Option<Path> {
         let cfg = &self.cfg;
         if self.hits_obstacle(start.translation(), obstacles) {
             return None;
@@ -125,36 +160,86 @@ impl LatticePlanner {
 
         poses.insert(start_key, start);
         best_g.insert(start_key, 0.0);
-        open.push(OpenEntry { f: start.translation().distance(&goal), key: start_key });
+        open.push(OpenEntry { f: start.translation().distance(&goal), g: 0.0, key: start_key });
+
+        // Round scratch, reused: each batch item expands into its own
+        // slot (three primitives, `None` where blocked).
+        let mut batch: Vec<(NodeKey, Pose2, f64)> = Vec::with_capacity(BATCH);
+        let mut slots: Vec<[Option<Pose2>; 3]> = vec![[None; 3]; BATCH];
+        // Per-item op estimate for the parallel gate: three successor
+        // poses (trig) plus two disc tests per successor per obstacle.
+        let work_per_item = 3 * (30 + 16 * obstacles.len());
 
         let mut expansions = 0;
-        while let Some(OpenEntry { key, .. }) = open.pop() {
-            let pose = poses[&key];
-            let g = best_g[&key];
-            if pose.translation().distance(&goal) <= cfg.goal_tolerance_m {
-                return Some(self.reconstruct(key, &parent, &poses, g, expansions));
+        loop {
+            // Serial phase: pop up to BATCH live entries in heap order.
+            batch.clear();
+            while batch.len() < BATCH {
+                let Some(OpenEntry { g, key, .. }) = open.pop() else { break };
+                // Lazy deletion: a cheaper path to `key` was merged
+                // after this entry was pushed.
+                if best_g.get(&key).is_none_or(|&best| g > best) {
+                    continue;
+                }
+                if batch.iter().any(|(k, _, _)| *k == key) {
+                    continue;
+                }
+                batch.push((key, poses[&key], g));
             }
-            expansions += 1;
+            if batch.is_empty() {
+                return None;
+            }
+            // Goal test at pop time, first in heap order — as in the
+            // serial formulation.
+            for &(key, pose, g) in &batch {
+                if pose.translation().distance(&goal) <= cfg.goal_tolerance_m {
+                    return Some(self.reconstruct(key, &parent, &poses, g, expansions));
+                }
+            }
+            expansions += batch.len();
             if expansions > cfg.max_expansions {
                 return None;
             }
-            for next in self.successors(&pose) {
-                if self.hits_obstacle(next.translation(), obstacles)
-                    || self.segment_blocked(&pose, &next, obstacles)
-                {
-                    continue;
-                }
-                let nk = self.key_of(&next);
-                let ng = g + cfg.step_m;
-                if best_g.get(&nk).is_none_or(|&old| ng < old) {
-                    best_g.insert(nk, ng);
-                    poses.insert(nk, next);
-                    parent.insert(nk, (key, next));
-                    open.push(OpenEntry { f: ng + next.translation().distance(&goal), key: nk });
+            // Parallel phase: successor generation and collision
+            // checks are pure; every item writes only its own slot.
+            let n = batch.len();
+            let batch_ref = &batch;
+            runtime.for_work(n * work_per_item).par_chunks_mut(
+                &mut slots[..n],
+                1,
+                |i, slot| {
+                    let (_, pose, _) = batch_ref[i];
+                    let mut out = [None; 3];
+                    for (j, next) in self.successors(&pose).into_iter().enumerate() {
+                        let free = !self.hits_obstacle(next.translation(), obstacles)
+                            && !self.segment_blocked(&pose, &next, obstacles);
+                        if free {
+                            out[j] = Some(next);
+                        }
+                    }
+                    slot[0] = out;
+                },
+            );
+            // Serial merge in batch-index then primitive order; strict
+            // `<` keeps the first writer on ties, so the heap sees one
+            // fixed push sequence regardless of thread count.
+            for (i, &(key, _, g)) in batch.iter().enumerate() {
+                for next in slots[i].into_iter().flatten() {
+                    let nk = self.key_of(&next);
+                    let ng = g + cfg.step_m;
+                    if best_g.get(&nk).is_none_or(|&old| ng < old) {
+                        best_g.insert(nk, ng);
+                        poses.insert(nk, next);
+                        parent.insert(nk, (key, next));
+                        open.push(OpenEntry {
+                            f: ng + next.translation().distance(&goal),
+                            g: ng,
+                            key: nk,
+                        });
+                    }
                 }
             }
         }
-        None
     }
 
     /// The three motion primitives from a pose: straight, arc-left and

@@ -79,9 +79,9 @@ impl MotionPlanner {
         }
     }
 
-    /// Evaluates conformal-lattice candidates on `rt`'s workers.
-    /// Results are bit-identical to the serial planner on every thread
-    /// count.
+    /// Evaluates conformal-lattice candidates and free-space A*
+    /// expansions on `rt`'s workers. Results are bit-identical to the
+    /// serial planner on every thread count.
     pub fn with_runtime(mut self, rt: Runtime) -> Self {
         self.runtime = rt;
         self
@@ -154,7 +154,7 @@ impl MotionPlanner {
                         o.extent.0.max(o.extent.1) / 2.0 + 1.0,
                     ))
                     .collect();
-                match self.lattice.plan(fused.ego, *goal, &obstacles) {
+                match self.lattice.plan_with(&self.runtime, fused.ego, *goal, &obstacles) {
                     Some(p) => MotionPlan::Path(p),
                     None => MotionPlan::EmergencyStop,
                 }

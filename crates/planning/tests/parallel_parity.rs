@@ -1,16 +1,21 @@
 //! Thread-count invariance for the parallel planning kernels.
 //!
-//! `FusionEngine::fuse_with` and `ConformalPlanner::plan_with` fan out
-//! on `adsim-runtime` but promise bit-identical results on every thread
-//! count: each work item writes its own output slot and every reduction
-//! runs serially in index order. These tests pin that promise with
-//! enough work to clear the runtime's serial-degrade threshold, so the
-//! parallel code path really executes.
+//! `FusionEngine::fuse_with`, `ConformalPlanner::plan_with` and
+//! `LatticePlanner::plan_with` fan out on `adsim-runtime` but promise
+//! bit-identical results on every thread count: each work item writes
+//! its own output slot and every reduction runs serially in index
+//! order (the lattice additionally fixes its expansion batch size
+//! independent of the worker count). These tests pin that promise
+//! with enough work to clear the runtime's serial-degrade threshold,
+//! so the parallel code path really executes.
 
 use adsim_dnn::detection::{BBox, ObjectClass};
-use adsim_planning::{Centerline, ConformalPlanner, FusionEngine, RoadObstacle};
+use adsim_planning::{
+    Centerline, ConformalPlanner, FusionEngine, LatticeConfig, LatticePlanner, Obstacle,
+    RoadObstacle,
+};
 use adsim_runtime::Runtime;
-use adsim_vision::{OrthoCamera, Pose2};
+use adsim_vision::{OrthoCamera, Point2, Pose2};
 
 const THREADS: [usize; 3] = [1, 2, 8];
 
@@ -101,6 +106,77 @@ fn conformal_planner_is_bit_identical_across_thread_counts() {
             assert_eq!(g.y.to_bits(), r.y.to_bits());
             assert_eq!(g.theta.to_bits(), r.theta.to_bits());
         }
+    }
+}
+
+/// A dense deterministic obstacle field: enough per-node collision
+/// work that the lattice's batched expansion clears the runtime's
+/// serial-degrade gate, and cluttered enough to force real detours.
+fn obstacle_field() -> Vec<Obstacle> {
+    (0..160)
+        .filter_map(|i| {
+            let x = 4.0 + 44.0 * unit(i);
+            let y = -22.0 + 44.0 * unit(i + 7_000);
+            // Keep the start and the goal approachable.
+            if (x * x + y * y) < 16.0 || ((x - 45.0).powi(2) + y * y) < 16.0 {
+                return None;
+            }
+            Some(Obstacle::new(Point2::new(x, y), 0.8 + 0.8 * unit(i + 14_000)))
+        })
+        .collect()
+}
+
+fn assert_paths_identical(
+    got: &Option<adsim_planning::Path>,
+    want: &Option<adsim_planning::Path>,
+    label: &str,
+) {
+    match (got, want) {
+        (None, None) => {}
+        (Some(g), Some(w)) => {
+            assert_eq!(g.expansions, w.expansions, "{label}: expansion count");
+            assert_eq!(g.length_m.to_bits(), w.length_m.to_bits(), "{label}: length");
+            assert_eq!(g.poses.len(), w.poses.len(), "{label}: pose count");
+            for (a, b) in g.poses.iter().zip(&w.poses) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits(), "{label}");
+                assert_eq!(a.y.to_bits(), b.y.to_bits(), "{label}");
+                assert_eq!(a.theta.to_bits(), b.theta.to_bits(), "{label}");
+            }
+        }
+        _ => panic!("{label}: plan feasibility differs across thread counts"),
+    }
+}
+
+#[test]
+fn lattice_planner_is_bit_identical_across_thread_counts() {
+    let planner = LatticePlanner::default();
+    let obstacles = obstacle_field();
+    let goal = Point2::new(45.0, 0.0);
+    let reference = planner.plan(Pose2::identity(), goal, &obstacles);
+    assert!(reference.is_some(), "the cluttered field must still be traversable");
+    for threads in THREADS {
+        let rt = Runtime::new(threads);
+        let got = planner.plan_with(&rt, Pose2::identity(), goal, &obstacles);
+        assert_paths_identical(&got, &reference, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn lattice_infeasibility_is_thread_count_invariant() {
+    // A goal sealed inside a ring: every thread count must burn the
+    // same expansion budget and agree the goal is unreachable.
+    let planner =
+        LatticePlanner::new(LatticeConfig { max_expansions: 4_000, ..Default::default() });
+    let goal = Point2::new(18.0, 0.0);
+    let ring: Vec<Obstacle> = (0..28)
+        .map(|i| {
+            let a = i as f64 / 28.0 * std::f64::consts::TAU;
+            Obstacle::new(Point2::new(18.0 + 5.0 * a.cos(), 5.0 * a.sin()), 1.4)
+        })
+        .collect();
+    for threads in THREADS {
+        let got = planner.plan_with(&Runtime::new(threads), Pose2::identity(), goal, &ring);
+        assert!(got.is_none(), "{threads} threads found a path through a sealed ring");
     }
 }
 

@@ -41,6 +41,7 @@
 pub use adsim_core as core;
 pub use adsim_dnn as dnn;
 pub use adsim_faults as faults;
+pub use adsim_guard as guard;
 pub use adsim_perception as perception;
 pub use adsim_planning as planning;
 pub use adsim_platform as platform;
