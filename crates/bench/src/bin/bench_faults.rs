@@ -2,11 +2,13 @@
 //!
 //! Sweeps sensor-blackout and localization lock-loss rates over a grid
 //! and runs the graceful-degradation supervisor at each cell — once on
-//! the native pipeline (real frames, real perception) and once on the
-//! modeled pipeline (latency-model frames at scale). Reports deadline
-//! misses, degraded-frame rates, mean time-to-recover and safe-stop
-//! counts per cell, re-runs one faulted cell to prove the event log is
-//! seed-reproducible, and writes everything to `BENCH_faults.json`.
+//! the native pipeline (real frames, real perception, scheduled as a
+//! fleet campaign by `adsim-fleet`'s work-stealing engine) and once on
+//! the modeled pipeline (latency-model frames at scale). Reports
+//! deadline misses, degraded-frame rates, mean time-to-recover and
+//! safe-stop counts per cell, re-runs one faulted cell to prove the
+//! event log is seed-reproducible, and writes everything to
+//! `BENCH_faults.json`.
 //!
 //! ```text
 //! cargo run --release -p adsim-bench --bin bench_faults [-- --quick]
@@ -15,16 +17,12 @@
 //! `--quick` shrinks the grid and frame counts for smoke-testing the
 //! runner itself.
 
-use adsim_core::{
-    build_prior_map, ModeledPipeline, ModeledSupervisor, NativePipeline, NativePipelineConfig,
-    PlatformConfig, Supervisor, SupervisorConfig,
-};
+use adsim_core::{ModeledPipeline, ModeledSupervisor, PlatformConfig, SupervisorConfig};
 use adsim_faults::{FaultConfig, FaultInjector};
+use adsim_fleet::{run_cell, CellOutcome, CellSpec, FleetConfig, FleetEngine};
 use adsim_platform::Platform;
-use adsim_slam::PriorMap;
 use adsim_stats::Quantile;
-use adsim_vision::{OrthoCamera, Pose2};
-use adsim_workload::{Resolution, Scenario, ScenarioKind};
+use adsim_workload::Resolution;
 
 /// Campaign seed; every injector derives from it deterministically.
 const SEED: u64 = 0xFA_0175;
@@ -45,6 +43,27 @@ struct Cell {
     p99_ms: f64,
 }
 
+impl Cell {
+    /// A native-sweep row from a fleet cell outcome. `events` counts
+    /// the degradation log only (the guard log is bench_soak's story).
+    fn native(blackout_rate: f64, lock_loss_rate: f64, out: &CellOutcome) -> Self {
+        Cell {
+            section: "native",
+            blackout_rate,
+            lock_loss_rate,
+            frames: out.frames,
+            events: out.sup_log.len(),
+            episodes: out.episodes,
+            mean_ttr_frames: out.mean_ttr_frames,
+            degraded_rate: out.degraded_rate,
+            safe_stops: out.safe_stops,
+            retries: out.retries,
+            miss_rate: out.miss_rate,
+            p99_ms: out.p99_ms,
+        }
+    }
+}
+
 fn fault_cfg(blackout_rate: f64, lock_loss_rate: f64) -> FaultConfig {
     FaultConfig {
         blackout_rate,
@@ -56,67 +75,6 @@ fn fault_cfg(blackout_rate: f64, lock_loss_rate: f64) -> FaultConfig {
         lock_loss_rate,
         lock_loss_frames: (2, 6),
         ..FaultConfig::off()
-    }
-}
-
-/// Shared world assets for the native sweep: camera, prior map and the
-/// scenario itself. Rebuilding the map per cell would dominate the
-/// campaign runtime.
-struct NativeAssets {
-    scenario: Scenario,
-    camera: OrthoCamera,
-    map: PriorMap,
-}
-
-impl NativeAssets {
-    fn build(res: Resolution) -> Self {
-        let scenario = Scenario::new(ScenarioKind::UrbanDrive, 11);
-        let camera = scenario.camera(res);
-        let poses: Vec<Pose2> = (0..40)
-            .flat_map(|i| {
-                let p = scenario.pose_at(i * 10);
-                [p, Pose2::new(p.x, p.y + 25.0, p.theta), Pose2::new(p.x, p.y - 25.0, p.theta)]
-            })
-            .collect();
-        let map = build_prior_map(scenario.world(), &camera, poses, 300, 25);
-        Self { scenario, camera, map }
-    }
-
-    fn supervisor(&self, cfg: FaultConfig) -> Supervisor {
-        let mut pipe = NativePipeline::new(
-            self.camera,
-            self.map.clone(),
-            NativePipelineConfig::default(),
-        );
-        pipe.seed_pose(self.scenario.pose_at(0));
-        Supervisor::new(pipe, FaultInjector::new(SEED, cfg), SupervisorConfig::default())
-    }
-
-    /// Runs one cell and returns (cell, rendered event log).
-    fn run_cell(&self, res: Resolution, frames: usize, cfg: FaultConfig) -> (Cell, Vec<String>) {
-        let mut sup = self.supervisor(cfg.clone());
-        let mut e2e = adsim_stats::LatencyRecorder::with_capacity(frames);
-        for frame in self.scenario.stream(res).take(frames) {
-            let out = sup.process(&frame.image, frame.time_s);
-            e2e.record(out.reported.end_to_end());
-        }
-        let stats = sup.recovery_stats();
-        let log: Vec<String> = sup.events().iter().map(|e| e.to_string()).collect();
-        let cell = Cell {
-            section: "native",
-            blackout_rate: cfg.blackout_rate,
-            lock_loss_rate: cfg.lock_loss_rate,
-            frames: stats.frames,
-            events: log.len(),
-            episodes: stats.episodes,
-            mean_ttr_frames: stats.mean_time_to_recover(),
-            degraded_rate: stats.degraded_rate(),
-            safe_stops: stats.safe_stops,
-            retries: stats.retries,
-            miss_rate: stats.miss_rate(),
-            p99_ms: e2e.quantile(Quantile::P99),
-        };
-        (cell, log)
     }
 }
 
@@ -150,29 +108,46 @@ fn main() {
     );
     let mut cells: Vec<Cell> = Vec::new();
 
-    // -- Native sweep: real frames through the supervised pipeline. ---
-    println!("native pipeline ({native_frames} frames/cell, seed {SEED:#x}):");
-    let assets = NativeAssets::build(res);
-    let mut repro_cell: Option<(FaultConfig, Vec<String>)> = None;
+    // -- Native sweep: real frames through the supervised pipeline,
+    // every (blackout, lock-loss) cell scheduled as one fleet campaign
+    // sharing the prior map and model weights.
+    let engine =
+        FleetEngine::new(adsim_fleet::FleetAssets::urban(res), FleetConfig::default());
+    println!(
+        "native pipeline ({native_frames} frames/cell, seed {SEED:#x}, {} fleet workers):",
+        engine.config().workers,
+    );
+    let mut specs: Vec<CellSpec> = Vec::new();
+    let mut grid: Vec<(f64, f64)> = Vec::new();
     for &b in rates {
         for &l in rates {
-            let cfg = fault_cfg(b, l);
-            let (cell, log) = assets.run_cell(res, native_frames, cfg.clone());
-            report_cell(&cell);
-            // Remember the first cell with both fault kinds active for
-            // the determinism re-run below.
-            if repro_cell.is_none() && b > 0.0 && l > 0.0 {
-                repro_cell = Some((cfg, log));
-            }
-            cells.push(cell);
+            specs.push(CellSpec::new(
+                format!("native/b{b}/l{l}"),
+                fault_cfg(b, l),
+                SEED,
+                native_frames,
+            ));
+            grid.push((b, l));
         }
+    }
+    let campaign = engine.run(&specs);
+    let mut repro: Option<(usize, Vec<String>)> = None;
+    for (i, (&(b, l), out)) in grid.iter().zip(&campaign.outcomes).enumerate() {
+        let cell = Cell::native(b, l, out);
+        report_cell(&cell);
+        // Remember the first cell with both fault kinds active for
+        // the determinism re-run below.
+        if repro.is_none() && b > 0.0 && l > 0.0 {
+            repro = Some((i, out.sup_log.clone()));
+        }
+        cells.push(cell);
     }
 
     // -- Determinism: same seed + config => identical event log. ------
-    let deterministic = match &repro_cell {
-        Some((cfg, first_log)) => {
-            let (_, second_log) = assets.run_cell(res, native_frames, cfg.clone());
-            let ok = *first_log == second_log;
+    let deterministic = match &repro {
+        Some((idx, first_log)) => {
+            let (second, _) = run_cell(engine.assets(), &specs[*idx], &engine.config().pipeline);
+            let ok = *first_log == second.sup_log;
             println!(
                 "\ndeterminism re-run ({} events): {}",
                 first_log.len(),

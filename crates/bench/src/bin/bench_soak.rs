@@ -2,7 +2,10 @@
 //!
 //! Runs a grid of fault mixes × derived seeds through the native
 //! pipeline with the safety-monitor guard active and checks the
-//! end-to-end safety contract on every run:
+//! end-to-end safety contract on every run. The grid is scheduled by
+//! the `adsim-fleet` work-stealing campaign engine — this harness was
+//! its first client, promoted from a hand-rolled serial loop — so cells
+//! run in parallel while the contract stays checked per cell:
 //!
 //! * **Detection coverage** — every injected data-plane fault
 //!   (blackout, stuck sensor, pixel corruption) must be caught by the
@@ -17,7 +20,8 @@
 //!   one safe stop somewhere in the campaign.
 //! * **Determinism** — re-running one faulted cell with the same seed
 //!   reproduces the degradation log, the guard event log and every
-//!   non-wall-clock cell field byte for byte.
+//!   non-wall-clock cell field byte for byte (the fleet engine pins the
+//!   same property across worker counts in `tests/fleet.rs`).
 //!
 //! A guards-on vs guards-off overhead measurement on a clean run and
 //! the full per-cell table land in `BENCH_soak.json`.
@@ -30,15 +34,11 @@
 //! dozen frames per run. `--quick` keeps the full mix grid but trims
 //! seeds and frames.
 
-use adsim_core::{
-    build_prior_map, GuardConfig, NativePipeline, NativePipelineConfig, Supervisor,
-    SupervisorConfig,
-};
-use adsim_faults::{FaultConfig, FaultInjector};
-use adsim_slam::PriorMap;
+use adsim_core::GuardConfig;
+use adsim_faults::FaultConfig;
+use adsim_fleet::{run_cell, CellOutcome, CellSpec, FleetAssets, FleetConfig, FleetEngine};
 use adsim_stats::Quantile;
-use adsim_vision::{OrthoCamera, Pose2};
-use adsim_workload::{Resolution, Scenario, ScenarioKind};
+use adsim_workload::Resolution;
 
 /// Campaign base seed; per-run seeds derive from it below.
 const SEED: u64 = 0x50A_C0DE;
@@ -102,153 +102,27 @@ fn mixes() -> Vec<Mix> {
     ]
 }
 
-/// One soak run's outcome, destined for the JSON report.
+/// A campaign cell plus the mix/guard names it reports under.
 struct Cell {
     mix: &'static str,
     guard: &'static str,
-    seed: u64,
-    frames: u64,
-    injected_data_faults: u64,
-    detected_data_faults: u64,
-    dual_recovered: u64,
-    monitor_trips: u64,
-    uncaught: u64,
-    episodes: u64,
-    mean_ttr_frames: f64,
-    max_ttr_frames: u64,
-    degraded_rate: f64,
-    safe_stops: u64,
-    p99_ms: f64,
+    out: CellOutcome,
 }
 
 impl Cell {
-    /// Detected fraction of injected data-plane faults (1.0 when
-    /// nothing was injected — there was nothing to miss).
-    fn coverage(&self) -> f64 {
-        if self.injected_data_faults == 0 {
-            1.0
-        } else {
-            self.detected_data_faults as f64 / self.injected_data_faults as f64
-        }
-    }
-
-    /// Everything deterministic about the run — the wall-clock p99 is
-    /// the only field excluded. The determinism re-run compares this.
+    /// Everything deterministic about the run — the wall-clock latency
+    /// block is the only exclusion. The determinism re-run compares
+    /// this (the fleet outcome signature prefixed with the mix/guard
+    /// identity).
     fn signature(&self) -> String {
-        format!(
-            "{} {} {:#x} frames={} injected={} detected={} recovered={} trips={} \
-             uncaught={} episodes={} ttr={:.4}/{} degraded={:.6} safestops={}",
-            self.mix,
-            self.guard,
-            self.seed,
-            self.frames,
-            self.injected_data_faults,
-            self.detected_data_faults,
-            self.dual_recovered,
-            self.monitor_trips,
-            self.uncaught,
-            self.episodes,
-            self.mean_ttr_frames,
-            self.max_ttr_frames,
-            self.degraded_rate,
-            self.safe_stops,
-        )
-    }
-}
-
-/// Shared world assets; rebuilding the prior map per run would
-/// dominate the campaign runtime.
-struct Assets {
-    scenario: Scenario,
-    camera: OrthoCamera,
-    map: PriorMap,
-}
-
-impl Assets {
-    fn build(res: Resolution) -> Self {
-        let scenario = Scenario::new(ScenarioKind::UrbanDrive, 11);
-        let camera = scenario.camera(res);
-        let poses: Vec<Pose2> = (0..40)
-            .flat_map(|i| {
-                let p = scenario.pose_at(i * 10);
-                [p, Pose2::new(p.x, p.y + 25.0, p.theta), Pose2::new(p.x, p.y - 25.0, p.theta)]
-            })
-            .collect();
-        let map = build_prior_map(scenario.world(), &camera, poses, 300, 25);
-        Self { scenario, camera, map }
+        format!("{}/{} {}", self.mix, self.guard, self.out.signature())
     }
 
-    fn supervisor(&self, seed: u64, faults: FaultConfig, guard: GuardConfig) -> Supervisor {
-        let mut pipe = NativePipeline::new(
-            self.camera,
-            self.map.clone(),
-            NativePipelineConfig::default(),
-        );
-        pipe.seed_pose(self.scenario.pose_at(0));
-        let cfg = SupervisorConfig { guard, ..SupervisorConfig::default() };
-        Supervisor::new(pipe, FaultInjector::new(seed, faults), cfg)
-    }
-
-    /// Runs one soak cell; returns the cell plus the rendered
-    /// degradation + guard event logs for the determinism re-run.
-    fn run(
-        &self,
-        res: Resolution,
-        frames: usize,
-        mix: &Mix,
-        guard_name: &'static str,
-        guard: GuardConfig,
-        seed: u64,
-    ) -> (Cell, Vec<String>) {
-        let mut sup = self.supervisor(seed, mix.cfg.clone(), guard);
-        let mut e2e = adsim_stats::LatencyRecorder::with_capacity(frames);
-        let mut injected = 0u64;
-        let mut uncaught = 0u64;
-        for frame in self.scenario.stream(res).take(frames) {
-            let before = *sup.guard_stats();
-            let out = sup.process(&frame.image, frame.time_s);
-            e2e.record(out.reported.end_to_end());
-            let after = *sup.guard_stats();
-
-            // Ground truth: did the injector touch the sensor payload?
-            let data_fault =
-                out.faults.blackout || out.faults.stuck || out.faults.pixel_corruption.is_some();
-            injected += data_fault as u64;
-
-            // Escalation contract: a confirmed-bad payload or a tripped
-            // monitor must leave a degraded mode active this frame. A
-            // dual-execution *recovery* is the one benign detection —
-            // the vote repaired the payload, nothing to escalate.
-            let detected = (after.digest_mismatches + after.stuck_detected)
-                > (before.digest_mismatches + before.stuck_detected);
-            let recovered = after.dual_recovered > before.dual_recovered;
-            let tripped = after.monitor_trips() > before.monitor_trips();
-            if ((detected && !recovered) || tripped) && !out.modes.any() {
-                uncaught += 1;
-            }
-        }
-        let stats = sup.recovery_stats();
-        let gs = *sup.guard_stats();
-        let mut log: Vec<String> = sup.events().iter().map(|e| e.to_string()).collect();
-        log.extend(sup.guard_events().iter().map(|e| e.to_string()));
-        let cell = Cell {
-            mix: mix.name,
-            guard: guard_name,
-            seed,
-            frames: stats.frames,
-            injected_data_faults: injected,
-            detected_data_faults: gs.digest_mismatches + gs.stuck_detected,
-            dual_recovered: gs.dual_recovered,
-            monitor_trips: gs.monitor_trips(),
-            uncaught,
-            episodes: stats.episodes,
-            mean_ttr_frames: stats.mean_time_to_recover(),
-            max_ttr_frames: stats.max_recover_frames,
-            degraded_rate: stats.degraded_rate(),
-            safe_stops: stats.safe_stops,
-            p99_ms: e2e.quantile(Quantile::P99),
-        };
-        (cell, log)
+    /// The rendered degradation + guard event logs, concatenated.
+    fn log(&self) -> Vec<String> {
+        let mut log = self.out.sup_log.clone();
+        log.extend(self.out.guard_log.iter().cloned());
+        log
     }
 }
 
@@ -258,17 +132,17 @@ fn report_cell(c: &Cell) {
          cov={:>5.1}% trips={:<3} uncaught={} ttr={:<4.1} max={:<3} safestops={:<2} p99={:.2} ms",
         c.mix,
         c.guard,
-        format!("{:#x}", c.seed),
-        c.frames,
-        c.injected_data_faults,
-        c.detected_data_faults,
-        c.coverage() * 100.0,
-        c.monitor_trips,
-        c.uncaught,
-        c.mean_ttr_frames,
-        c.max_ttr_frames,
-        c.safe_stops,
-        c.p99_ms,
+        format!("{:#x}", c.out.seed),
+        c.out.frames,
+        c.out.injected_data_faults,
+        c.out.detected_data_faults,
+        c.out.coverage() * 100.0,
+        c.out.monitor_trips,
+        c.out.uncaught,
+        c.out.mean_ttr_frames,
+        c.out.max_ttr_frames,
+        c.out.safe_stops,
+        c.out.p99_ms,
     );
 }
 
@@ -288,7 +162,7 @@ fn main() {
         "Soak",
         "fault-mix x seed chaos campaign under safety monitors and a checksummed data plane",
     );
-    let assets = Assets::build(res);
+    let assets = FleetAssets::urban(res);
     let all_mixes = mixes();
     let grid: Vec<&Mix> = if smoke {
         all_mixes.iter().filter(|m| matches!(m.name, "clean" | "data" | "everything")).collect()
@@ -296,64 +170,84 @@ fn main() {
         all_mixes.iter().collect()
     };
 
-    // -- Soak grid: every mix × every derived seed, guards on. --------
-    println!("soak grid ({} mixes x {n_seeds} seeds, {frames} frames/run):", grid.len());
-    let mut cells: Vec<Cell> = Vec::new();
-    let mut repro: Option<(&Mix, u64, Vec<String>, String)> = None;
+    // -- Soak grid: every mix × every derived seed, guards on, plus the
+    // data mix again under dual-execution voting (transient corruption
+    // must be repaired in place while coverage and escalation
+    // guarantees keep holding). The whole grid is one fleet campaign;
+    // outcomes come back in spec order regardless of steal order.
+    let data_mix = all_mixes.iter().find(|m| m.name == "data").expect("data mix exists");
+    let mut specs: Vec<CellSpec> = Vec::new();
+    let mut names: Vec<(&'static str, &'static str)> = Vec::new();
     for mix in &grid {
         for i in 0..n_seeds {
-            let seed = derived_seed(i);
-            let (cell, log) =
-                assets.run(res, frames, mix, "default", GuardConfig::default(), seed);
-            report_cell(&cell);
-            if repro.is_none() && cell.injected_data_faults > 0 {
-                repro = Some((mix, seed, log, cell.signature()));
-            }
-            cells.push(cell);
+            specs.push(CellSpec::new(
+                format!("{}/default/{i}", mix.name),
+                mix.cfg.clone(),
+                derived_seed(i),
+                frames,
+            ));
+            names.push((mix.name, "default"));
         }
     }
-
-    // The data mix again under dual-execution voting: transient
-    // corruption must be repaired in place (recoveries observed) while
-    // coverage and escalation guarantees keep holding.
-    let data_mix = all_mixes.iter().find(|m| m.name == "data").expect("data mix exists");
-    println!("dual-execution voting ({n_seeds} seeds):");
     for i in 0..n_seeds {
-        let (cell, _) =
-            assets.run(res, frames, data_mix, "voting", GuardConfig::voting(), derived_seed(i));
-        report_cell(&cell);
-        cells.push(cell);
+        specs.push(
+            CellSpec::new(
+                format!("data/voting/{i}"),
+                data_mix.cfg.clone(),
+                derived_seed(i),
+                frames,
+            )
+            .with_guard(GuardConfig::voting()),
+        );
+        names.push(("data", "voting"));
+    }
+
+    let engine = FleetEngine::new(assets.clone(), FleetConfig::default());
+    println!(
+        "soak grid ({} mixes x {n_seeds} seeds + voting, {frames} frames/run, {} fleet workers):",
+        grid.len(),
+        engine.config().workers,
+    );
+    let campaign = engine.run(&specs);
+    let cells: Vec<Cell> = campaign
+        .outcomes
+        .into_iter()
+        .zip(names)
+        .map(|(out, (mix, guard))| Cell { mix, guard, out })
+        .collect();
+    for c in &cells {
+        report_cell(c);
     }
 
     // -- The safety contract, checked over every cell. ----------------
     let mut contract_ok = true;
     for c in &cells {
-        if c.injected_data_faults > 0 && c.coverage() < 0.95 {
+        if c.out.injected_data_faults > 0 && c.out.coverage() < 0.95 {
             println!(
                 "  FAIL {}/{} seed {:#x}: coverage {:.1}% < 95%",
                 c.mix,
                 c.guard,
-                c.seed,
-                c.coverage() * 100.0
+                c.out.seed,
+                c.out.coverage() * 100.0
             );
             contract_ok = false;
         }
-        if c.uncaught > 0 {
+        if c.out.uncaught > 0 {
             println!(
                 "  FAIL {}/{} seed {:#x}: {} uncaught violation(s)",
-                c.mix, c.guard, c.seed, c.uncaught
+                c.mix, c.guard, c.out.seed, c.out.uncaught
             );
             contract_ok = false;
         }
-        if c.max_ttr_frames > TTR_BOUND_FRAMES {
+        if c.out.max_ttr_frames > TTR_BOUND_FRAMES {
             println!(
                 "  FAIL {}/{} seed {:#x}: max TTR {} frames > bound {}",
-                c.mix, c.guard, c.seed, c.max_ttr_frames, TTR_BOUND_FRAMES
+                c.mix, c.guard, c.out.seed, c.out.max_ttr_frames, TTR_BOUND_FRAMES
             );
             contract_ok = false;
         }
     }
-    let safe_stops: u64 = cells.iter().map(|c| c.safe_stops).sum();
+    let safe_stops: u64 = cells.iter().map(|c| c.out.safe_stops).sum();
     if safe_stops == 0 {
         println!("  FAIL: no soak run ever reached a safe stop");
         contract_ok = false;
@@ -366,13 +260,17 @@ fn main() {
     assert!(contract_ok, "soak safety contract violated");
 
     // -- Determinism: same seed + mix => byte-identical logs. ---------
-    let (mix, seed, first_log, first_sig) = repro.expect("grid has a data-bearing cell");
-    let (second, second_log) =
-        assets.run(res, frames, mix, "default", GuardConfig::default(), seed);
-    let deterministic = first_log == second_log && first_sig == second.signature();
+    let (first_idx, first) = cells
+        .iter()
+        .enumerate()
+        .find(|(_, c)| c.out.injected_data_faults > 0)
+        .expect("grid has a data-bearing cell");
+    let (second_out, _) = run_cell(&assets, &specs[first_idx], &engine.config().pipeline);
+    let second = Cell { mix: first.mix, guard: first.guard, out: second_out };
+    let deterministic = first.log() == second.log() && first.signature() == second.signature();
     println!(
         "determinism re-run ({} log lines): {}",
-        first_log.len(),
+        first.log().len(),
         adsim_bench::mark(deterministic)
     );
     assert!(deterministic, "same seed and mix must reproduce logs and counters exactly");
@@ -383,11 +281,12 @@ fn main() {
     // instead of whichever ran second.
     let clean = all_mixes.iter().find(|m| m.name == "clean").expect("clean mix exists");
     let overhead_frames = if smoke || quick { frames } else { 40 };
-    let mut sup_off = assets.supervisor(SEED, clean.cfg.clone(), GuardConfig::off());
-    let mut sup_on = assets.supervisor(SEED, clean.cfg.clone(), GuardConfig::default());
+    let pipeline = &engine.config().pipeline;
+    let mut sup_off = assets.supervisor(SEED, clean.cfg.clone(), GuardConfig::off(), pipeline);
+    let mut sup_on = assets.supervisor(SEED, clean.cfg.clone(), GuardConfig::default(), pipeline);
     let mut e2e_off = adsim_stats::LatencyRecorder::with_capacity(overhead_frames);
     let mut e2e_on = adsim_stats::LatencyRecorder::with_capacity(overhead_frames);
-    for (i, frame) in assets.scenario.stream(res).take(overhead_frames).enumerate() {
+    for (i, frame) in assets.scenario().stream(res).take(overhead_frames).enumerate() {
         let (first, second, first_rec, second_rec) = if i % 2 == 0 {
             (&mut sup_off, &mut sup_on, &mut e2e_off, &mut e2e_on)
         } else {
@@ -438,20 +337,20 @@ fn to_json(
              \"safe_stops\": {}, \"p99_ms\": {:.4}}}{}\n",
             c.mix,
             c.guard,
-            c.seed,
-            c.frames,
-            c.injected_data_faults,
-            c.detected_data_faults,
-            c.coverage(),
-            c.dual_recovered,
-            c.monitor_trips,
-            c.uncaught,
-            c.episodes,
-            c.mean_ttr_frames,
-            c.max_ttr_frames,
-            c.degraded_rate,
-            c.safe_stops,
-            c.p99_ms,
+            c.out.seed,
+            c.out.frames,
+            c.out.injected_data_faults,
+            c.out.detected_data_faults,
+            c.out.coverage(),
+            c.out.dual_recovered,
+            c.out.monitor_trips,
+            c.out.uncaught,
+            c.out.episodes,
+            c.out.mean_ttr_frames,
+            c.out.max_ttr_frames,
+            c.out.degraded_rate,
+            c.out.safe_stops,
+            c.out.p99_ms,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }

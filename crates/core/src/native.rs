@@ -6,7 +6,9 @@ use adsim_perception::{
 };
 use adsim_planning::{Environment, FusedFrame, FusionEngine, MotionPlan, MotionPlanner};
 use adsim_runtime::Runtime;
-use adsim_slam::{LocCost, LocalizeOutcome, LocalizeResult, Localizer, LocalizerConfig, PriorMap};
+use adsim_slam::{
+    LocCost, LocalizeOutcome, LocalizeResult, Localizer, LocalizerConfig, PriorMap, SharedMap,
+};
 use adsim_vision::{GrayImage, OrbExtractor, OrthoCamera, Pose2};
 use adsim_workload::World;
 use std::time::Instant;
@@ -144,7 +146,16 @@ impl std::fmt::Debug for NativePipeline {
 
 impl NativePipeline {
     /// Builds the pipeline over a prior map.
-    pub fn new(camera: OrthoCamera, map: PriorMap, cfg: NativePipelineConfig) -> Self {
+    ///
+    /// Accepts an owned [`PriorMap`], an `Arc<PriorMap>` (the fleet
+    /// path: every vehicle cell reads one shared prior allocation), or
+    /// a pre-built [`SharedMap`]. Map updates stay private to this
+    /// pipeline's localizer either way.
+    pub fn new(
+        camera: OrthoCamera,
+        map: impl Into<SharedMap>,
+        cfg: NativePipelineConfig,
+    ) -> Self {
         // The DET/LOC fork occupies two workers; ORB's per-level fan
         // -out inside the localization arm gets what remains.
         let orb_rt = Runtime::new(cfg.runtime.threads().saturating_sub(1).max(1));

@@ -109,6 +109,21 @@ impl Layer {
         }
     }
 
+    /// The layer's parameter tensors (weights, biases, folded batch-norm
+    /// statistics) in a fixed order. Parameterless layers return an
+    /// empty list. Used for weight-sharing checks and byte accounting.
+    pub fn params(&self) -> Vec<&Tensor> {
+        match self {
+            Layer::Conv2d { weight, bias, .. } | Layer::Linear { weight, bias, .. } => {
+                let mut p = vec![weight];
+                p.extend(bias.as_ref());
+                p
+            }
+            Layer::BatchNorm { gamma, beta, mean, var, .. } => vec![gamma, beta, mean, var],
+            Layer::MaxPool2d { .. } | Layer::Flatten | Layer::Activate(_) => Vec::new(),
+        }
+    }
+
     /// Runs the layer forward.
     ///
     /// # Errors

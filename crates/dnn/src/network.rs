@@ -55,6 +55,25 @@ impl Network {
         &self.layers
     }
 
+    /// Every parameter tensor in the network, in layer order.
+    pub fn params(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.params().iter().map(|t| t.len()).sum()
+    }
+
+    /// Whether every parameter tensor of `self` shares its underlying
+    /// storage with the corresponding tensor of `other` — the pointer-
+    /// equality form of the fleet's "weights allocated once" guarantee.
+    /// Networks with different layer structure trivially return false.
+    pub fn shares_weights(&self, other: &Network) -> bool {
+        let (a, b) = (self.params(), other.params());
+        a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x.ptr_eq(y))
+    }
+
     /// Output shape obtained by propagating the input shape through
     /// every layer.
     ///

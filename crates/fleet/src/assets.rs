@@ -1,0 +1,89 @@
+//! World assets shared read-only by every vehicle cell of a campaign.
+
+use adsim_core::{
+    build_prior_map, GuardConfig, NativePipeline, NativePipelineConfig, Supervisor,
+    SupervisorConfig,
+};
+use adsim_faults::{FaultConfig, FaultInjector};
+use adsim_slam::PriorMap;
+use adsim_vision::{OrthoCamera, Pose2};
+use adsim_workload::{Resolution, Scenario, ScenarioKind};
+use std::sync::Arc;
+
+/// The read-only world a whole fleet campaign drives in: one scenario,
+/// one camera model, and one prior map held behind an [`Arc`].
+///
+/// The paper sizes on-board prior maps in terabytes; at fleet scale the
+/// map and the DNN weights are the two assets that must exist once per
+/// process, not once per vehicle. `FleetAssets` owns the map's single
+/// allocation — every cell's pipeline receives `Arc` clones, and each
+/// vehicle's map updates land in its own private overlay
+/// (`adsim_slam::SharedMap`). Model weights are shared independently
+/// through the process-wide model cache (`adsim_dnn::models::*_shared`).
+#[derive(Debug, Clone)]
+pub struct FleetAssets {
+    scenario: Scenario,
+    camera: OrthoCamera,
+    map: Arc<PriorMap>,
+    resolution: Resolution,
+}
+
+impl FleetAssets {
+    /// Wraps pre-built assets. The camera is derived from the scenario
+    /// at the given resolution.
+    pub fn new(scenario: Scenario, resolution: Resolution, map: Arc<PriorMap>) -> Self {
+        let camera = scenario.camera(resolution);
+        Self { scenario, camera, map, resolution }
+    }
+
+    /// The standard urban campaign world used by the soak and fault
+    /// benches: `UrbanDrive` seed 11 with a prior map surveyed along
+    /// the drive corridor (three lateral passes every ten frames).
+    pub fn urban(resolution: Resolution) -> Self {
+        let scenario = Scenario::new(ScenarioKind::UrbanDrive, 11);
+        let camera = scenario.camera(resolution);
+        let poses: Vec<Pose2> = (0..40)
+            .flat_map(|i| {
+                let p = scenario.pose_at(i * 10);
+                [p, Pose2::new(p.x, p.y + 25.0, p.theta), Pose2::new(p.x, p.y - 25.0, p.theta)]
+            })
+            .collect();
+        let map = Arc::new(build_prior_map(scenario.world(), &camera, poses, 300, 25));
+        Self { scenario, camera, map, resolution }
+    }
+
+    /// The campaign scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The camera model every cell renders through.
+    pub fn camera(&self) -> OrthoCamera {
+        self.camera
+    }
+
+    /// The shared prior-map allocation.
+    pub fn map(&self) -> &Arc<PriorMap> {
+        &self.map
+    }
+
+    /// The frame resolution cells stream at.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Builds one vehicle cell's supervised pipeline: shared-nothing
+    /// mutable state over the shared map and model weights.
+    pub fn supervisor(
+        &self,
+        seed: u64,
+        faults: FaultConfig,
+        guard: GuardConfig,
+        pipeline: &NativePipelineConfig,
+    ) -> Supervisor {
+        let mut pipe = NativePipeline::new(self.camera, &self.map, pipeline.clone());
+        pipe.seed_pose(self.scenario.pose_at(0));
+        let cfg = SupervisorConfig { guard, ..SupervisorConfig::default() };
+        Supervisor::new(pipe, FaultInjector::new(seed, faults), cfg)
+    }
+}

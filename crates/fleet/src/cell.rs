@@ -1,0 +1,242 @@
+//! One vehicle cell: a scenario × fault-mix × seed run with
+//! shared-nothing pipeline state.
+
+use crate::assets::FleetAssets;
+use crate::sink::StageHistograms;
+use adsim_core::{GuardConfig, NativePipelineConfig, SupervisedFrameResult};
+use adsim_faults::FaultConfig;
+use adsim_guard::{Digest, Hasher};
+use adsim_planning::MotionPlan;
+use adsim_stats::Quantile;
+
+/// What one vehicle cell runs: a fault mix and guard policy over a
+/// derived seed for a fixed number of frames. The campaign scenario and
+/// resolution come from the engine's [`FleetAssets`].
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Human-readable label carried into reports (e.g. `"data/default"`).
+    pub label: String,
+    /// Fault schedule for this cell's injector.
+    pub faults: FaultConfig,
+    /// Guard policy for this cell's supervisor.
+    pub guard: GuardConfig,
+    /// Injector seed (derives every per-frame decision).
+    pub seed: u64,
+    /// Frames to stream through the cell.
+    pub frames: usize,
+}
+
+impl CellSpec {
+    /// A cell with the default guard.
+    pub fn new(label: impl Into<String>, faults: FaultConfig, seed: u64, frames: usize) -> Self {
+        Self { label: label.into(), faults, guard: GuardConfig::default(), seed, frames }
+    }
+
+    /// Replaces the guard policy.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+}
+
+/// Everything one cell produced. Every field except the wall-clock
+/// latency block ([`CellOutcome::p99_ms`], [`CellOutcome::miss_rate`])
+/// is a pure function of the spec, so the determinism tests pin
+/// [`CellOutcome::signature`] and the logs byte for byte across worker
+/// counts and steal orders.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The spec's label.
+    pub label: String,
+    /// The spec's seed.
+    pub seed: u64,
+    /// Frames actually processed.
+    pub frames: u64,
+    /// Ground-truth injected data-plane faults (blackout/stuck/corrupt).
+    pub injected_data_faults: u64,
+    /// Data-plane faults the checksummed hand-off caught.
+    pub detected_data_faults: u64,
+    /// Transient corruptions repaired by dual-execution voting.
+    pub dual_recovered: u64,
+    /// Stage-boundary monitor trips.
+    pub monitor_trips: u64,
+    /// Escalations dropped on the floor (contract: always 0).
+    pub uncaught: u64,
+    /// Completed degradation episodes.
+    pub episodes: u64,
+    /// Mean time-to-recover (frames).
+    pub mean_ttr_frames: f64,
+    /// Longest completed episode (frames).
+    pub max_ttr_frames: u64,
+    /// Fraction of frames spent degraded.
+    pub degraded_rate: f64,
+    /// Safe stops commanded.
+    pub safe_stops: u64,
+    /// Stage retries performed.
+    pub retries: u64,
+    /// Degradation-event log, rendered.
+    pub sup_log: Vec<String>,
+    /// Guard-event log, rendered.
+    pub guard_log: Vec<String>,
+    /// FNV digest folded over every frame's deterministic outputs
+    /// (detections, pose, tracks, plan, modes) — the byte-identity pin.
+    pub output_digest: Digest,
+    /// Wall-clock deadline miss rate (excluded from the signature).
+    pub miss_rate: f64,
+    /// Wall-clock end-to-end p99 ms (excluded from the signature).
+    pub p99_ms: f64,
+}
+
+impl CellOutcome {
+    /// Detected fraction of injected data-plane faults (1.0 when
+    /// nothing was injected — there was nothing to miss).
+    pub fn coverage(&self) -> f64 {
+        if self.injected_data_faults == 0 {
+            1.0
+        } else {
+            self.detected_data_faults as f64 / self.injected_data_faults as f64
+        }
+    }
+
+    /// Every deterministic field, rendered. Wall-clock-derived values
+    /// (`p99_ms`, `miss_rate`) are the only exclusions; two runs of the
+    /// same spec must compare equal on any worker count.
+    pub fn signature(&self) -> String {
+        format!(
+            "{} {:#x} frames={} injected={} detected={} recovered={} trips={} uncaught={} \
+             episodes={} ttr={:.4}/{} degraded={:.6} safestops={} retries={} \
+             suplog={} guardlog={} digest={}",
+            self.label,
+            self.seed,
+            self.frames,
+            self.injected_data_faults,
+            self.detected_data_faults,
+            self.dual_recovered,
+            self.monitor_trips,
+            self.uncaught,
+            self.episodes,
+            self.mean_ttr_frames,
+            self.max_ttr_frames,
+            self.degraded_rate,
+            self.safe_stops,
+            self.retries,
+            self.sup_log.len(),
+            self.guard_log.len(),
+            self.output_digest,
+        )
+    }
+}
+
+/// Folds one supervised frame's deterministic outputs into the cell
+/// digest. Wall-clock latencies never enter — the digest must be
+/// byte-identical across worker counts.
+fn fold_frame(h: &mut Hasher, out: &SupervisedFrameResult) {
+    for d in &out.result.detections {
+        h.f32s(&[d.bbox.cx, d.bbox.cy, d.bbox.w, d.bbox.h, d.score]);
+        h.word(d.class.index() as u64);
+    }
+    h.word(out.result.detections.len() as u64);
+    match out.result.pose {
+        Some(p) => {
+            h.word(1);
+            h.word(p.x.to_bits());
+            h.word(p.y.to_bits());
+            h.word(p.theta.to_bits());
+        }
+        None => h.word(0),
+    }
+    for t in &out.result.tracks {
+        h.word(t.track_id);
+        h.word(t.class.index() as u64);
+        h.f32s(&[t.bbox.cx, t.bbox.cy, t.bbox.w, t.bbox.h]);
+        h.word(t.frames_missing as u64);
+        h.word(t.age);
+    }
+    h.word(out.result.tracks.len() as u64);
+    match &out.result.plan {
+        MotionPlan::Trajectory(t) => {
+            h.word(1);
+            h.word(t.speed_mps.to_bits());
+        }
+        MotionPlan::Path(_) => h.word(2),
+        MotionPlan::EmergencyStop => h.word(3),
+    }
+    if let Some(wp) = out.result.plan.next_waypoint() {
+        h.word(wp.x.to_bits());
+        h.word(wp.y.to_bits());
+        h.word(wp.theta.to_bits());
+    }
+    h.word(
+        out.modes.tracker_only as u64
+            | (out.modes.dead_reckoning as u64) << 1
+            | (out.modes.speed_reduced as u64) << 2
+            | (out.modes.safe_stop as u64) << 3,
+    );
+}
+
+/// Runs one cell to completion: shared-nothing supervisor state over
+/// the campaign's shared map and weights. Returns the deterministic
+/// outcome plus this cell's wall-clock stage histograms (streamed into
+/// the fleet sink by the engine, never buffered per cell).
+pub fn run_cell(
+    assets: &FleetAssets,
+    spec: &CellSpec,
+    pipeline: &NativePipelineConfig,
+) -> (CellOutcome, StageHistograms) {
+    let mut sup = assets.supervisor(spec.seed, spec.faults.clone(), spec.guard, pipeline);
+    let mut hists = StageHistograms::new();
+    let mut e2e = adsim_stats::LatencyRecorder::with_capacity(spec.frames);
+    let mut digest = Hasher::new();
+    let mut injected = 0u64;
+    let mut uncaught = 0u64;
+    for frame in assets.scenario().stream(assets.resolution()).take(spec.frames) {
+        let before = *sup.guard_stats();
+        let out = sup.process(&frame.image, frame.time_s);
+        hists.record(&out.reported);
+        e2e.record(out.reported.end_to_end());
+        fold_frame(&mut digest, &out);
+        let after = *sup.guard_stats();
+
+        // Ground truth: did the injector touch the sensor payload?
+        let data_fault =
+            out.faults.blackout || out.faults.stuck || out.faults.pixel_corruption.is_some();
+        injected += data_fault as u64;
+
+        // Escalation contract: a confirmed-bad payload or a tripped
+        // monitor must leave a degraded mode active this frame. A
+        // dual-execution *recovery* is the one benign detection — the
+        // vote repaired the payload, nothing to escalate.
+        let detected = (after.digest_mismatches + after.stuck_detected)
+            > (before.digest_mismatches + before.stuck_detected);
+        let recovered = after.dual_recovered > before.dual_recovered;
+        let tripped = after.monitor_trips() > before.monitor_trips();
+        if ((detected && !recovered) || tripped) && !out.modes.any() {
+            uncaught += 1;
+        }
+    }
+    let stats = sup.recovery_stats();
+    let gs = *sup.guard_stats();
+    let outcome = CellOutcome {
+        label: spec.label.clone(),
+        seed: spec.seed,
+        frames: stats.frames,
+        injected_data_faults: injected,
+        detected_data_faults: gs.digest_mismatches + gs.stuck_detected,
+        dual_recovered: gs.dual_recovered,
+        monitor_trips: gs.monitor_trips(),
+        uncaught,
+        episodes: stats.episodes,
+        mean_ttr_frames: stats.mean_time_to_recover(),
+        max_ttr_frames: stats.max_recover_frames,
+        degraded_rate: stats.degraded_rate(),
+        safe_stops: stats.safe_stops,
+        retries: stats.retries,
+        sup_log: sup.events().iter().map(|e| e.to_string()).collect(),
+        guard_log: sup.guard_events().iter().map(|e| e.to_string()).collect(),
+        output_digest: digest.finish(),
+        miss_rate: stats.miss_rate(),
+        p99_ms: e2e.quantile(Quantile::P99),
+    };
+    (outcome, hists)
+}

@@ -1,0 +1,171 @@
+//! The work-stealing campaign scheduler.
+
+use crate::assets::FleetAssets;
+use crate::cell::{run_cell, CellOutcome, CellSpec};
+use crate::sink::FleetSink;
+use adsim_core::NativePipelineConfig;
+use adsim_runtime::Runtime;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Campaign scheduling parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fleet worker threads. Each worker claims cells from the shared
+    /// queue (work-stealing via `adsim-runtime`'s atomic cursor), so a
+    /// long cell on one worker never blocks the rest of the grid.
+    pub workers: usize,
+    /// Per-cell pipeline construction parameters. Defaults to a
+    /// **serial** inner runtime: parallelism comes from running many
+    /// cells at once, and nesting a per-cell pool inside each fleet
+    /// worker would oversubscribe the machine. Cell outputs are
+    /// bit-identical on any inner thread count, so this only shifts
+    /// wall clock.
+    pub pipeline: NativePipelineConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            workers: adsim_runtime::available_parallelism(),
+            pipeline: NativePipelineConfig { runtime: Runtime::serial(), ..Default::default() },
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A config with an explicit fleet worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers: workers.max(1), ..Self::default() }
+    }
+}
+
+/// A finished campaign: per-cell outcomes in **spec order** (never
+/// completion order — slot `i` always holds spec `i`'s outcome, so
+/// steal order cannot leak into results) plus the streamed fleet sink.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// One outcome per input spec, index-aligned.
+    pub outcomes: Vec<CellOutcome>,
+    /// Fleet-level aggregation (merged stage histograms, counters).
+    pub sink: FleetSink,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_s: f64,
+    /// Fleet workers that ran it.
+    pub workers: usize,
+}
+
+impl CampaignResult {
+    /// The deterministic signatures of every cell, in spec order — the
+    /// value the parity tests compare across worker counts.
+    pub fn signatures(&self) -> Vec<String> {
+        self.outcomes.iter().map(|c| c.signature()).collect()
+    }
+}
+
+/// The fleet campaign engine: schedules N independent vehicle cells
+/// over a work-stealing worker pool.
+///
+/// Each cell owns its pipeline, supervisor, injector and map overlay
+/// (shared-nothing mutable state); the prior map and DNN weights are
+/// `Arc`-shared read-only across all of them. Finished cells stream
+/// their latency histograms into a fleet-level [`FleetSink`] under a
+/// mutex held only for the merge — never while a cell runs.
+///
+/// # Determinism
+///
+/// A cell's outcome is a pure function of its spec: the supervisor's
+/// watchdog runs on injected *virtual* latency, so wall clock — and
+/// therefore worker count, steal order and scheduling jitter — can
+/// only affect the reported latency histograms, never the outputs,
+/// logs or counters. The fleet parity tests pin this: 1, 2 and 8
+/// workers produce byte-identical [`CellOutcome::signature`]s and logs.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_fleet::{CellSpec, FleetAssets, FleetConfig, FleetEngine};
+/// use adsim_faults::FaultConfig;
+/// use adsim_workload::Resolution;
+///
+/// let engine = FleetEngine::new(
+///     FleetAssets::urban(Resolution::Hhd),
+///     FleetConfig::with_workers(2),
+/// );
+/// let specs: Vec<CellSpec> = (0..3)
+///     .map(|i| CellSpec::new(format!("clean/{i}"), FaultConfig::off(), 0x5EED + i, 4))
+///     .collect();
+/// let result = engine.run(&specs);
+/// assert_eq!(result.outcomes.len(), 3);
+/// assert_eq!(result.sink.cells, 3);
+/// ```
+#[derive(Debug)]
+pub struct FleetEngine {
+    assets: FleetAssets,
+    cfg: FleetConfig,
+}
+
+impl FleetEngine {
+    /// Creates an engine over shared campaign assets.
+    pub fn new(assets: FleetAssets, cfg: FleetConfig) -> Self {
+        Self { assets, cfg }
+    }
+
+    /// The campaign assets.
+    pub fn assets(&self) -> &FleetAssets {
+        &self.assets
+    }
+
+    /// The scheduling config.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Runs every spec to completion and returns outcomes in spec
+    /// order plus the streamed fleet aggregation.
+    pub fn run(&self, specs: &[CellSpec]) -> CampaignResult {
+        let start = Instant::now();
+        let sink = Mutex::new(FleetSink::new());
+        // Per-spec result slots: each cell writes its own index, so
+        // completion order (which *does* vary with stealing) never
+        // reorders results.
+        let slots: Vec<Mutex<Option<CellOutcome>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        let rt = Runtime::new(self.cfg.workers);
+        rt.run(specs.len(), |i| {
+            let (outcome, hists) = run_cell(&self.assets, &specs[i], &self.cfg.pipeline);
+            // Stream the cell's tails into the fleet sink, then drop
+            // them — only the fixed-size fleet histograms survive.
+            sink.lock().expect("fleet sink poisoned").absorb(&outcome, &hists);
+            *slots[i].lock().expect("cell slot poisoned") = Some(outcome);
+        });
+        let outcomes = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("cell slot poisoned")
+                    .expect("runtime ran every task to completion")
+            })
+            .collect();
+        CampaignResult {
+            outcomes,
+            sink: sink.into_inner().expect("fleet sink poisoned"),
+            wall_s: start.elapsed().as_secs_f64(),
+            workers: self.cfg.workers,
+        }
+    }
+
+    /// [`FleetEngine::run`] on a single in-place worker — the serial
+    /// reference the parity tests compare fleet runs against.
+    pub fn run_serial(&self, specs: &[CellSpec]) -> CampaignResult {
+        let start = Instant::now();
+        let mut sink = FleetSink::new();
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let (outcome, hists) = run_cell(&self.assets, spec, &self.cfg.pipeline);
+            sink.absorb(&outcome, &hists);
+            outcomes.push(outcome);
+        }
+        CampaignResult { outcomes, sink, wall_s: start.elapsed().as_secs_f64(), workers: 1 }
+    }
+}

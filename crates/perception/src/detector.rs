@@ -1,5 +1,5 @@
 use adsim_dnn::detection::{decode_grid, nms, BBox, Detection, ObjectClass};
-use adsim_dnn::models::yolo_tiny;
+use adsim_dnn::models::yolo_tiny_shared;
 use adsim_dnn::Network;
 use adsim_runtime::Runtime;
 use adsim_vision::GrayImage;
@@ -51,11 +51,15 @@ impl YoloDetector {
     /// confidence threshold. The forward pass runs serially; use
     /// [`YoloDetector::with_runtime`] to parallelize it.
     ///
+    /// Weights come from the process-wide shared model instance
+    /// ([`yolo_tiny_shared`]), so every detector in a fleet campaign
+    /// reads the same `Arc`-backed parameter buffers.
+    ///
     /// # Panics
     ///
     /// Panics if `grid == 0`.
     pub fn new(grid: usize, threshold: f32) -> Self {
-        let net = yolo_tiny(grid);
+        let net = yolo_tiny_shared(grid);
         Self {
             net,
             side: 8 * grid,

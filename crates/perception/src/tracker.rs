@@ -1,5 +1,5 @@
 use adsim_dnn::detection::BBox;
-use adsim_dnn::models::goturn_tiny;
+use adsim_dnn::models::goturn_tiny_shared;
 use adsim_dnn::Network;
 use adsim_runtime::Runtime;
 use adsim_tensor::Tensor;
@@ -59,9 +59,14 @@ impl GoturnTracker {
     /// Creates a tracker anchored on `bbox` in `frame`. The regression
     /// network runs serially; use [`GoturnTracker::with_runtime`] to
     /// parallelize it.
+    ///
+    /// Every tracker clones the process-wide shared model
+    /// ([`goturn_tiny_shared`]), so a pool of N trackers holds one copy
+    /// of the weights, not N — the pool is rebuilt per track, which
+    /// previously made it the pipeline's largest repeated allocation.
     pub fn new(frame: &GrayImage, bbox: BBox) -> Self {
         let prev_crop = crop_box(frame, &bbox, 1.0);
-        Self { net: goturn_tiny(), bbox, prev_crop, runtime: Runtime::serial() }
+        Self { net: goturn_tiny_shared(), bbox, prev_crop, runtime: Runtime::serial() }
     }
 
     /// Runs the tracker's network kernels on the given worker pool.

@@ -44,6 +44,6 @@ pub mod storage;
 
 pub use io::MapDecodeError;
 pub use localizer::{LocCost, LocalizeOutcome, LocalizeResult, Localizer, LocalizerConfig};
-pub use map::{Landmark, PriorMap};
+pub use map::{Landmark, PriorMap, SharedMap};
 pub use motion::MotionModel;
 pub use solve::{estimate_pose, estimate_pose_with, Correspondence, PoseEstimate};

@@ -1,4 +1,4 @@
-use crate::map::PriorMap;
+use crate::map::SharedMap;
 use crate::motion::MotionModel;
 use crate::solve::{estimate_pose_with, Correspondence};
 use adsim_runtime::Runtime;
@@ -109,7 +109,7 @@ pub struct LocalizerStats {
 /// on failure, relocalize with a widened search → update the map with
 /// newly seen features → periodically run loop closing.
 pub struct Localizer {
-    map: PriorMap,
+    map: SharedMap,
     camera: OrthoCamera,
     orb: OrbExtractor,
     motion: MotionModel,
@@ -129,14 +129,20 @@ impl std::fmt::Debug for Localizer {
 
 impl Localizer {
     /// Creates a localizer over a prior map.
+    ///
+    /// Accepts an owned [`PriorMap`](crate::map::PriorMap) (sole
+    /// ownership, the single-vehicle path), an
+    /// `Arc<PriorMap>` (read-only prior shared across a fleet of
+    /// localizers), or a pre-built [`SharedMap`]. Map updates always go
+    /// to this localizer's private overlay, never the shared prior.
     pub fn new(
-        map: PriorMap,
+        map: impl Into<SharedMap>,
         camera: OrthoCamera,
         orb: OrbExtractor,
         cfg: LocalizerConfig,
     ) -> Self {
         Self {
-            map,
+            map: map.into(),
             camera,
             orb,
             motion: MotionModel::new(),
@@ -155,8 +161,10 @@ impl Localizer {
         self
     }
 
-    /// The prior map (grows when map update is enabled).
-    pub fn map(&self) -> &PriorMap {
+    /// The map this localizer queries: the shared prior plus this
+    /// vehicle's private overlay (which grows when map update is
+    /// enabled).
+    pub fn map(&self) -> &SharedMap {
         &self.map
     }
 
@@ -395,6 +403,7 @@ impl Localizer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::map::PriorMap;
     use adsim_vision::Point2;
 
     /// A synthetic world of textured square beacons. Mapping and

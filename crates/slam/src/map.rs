@@ -1,5 +1,6 @@
 use adsim_vision::{Descriptor, Point2};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One mapped feature: a world position with its rBRIEF descriptor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,6 +109,107 @@ impl PriorMap {
     }
 }
 
+/// A prior map shared read-only across vehicles, with a private
+/// per-vehicle overlay for map updates.
+///
+/// The paper sizes on-board maps at tens of terabytes (41 TB for the
+/// U.S.) — at fleet scale the prior is the one asset that must never be
+/// duplicated per vehicle. `SharedMap` keeps the immutable prior behind
+/// an [`Arc`] (cloning a `SharedMap` or building many from the same
+/// `Arc` shares one copy) while each vehicle's map-update insertions
+/// land in its own small [`PriorMap`] overlay, preserving the
+/// shared-nothing mutation model the fleet engine requires.
+///
+/// Queries ([`near`](SharedMap::near)) see prior landmarks first, then
+/// overlay landmarks; overlay ids continue where the prior's allocation
+/// left off, so ids stay unique across both layers.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_slam::{PriorMap, SharedMap};
+/// use std::sync::Arc;
+///
+/// let prior = Arc::new(PriorMap::empty());
+/// let a = SharedMap::new(Arc::clone(&prior));
+/// let b = SharedMap::new(prior);
+/// assert!(a.shares_prior_with(&b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedMap {
+    prior: Arc<PriorMap>,
+    overlay: PriorMap,
+}
+
+impl SharedMap {
+    /// Wraps a shared prior with an empty private overlay. Overlay id
+    /// allocation starts where the prior's left off.
+    pub fn new(prior: Arc<PriorMap>) -> Self {
+        let overlay = PriorMap { next_id: prior.next_id, ..PriorMap::default() };
+        Self { prior, overlay }
+    }
+
+    /// The shared read-only prior.
+    pub fn prior(&self) -> &Arc<PriorMap> {
+        &self.prior
+    }
+
+    /// This vehicle's private overlay (landmarks added by map update).
+    pub fn overlay(&self) -> &PriorMap {
+        &self.overlay
+    }
+
+    /// Total landmarks visible to queries (prior + overlay).
+    pub fn len(&self) -> usize {
+        self.prior.len() + self.overlay.len()
+    }
+
+    /// Whether neither layer holds any landmarks.
+    pub fn is_empty(&self) -> bool {
+        self.prior.is_empty() && self.overlay.is_empty()
+    }
+
+    /// Landmarks within `radius` meters of `center`: prior hits first,
+    /// then overlay hits.
+    pub fn near(&self, center: Point2, radius: f64) -> Vec<&Landmark> {
+        let mut out = self.prior.near(center, radius);
+        out.extend(self.overlay.near(center, radius));
+        out
+    }
+
+    /// Inserts a new landmark into the private overlay with a freshly
+    /// allocated id (unique across prior and overlay), returning it.
+    pub fn insert_new(&mut self, position: Point2, descriptor: Descriptor) -> u64 {
+        self.overlay.insert_new(position, descriptor)
+    }
+
+    /// Whether two shared maps point at the same prior allocation —
+    /// the observable form of the fleet's map-sharing guarantee.
+    pub fn shares_prior_with(&self, other: &SharedMap) -> bool {
+        Arc::ptr_eq(&self.prior, &other.prior)
+    }
+}
+
+impl From<PriorMap> for SharedMap {
+    /// Takes sole ownership of a prior (no sharing with anyone else) —
+    /// the single-vehicle construction path.
+    fn from(map: PriorMap) -> Self {
+        Self::new(Arc::new(map))
+    }
+}
+
+impl From<Arc<PriorMap>> for SharedMap {
+    fn from(prior: Arc<PriorMap>) -> Self {
+        Self::new(prior)
+    }
+}
+
+impl From<&Arc<PriorMap>> for SharedMap {
+    fn from(prior: &Arc<PriorMap>) -> Self {
+        Self::new(Arc::clone(prior))
+    }
+}
+
 impl Extend<Landmark> for PriorMap {
     fn extend<T: IntoIterator<Item = Landmark>>(&mut self, iter: T) {
         for lm in iter {
@@ -174,5 +276,48 @@ mod tests {
     #[test]
     fn empty_map_queries_are_empty() {
         assert!(PriorMap::empty().near(Point2::new(0.0, 0.0), 100.0).is_empty());
+    }
+
+    #[test]
+    fn shared_map_queries_both_layers() {
+        let prior = Arc::new(PriorMap::new(vec![lm(0, 0.0, 0.0)]));
+        let mut shared = SharedMap::new(prior);
+        shared.insert_new(Point2::new(1.0, 0.0), Descriptor::new([9; 32]));
+        let hits = shared.near(Point2::new(0.0, 0.0), 5.0);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 0, "prior hits come first");
+        assert_eq!(shared.len(), 2);
+        assert!(!shared.is_empty());
+    }
+
+    #[test]
+    fn shared_map_ids_continue_past_prior() {
+        let prior = Arc::new(PriorMap::new(vec![lm(7, 0.0, 0.0)]));
+        let mut a = SharedMap::new(Arc::clone(&prior));
+        let mut b = SharedMap::new(prior);
+        // Both vehicles allocate from the prior's watermark into their
+        // own overlays; ids are unique within each vehicle's view.
+        assert_eq!(a.insert_new(Point2::new(1.0, 1.0), Descriptor::new([0; 32])), 8);
+        assert_eq!(b.insert_new(Point2::new(2.0, 2.0), Descriptor::new([1; 32])), 8);
+        assert_eq!(a.insert_new(Point2::new(3.0, 3.0), Descriptor::new([2; 32])), 9);
+    }
+
+    #[test]
+    fn shared_map_overlay_is_private() {
+        let prior = Arc::new(PriorMap::new(vec![lm(0, 0.0, 0.0)]));
+        let mut a = SharedMap::new(Arc::clone(&prior));
+        let b = SharedMap::new(Arc::clone(&prior));
+        a.insert_new(Point2::new(1.0, 0.0), Descriptor::new([5; 32]));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1, "b never sees a's insertions");
+        assert!(a.shares_prior_with(&b), "but both share one prior allocation");
+        assert_eq!(prior.len(), 1, "the prior itself is untouched");
+    }
+
+    #[test]
+    fn shared_map_from_owned_prior_does_not_share() {
+        let a: SharedMap = PriorMap::new(vec![lm(0, 0.0, 0.0)]).into();
+        let b: SharedMap = PriorMap::new(vec![lm(0, 0.0, 0.0)]).into();
+        assert!(!a.shares_prior_with(&b));
     }
 }

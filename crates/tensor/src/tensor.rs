@@ -1,6 +1,17 @@
 use crate::{Result, Shape, TensorError};
+use std::sync::Arc;
 
-/// A dense, owned, row-major `f32` tensor.
+/// A dense, row-major `f32` tensor with copy-on-write shared storage.
+///
+/// The element buffer lives behind an [`Arc`], so `clone()` is O(1) and
+/// the clone *shares* storage with the original — the mechanism that
+/// lets a fleet of vehicle pipelines hold one copy of each DNN weight
+/// bank (the workspace's largest allocations) instead of one per
+/// vehicle. Mutation goes through [`Tensor::as_mut_slice`] /
+/// [`Tensor::at_mut`] / [`Tensor::map_inplace`], which copy-on-write:
+/// a uniquely-owned buffer is mutated in place (the common case for
+/// freshly computed kernel outputs), a shared one is detached first,
+/// so sharing is never observable through the API.
 ///
 /// # Examples
 ///
@@ -10,25 +21,32 @@ use crate::{Result, Shape, TensorError};
 /// let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
 /// assert_eq!(t.at(&[1, 0]), 3.0);
 /// assert_eq!(t.iter().sum::<f32>(), 10.0);
+///
+/// let shared = t.clone();
+/// assert!(shared.ptr_eq(&t), "clones share storage");
+/// let mut detached = t.clone();
+/// detached.as_mut_slice()[0] = 9.0;
+/// assert!(!detached.ptr_eq(&t), "mutation detaches");
+/// assert_eq!(t.at(&[0, 0]), 1.0, "original unchanged");
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
 }
 
 impl Tensor {
     /// Creates a tensor of zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        let data = vec![0.0; shape.len()];
+        let data = Arc::new(vec![0.0; shape.len()]);
         Self { shape, data }
     }
 
     /// Creates a tensor where every element is `value`.
     pub fn filled(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        let data = vec![value; shape.len()];
+        let data = Arc::new(vec![value; shape.len()]);
         Self { shape, data }
     }
 
@@ -43,7 +61,7 @@ impl Tensor {
         if data.len() != shape.len() {
             return Err(TensorError::LengthMismatch { shape, len: data.len() });
         }
-        Ok(Self { shape, data })
+        Ok(Self { shape, data: Arc::new(data) })
     }
 
     /// Creates a tensor by evaluating `f` at every index.
@@ -57,7 +75,7 @@ impl Tensor {
             let mut axis = shape.rank();
             loop {
                 if axis == 0 {
-                    return Self { shape, data };
+                    return Self { shape, data: Arc::new(data) };
                 }
                 axis -= 1;
                 index[axis] += 1;
@@ -94,14 +112,15 @@ impl Tensor {
         self.data[self.shape.offset(index)]
     }
 
-    /// Mutable element at a multi-dimensional index.
+    /// Mutable element at a multi-dimensional index. Detaches shared
+    /// storage first (copy-on-write).
     ///
     /// # Panics
     ///
     /// Panics on rank mismatch or out-of-bounds coordinates.
     pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
         let off = self.shape.offset(index);
-        &mut self.data[off]
+        &mut Arc::make_mut(&mut self.data)[off]
     }
 
     /// The underlying data in row-major order.
@@ -110,13 +129,27 @@ impl Tensor {
     }
 
     /// Mutable view of the underlying data in row-major order.
+    /// Detaches shared storage first (copy-on-write).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consumes the tensor, returning its data in row-major order.
+    /// Consumes the tensor, returning its data in row-major order
+    /// (clones only if the storage is still shared).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Whether `self` and `other` share the same underlying storage —
+    /// the observable form of the fleet's weight-sharing guarantee.
+    pub fn ptr_eq(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Address of the shared storage, for counting distinct weight
+    /// allocations across a fleet of pipelines.
+    pub fn storage_ptr(&self) -> *const f32 {
+        self.data.as_ptr()
     }
 
     /// Iterator over elements in row-major order.
@@ -135,20 +168,22 @@ impl Tensor {
         if shape.len() != self.data.len() {
             return Err(TensorError::LengthMismatch { shape, len: self.data.len() });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        // Reshape shares storage: same data, new shape.
+        Ok(Tensor { shape, data: Arc::clone(&self.data) })
     }
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
         }
     }
 
-    /// Applies `f` to every element in place.
+    /// Applies `f` to every element in place (copy-on-write when the
+    /// storage is shared).
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in Arc::make_mut(&mut self.data) {
             *x = f(*x);
         }
     }
@@ -158,9 +193,9 @@ impl Tensor {
     /// unspecified order.
     pub fn map_with(&self, rt: &adsim_runtime::Runtime, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut out = self.clone();
-        let rt = rt.for_work(out.data.len());
-        let span = out.data.len().div_ceil(4 * rt.threads()).max(1);
-        rt.par_chunks_mut(&mut out.data, span, |_, chunk| {
+        let rt = rt.for_work(out.len());
+        let span = out.len().div_ceil(4 * rt.threads()).max(1);
+        rt.par_chunks_mut(out.as_mut_slice(), span, |_, chunk| {
             for x in chunk {
                 *x = f(*x);
             }
@@ -237,12 +272,13 @@ impl Tensor {
         }
         Ok(Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Arc::new(
+                self.data
+                    .iter()
+                    .zip(rhs.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         })
     }
 }
@@ -323,6 +359,36 @@ mod tests {
         let t = Tensor::from_vec([4], vec![1.0, 9.0, 3.0, 9.0]).unwrap();
         assert_eq!(t.max(), 9.0);
         assert_eq!(t.argmax(), 1, "argmax returns the first maximum");
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutated() {
+        let a = Tensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        assert_eq!(a.storage_ptr(), b.storage_ptr());
+        // Reshape also shares.
+        let r = a.reshape([2, 2]).unwrap();
+        assert!(r.ptr_eq(&a));
+        // Any mutation path detaches without touching the original.
+        let mut c = a.clone();
+        *c.at_mut(&[2]) = 9.0;
+        assert!(!c.ptr_eq(&a));
+        assert_eq!(a.at(&[2]), 3.0);
+        let mut d = a.clone();
+        d.map_inplace(|x| x + 1.0);
+        assert!(!d.ptr_eq(&a));
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn into_vec_round_trips_shared_and_unique() {
+        let a = Tensor::from_vec([3], vec![5.0, 6.0, 7.0]).unwrap();
+        let b = a.clone();
+        // Shared: into_vec clones out.
+        assert_eq!(b.into_vec(), vec![5.0, 6.0, 7.0]);
+        // Unique: into_vec moves the buffer.
+        assert_eq!(a.into_vec(), vec![5.0, 6.0, 7.0]);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Property-style test for [`LogHistogram::merge`], the primitive the
+//! fleet sink is built on: per-cell histograms streamed into one
+//! fleet-level aggregate must answer quantile queries the same as a
+//! single histogram that saw every sample directly.
+//!
+//! Bucket counts, total count, min and max merge exactly, so merged
+//! quantiles are checked against the concatenated-sample histogram
+//! within one bucket width (`2^(1/8)`); only the floating-point `sum`
+//! is merge-order-sensitive, so the mean gets a relative tolerance.
+
+use adsim_stats::Rng64;
+use adsim_trace::LogHistogram;
+
+const FRACTIONS: [f64; 5] = [0.25, 0.50, 0.95, 0.99, 0.9999];
+
+/// Splits `samples` round-robin into `shards` histograms, merges them,
+/// and compares against one histogram fed the concatenation.
+fn assert_merge_agrees(label: &str, samples: &[f64], shards: usize) {
+    let mut whole = LogHistogram::new();
+    let mut parts: Vec<LogHistogram> = (0..shards).map(|_| LogHistogram::new()).collect();
+    for (i, &s) in samples.iter().enumerate() {
+        whole.record(s);
+        parts[i % shards].record(s);
+    }
+    let mut merged = LogHistogram::new();
+    for p in &parts {
+        merged.merge(p);
+    }
+
+    assert_eq!(merged.count(), whole.count(), "{label}: counts must merge exactly");
+    assert_eq!(merged.min(), whole.min(), "{label}: min must merge exactly");
+    assert_eq!(merged.max(), whole.max(), "{label}: max must merge exactly");
+
+    let growth = LogHistogram::bucket_growth();
+    for f in FRACTIONS {
+        let m = merged.quantile(f);
+        let w = whole.quantile(f);
+        assert!(
+            m <= w * growth && m >= w / growth,
+            "{label}: p{} merged {m:.6} ms vs whole {w:.6} ms (allowed factor {growth:.4})",
+            f * 100.0
+        );
+    }
+
+    // `sum` is the one merge-order-sensitive field (f64 addition), so
+    // the mean only has to agree to floating-point slack.
+    let tol = 1e-9 * whole.mean().abs().max(1.0);
+    assert!(
+        (merged.mean() - whole.mean()).abs() <= tol,
+        "{label}: mean merged {:.9} vs whole {:.9}",
+        merged.mean(),
+        whole.mean()
+    );
+}
+
+fn log_normal(seed: u64, mu: f64, sigma: f64, n: usize) -> Vec<f64> {
+    let mut rng = Rng64::new(seed);
+    (0..n).map(|_| (mu + sigma * rng.normal()).exp()).collect()
+}
+
+/// Base-mode latency with a chance of a tail spike — the fleet's real
+/// per-stage shape (cells mostly nominal, a few degraded).
+fn spiky(seed: u64, spike_p: f64, n: usize) -> Vec<f64> {
+    let mut rng = Rng64::new(seed);
+    (0..n)
+        .map(|_| {
+            if rng.chance(spike_p) {
+                rng.range_f64(60.0, 100.0)
+            } else {
+                rng.range_f64(5.0, 10.0)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn merged_quantiles_agree_with_concatenated_samples() {
+    for shards in [2usize, 3, 8, 17] {
+        for (seed, mu, sigma) in [(1u64, 0.0, 0.25), (42, 1.5, 0.5), (0xBEEF, 3.0, 1.0)] {
+            let samples = log_normal(seed, mu, sigma, 8_000);
+            assert_merge_agrees(
+                &format!("log-normal mu={mu} sigma={sigma} seed={seed} shards={shards}"),
+                &samples,
+                shards,
+            );
+        }
+        for (seed, p) in [(7u64, 0.01), (99, 0.10), (0xCAFE, 0.30)] {
+            let samples = spiky(seed, p, 8_000);
+            assert_merge_agrees(&format!("spiky p={p} seed={seed} shards={shards}"), &samples, shards);
+        }
+    }
+}
+
+#[test]
+fn merging_skewed_shards_matches_round_robin_totals() {
+    // Fleet cells do NOT see identical distributions: one degraded cell
+    // contributes the whole tail. Split by value instead of round-robin
+    // so every spike lands in one shard, then check the merge still
+    // reconstructs the global distribution.
+    let samples = spiky(0xF1EE7, 0.15, 8_000);
+    let mut whole = LogHistogram::new();
+    let mut fast = LogHistogram::new();
+    let mut slow = LogHistogram::new();
+    for &s in &samples {
+        whole.record(s);
+        if s < 30.0 { fast.record(s) } else { slow.record(s) }
+    }
+    let mut merged = LogHistogram::new();
+    merged.merge(&fast);
+    merged.merge(&slow);
+    assert_eq!(merged.count(), whole.count());
+    assert_eq!(merged.min(), whole.min());
+    assert_eq!(merged.max(), whole.max());
+    let growth = LogHistogram::bucket_growth();
+    for f in FRACTIONS {
+        let m = merged.quantile(f);
+        let w = whole.quantile(f);
+        assert!(m <= w * growth && m >= w / growth, "p{}: {m} vs {w}", f * 100.0);
+    }
+}
+
+#[test]
+fn merging_an_empty_histogram_is_identity() {
+    let mut h = LogHistogram::new();
+    for s in [1.0, 2.5, 40.0] {
+        h.record(s);
+    }
+    let before = (h.count(), h.min(), h.max(), h.quantile(0.5));
+    h.merge(&LogHistogram::new());
+    assert_eq!((h.count(), h.min(), h.max(), h.quantile(0.5)), before);
+
+    let mut empty = LogHistogram::new();
+    let mut other = LogHistogram::new();
+    other.record(7.0);
+    empty.merge(&other);
+    assert_eq!(empty.count(), 1);
+    assert_eq!(empty.min(), other.min());
+    assert_eq!(empty.max(), other.max());
+}

@@ -19,6 +19,7 @@
 //! | [`runtime`] | The std-only fork-join worker pool |
 //! | [`faults`] | Deterministic seeded fault injection |
 //! | [`trace`] | Span tracing, streaming tail-latency histograms, Chrome-trace export |
+//! | [`fleet`] | Work-stealing fleet campaign engine with Arc-shared weights |
 //! | [`core`] | The end-to-end pipelines, supervisor, and design-constraint checker |
 //!
 //! # Quickstart
@@ -41,6 +42,7 @@
 pub use adsim_core as core;
 pub use adsim_dnn as dnn;
 pub use adsim_faults as faults;
+pub use adsim_fleet as fleet;
 pub use adsim_guard as guard;
 pub use adsim_perception as perception;
 pub use adsim_planning as planning;
