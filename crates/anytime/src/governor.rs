@@ -1,0 +1,381 @@
+//! The predictive deadline governor: forecast slack, walk the ladder.
+
+use crate::knobs::{AnytimeConfig, QualityKnobs, QualityLevel};
+use crate::predictor::{LatencyPredictor, STAGES, STAGE_DET};
+
+/// One knob switch, for the governor's deterministic decision log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorEvent {
+    /// Frame the switch happened on.
+    pub frame: u64,
+    /// Rung switched from.
+    pub from: &'static str,
+    /// Rung switched to.
+    pub to: &'static str,
+    /// True for a degrade (down the ladder), false for an upgrade.
+    pub degrade: bool,
+    /// Forecast detection extra at the old rung when the decision was
+    /// made (ms, virtual).
+    pub predicted_det_ms: f64,
+    /// Forecast end-to-end latency at the old rung (ms, virtual).
+    pub predicted_e2e_ms: f64,
+}
+
+impl std::fmt::Display for GovernorEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame {:>5}: {} {} -> {} (forecast det {:.1} ms, e2e {:.1} ms)",
+            self.frame,
+            if self.degrade { "degrade" } else { "upgrade" },
+            self.from,
+            self.to,
+            self.predicted_det_ms,
+            self.predicted_e2e_ms,
+        )
+    }
+}
+
+/// The predictive deadline governor.
+///
+/// Call [`Governor::decide`] once per frame *before* the pipeline runs
+/// (it may switch the active quality rung), read the active knobs with
+/// [`Governor::knobs`], then feed the frame's observed virtual extras
+/// back with [`Governor::observe`]. All state is a pure function of
+/// the observed sample sequence, so a seeded campaign replays the
+/// identical decision log on any worker count.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    cfg: AnytimeConfig,
+    predictor: LatencyPredictor,
+    level: usize,
+    last_switch: Option<u64>,
+    switches: u64,
+    last_pred_det: f64,
+    last_pred_e2e: f64,
+    events: Vec<GovernorEvent>,
+}
+
+impl Governor {
+    /// Creates a governor. An empty ladder is replaced by the default
+    /// ladder so the cost model is always defined.
+    pub fn new(mut cfg: AnytimeConfig) -> Self {
+        if cfg.ladder.is_empty() {
+            cfg.ladder = crate::knobs::default_ladder();
+        }
+        let predictor = LatencyPredictor::new(cfg.ewma_alpha, cfg.horizon_frames);
+        Self {
+            cfg,
+            predictor,
+            level: 0,
+            last_switch: None,
+            switches: 0,
+            last_pred_det: 0.0,
+            last_pred_e2e: 0.0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the governor is active.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The governor's configuration.
+    pub fn config(&self) -> &AnytimeConfig {
+        &self.cfg
+    }
+
+    /// Index of the active rung (0 = best quality).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The active rung.
+    pub fn current(&self) -> &QualityLevel {
+        &self.cfg.ladder[self.level]
+    }
+
+    /// The knobs the pipeline should run with this frame, or `None`
+    /// when the governor is disabled (the pipeline keeps its built-in
+    /// configuration untouched — the bit-identity guarantee).
+    pub fn knobs(&self) -> Option<QualityKnobs> {
+        self.cfg.enabled.then(|| self.current().knobs)
+    }
+
+    /// Knob switches performed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The decision log, in frame order.
+    pub fn events(&self) -> &[GovernorEvent] {
+        &self.events
+    }
+
+    /// Forecast end-to-end latency at the active rung from the most
+    /// recent [`Governor::decide`] (ms, virtual).
+    pub fn last_forecast_e2e(&self) -> f64 {
+        self.last_pred_e2e
+    }
+
+    /// Nominal cost of `stage` at the active rung (ms) — what the
+    /// supervisor charges multiplicative latency faults against.
+    /// Defined even when disabled (rung 0 factors).
+    pub fn nominal_stage_ms(&self, stage: usize) -> f64 {
+        self.cfg.nominal.stage_ms(stage) * self.current().factor(stage)
+    }
+
+    /// Nominal end-to-end cost at the active rung (ms).
+    pub fn nominal_e2e_ms(&self) -> f64 {
+        self.cfg.nominal.e2e_ms(self.current())
+    }
+
+    /// Forecast detection extra and summed end-to-end extras at `level`
+    /// (ms). Extras scale with the rung's cost factors, exactly as the
+    /// supervisor charges multiplicative latency faults.
+    fn forecast_at(&self, fc: &[f64; STAGES], level: usize) -> (f64, f64) {
+        let lvl = &self.cfg.ladder[level];
+        let det = fc[STAGE_DET] * lvl.det_factor;
+        let e2e = (0..STAGES).map(|s| fc[s] * lvl.factor(s)).sum();
+        (det, e2e)
+    }
+
+    /// Runs the frame's switching decision against the watchdog budget
+    /// and the end-to-end deadline. Call before the pipeline runs.
+    pub fn decide(&mut self, frame: u64, stage_budget_ms: f64, deadline_ms: f64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let fc = self.predictor.forecast();
+        let (det_now, e2e_now) = self.forecast_at(&fc, self.level);
+        self.last_pred_det = det_now;
+        self.last_pred_e2e = self.nominal_e2e_ms() + e2e_now;
+        if self.cfg.ladder.len() < 2 {
+            return; // pinned rung: nothing to switch
+        }
+        if let Some(last) = self.last_switch {
+            if frame.saturating_sub(last) < u64::from(self.cfg.dwell_frames) {
+                return;
+            }
+        }
+        // A rung "fits" a band when the forecast *extras* stay under
+        // the given fraction of the stage budget (the watchdog clamps
+        // on extras) and of the rung's end-to-end slack (deadline minus
+        // its nominal cost — a miss is nominal + extras > deadline).
+        let fits = |gov: &Self, level: usize, fraction: f64| {
+            let (det, e2e) = gov.forecast_at(&fc, level);
+            let slack =
+                (deadline_ms - gov.cfg.nominal.e2e_ms(&gov.cfg.ladder[level])).max(0.0);
+            det <= fraction * stage_budget_ms && e2e <= fraction * slack
+        };
+        let len = self.cfg.ladder.len();
+        let target = if !fits(self, self.level, self.cfg.enter_fraction) {
+            // Degrade to the best rung whose forecast clears the exit
+            // band; bottom out on the last rung when nothing does.
+            (self.level + 1..len)
+                .find(|&l| fits(self, l, self.cfg.exit_fraction))
+                .unwrap_or(len - 1)
+        } else if self.level > 0 && fits(self, self.level - 1, self.cfg.exit_fraction) {
+            // Upgrade one rung at a time, only when the better rung
+            // clears the stricter exit band (hysteresis).
+            self.level - 1
+        } else {
+            self.level
+        };
+        if target != self.level {
+            self.switch(frame, target);
+        }
+    }
+
+    /// Switches rungs, logging the event and the knob-change instants.
+    fn switch(&mut self, frame: u64, target: usize) {
+        let from = self.level;
+        let degrade = target > from;
+        adsim_trace::instant(if degrade { "anytime.degrade" } else { "anytime.upgrade" });
+        let a = self.cfg.ladder[from].knobs;
+        let b = self.cfg.ladder[target].knobs;
+        if a.det_scale != b.det_scale {
+            adsim_trace::instant("anytime.knob.resolution");
+        }
+        if a.det_variant != b.det_variant {
+            adsim_trace::instant("anytime.knob.variant");
+        }
+        if a.tracker_capacity != b.tracker_capacity {
+            adsim_trace::instant("anytime.knob.tracker-pool");
+        }
+        self.events.push(GovernorEvent {
+            frame,
+            from: self.cfg.ladder[from].name,
+            to: self.cfg.ladder[target].name,
+            degrade,
+            predicted_det_ms: self.last_pred_det,
+            predicted_e2e_ms: self.last_pred_e2e,
+        });
+        self.level = target;
+        self.last_switch = Some(frame);
+        self.switches += 1;
+    }
+
+    /// Feeds the frame's observed per-stage virtual extras (ms, as
+    /// charged at the *active* rung) into the predictor. The governor
+    /// normalizes them to full quality, so predictor state describes
+    /// the underlying load independent of the knob setting.
+    pub fn observe(&mut self, extras_ms: [f64; STAGES]) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let lvl = &self.cfg.ladder[self.level];
+        let normalized = std::array::from_fn(|s| extras_ms[s] / lvl.factor(s).max(1e-9));
+        self.predictor.observe(normalized);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::{default_ladder, ModelVariant};
+
+    const BUDGET: f64 = 50.0;
+    const DEADLINE: f64 = 100.0;
+
+    fn step(gov: &mut Governor, frame: u64, det_extra: f64) {
+        gov.decide(frame, BUDGET, DEADLINE);
+        let f = gov.current().det_factor;
+        // The observed extra scales with the active rung, exactly as
+        // the supervisor charges multiplicative faults.
+        gov.observe([det_extra * f, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn disabled_governor_is_inert() {
+        let mut gov = Governor::new(AnytimeConfig::off());
+        for frame in 0..100 {
+            step(&mut gov, frame, 100.0);
+        }
+        assert_eq!(gov.level(), 0);
+        assert!(gov.knobs().is_none());
+        assert!(gov.events().is_empty());
+        assert_eq!(gov.switches(), 0);
+    }
+
+    #[test]
+    fn ramp_degrades_before_the_budget_is_crossed() {
+        let mut gov = Governor::new(AnytimeConfig::on());
+        let mut acted_at_extra = None;
+        for frame in 0..60 {
+            let extra = 2.0 * frame as f64; // slow drift on DET
+            step(&mut gov, frame, extra);
+            if gov.level() > 0 && acted_at_extra.is_none() {
+                acted_at_extra = Some(extra);
+            }
+        }
+        let at = acted_at_extra.expect("governor must act under a sustained ramp");
+        assert!(at < BUDGET, "acted at extra {at:.1} ms, after the budget was already blown");
+    }
+
+    #[test]
+    fn alternating_load_at_the_threshold_respects_the_dwell_window() {
+        let cfg = AnytimeConfig::on();
+        let dwell = cfg.dwell_frames as u64;
+        let enter = cfg.enter_fraction;
+        let mut gov = Governor::new(cfg);
+        // Alternate the DET load exactly around the enter threshold.
+        for frame in 0..200u64 {
+            let extra = if frame % 2 == 0 { enter * BUDGET * 1.05 } else { 0.0 };
+            step(&mut gov, frame, extra);
+        }
+        // No dwell window may contain more than one switch.
+        let ev = gov.events();
+        for pair in ev.windows(2) {
+            assert!(
+                pair[1].frame - pair[0].frame >= dwell,
+                "switches at {} and {} violate the {dwell}-frame dwell",
+                pair[0].frame,
+                pair[1].frame
+            );
+        }
+        assert!(gov.switches() <= 200 / dwell + 1);
+    }
+
+    #[test]
+    fn recovery_upgrades_back_to_full_quality() {
+        let mut gov = Governor::new(AnytimeConfig::on());
+        for frame in 0..60 {
+            step(&mut gov, frame, 60.0); // sustained overload
+        }
+        assert!(gov.level() > 0, "overload must degrade");
+        for frame in 60..200 {
+            step(&mut gov, frame, 0.0); // load clears
+        }
+        assert_eq!(gov.level(), 0, "governor must upgrade back after recovery");
+        let last = gov.events().last().unwrap();
+        assert!(!last.degrade);
+    }
+
+    #[test]
+    fn deep_overload_bottoms_out_on_the_last_rung() {
+        let mut gov = Governor::new(AnytimeConfig::on());
+        for frame in 0..100 {
+            step(&mut gov, frame, 500.0);
+        }
+        assert_eq!(gov.level(), gov.config().ladder.len() - 1);
+        assert_eq!(gov.current().knobs.det_variant, ModelVariant::Reduced);
+    }
+
+    #[test]
+    fn pinned_ladder_never_switches() {
+        let mut gov = Governor::new(AnytimeConfig::pinned(1));
+        for frame in 0..100 {
+            step(&mut gov, frame, if frame % 3 == 0 { 300.0 } else { 0.0 });
+        }
+        assert_eq!(gov.level(), 0);
+        assert!(gov.events().is_empty());
+        assert_eq!(gov.current().name, "reduced");
+        assert!(gov.knobs().is_some(), "pinned rung still applies its knobs");
+    }
+
+    #[test]
+    fn decision_log_is_reproducible() {
+        let run = || {
+            let mut gov = Governor::new(AnytimeConfig::on());
+            for frame in 0..150u64 {
+                let extra = ((frame * 7919) % 83) as f64;
+                step(&mut gov, frame, extra);
+            }
+            gov.events().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn e2e_pressure_alone_degrades() {
+        // Load on LOC (no knob) pushes the e2e forecast over the
+        // deadline; the governor sheds DET/TRA cost to compensate.
+        let mut gov = Governor::new(AnytimeConfig::on());
+        for frame in 0..60 {
+            gov.decide(frame, BUDGET, DEADLINE);
+            gov.observe([0.0, 0.0, 30.0, 0.0, 0.0]);
+        }
+        assert!(gov.level() > 0, "e2e forecast must drive degradation too");
+    }
+
+    #[test]
+    fn events_render_for_the_log() {
+        let mut gov = Governor::new(AnytimeConfig::on());
+        for frame in 0..60 {
+            step(&mut gov, frame, 2.5 * frame as f64);
+        }
+        assert!(!gov.events().is_empty());
+        for e in gov.events() {
+            assert!(e.to_string().starts_with("frame "), "{e}");
+        }
+    }
+
+    #[test]
+    fn empty_ladder_falls_back_to_default() {
+        let cfg = AnytimeConfig { ladder: Vec::new(), ..AnytimeConfig::on() };
+        let gov = Governor::new(cfg);
+        assert_eq!(gov.config().ladder.len(), default_ladder().len());
+    }
+}

@@ -1,0 +1,268 @@
+//! Quality knobs, the degradation ladder, and governor tuning.
+
+use crate::predictor::{STAGES, STAGE_DET, STAGE_FUS, STAGE_LOC, STAGE_MOT, STAGE_TRA};
+
+/// Which detection model family the detector should run. The concrete
+/// mapping (which network a variant names) lives in the pipeline layer;
+/// the governor only promises that [`ModelVariant::Full`] is the richer
+/// and costlier of the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelVariant {
+    /// The full-quality detection model (`yolo_v2`-style trunk).
+    Full,
+    /// The reduced model (`yolo_tiny`) — cheaper, less capable.
+    Reduced,
+}
+
+impl std::fmt::Display for ModelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ModelVariant::Full => "full",
+            ModelVariant::Reduced => "reduced",
+        })
+    }
+}
+
+/// One runtime quality setting: everything the pipeline can switch
+/// mid-run without reallocating weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityKnobs {
+    /// Detector input-resolution scale in `(0, 1]` — the paper's
+    /// Fig. 13 axis. `1.0` is native resolution.
+    pub det_scale: f32,
+    /// Detection model variant.
+    pub det_variant: ModelVariant,
+    /// Tracker-pool capacity (simultaneous tracks).
+    pub tracker_capacity: usize,
+}
+
+/// One rung of the degradation ladder: a knob setting plus the
+/// deterministic cost factors the governor predicts with. Factors are
+/// fractions of the full-quality nominal stage cost (detection FLOPs
+/// scale with `det_scale²` and the model variant; tracking scales with
+/// pool capacity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityLevel {
+    /// Human-readable rung name (stable; appears in logs and benches).
+    pub name: &'static str,
+    /// The knob setting this rung applies.
+    pub knobs: QualityKnobs,
+    /// Detection cost as a fraction of nominal full quality.
+    pub det_factor: f64,
+    /// Tracking cost as a fraction of nominal full quality.
+    pub tra_factor: f64,
+}
+
+impl QualityLevel {
+    /// The cost factor this rung applies to `stage` (1.0 for stages
+    /// without a knob).
+    pub fn factor(&self, stage: usize) -> f64 {
+        match stage {
+            STAGE_DET => self.det_factor,
+            STAGE_TRA => self.tra_factor,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Deterministic nominal per-stage costs (ms) at full quality — the
+/// governor's virtual-clock cost model. These stand in for measured
+/// wall time so that every decision is a pure function of the fault
+/// schedule, preserving fleet byte-identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NominalCosts {
+    /// Detection (DET).
+    pub detection_ms: f64,
+    /// Tracking (TRA).
+    pub tracking_ms: f64,
+    /// Localization (LOC).
+    pub localization_ms: f64,
+    /// Fusion.
+    pub fusion_ms: f64,
+    /// Motion planning.
+    pub motion_ms: f64,
+}
+
+impl NominalCosts {
+    /// The nominal cost of `stage` at full quality.
+    pub fn stage_ms(&self, stage: usize) -> f64 {
+        match stage {
+            STAGE_DET => self.detection_ms,
+            STAGE_TRA => self.tracking_ms,
+            STAGE_LOC => self.localization_ms,
+            STAGE_FUS => self.fusion_ms,
+            STAGE_MOT => self.motion_ms,
+            _ => 0.0,
+        }
+    }
+
+    /// Nominal end-to-end cost at the given quality level.
+    pub fn e2e_ms(&self, level: &QualityLevel) -> f64 {
+        (0..STAGES).map(|s| self.stage_ms(s) * level.factor(s)).sum()
+    }
+}
+
+impl Default for NominalCosts {
+    /// DET-dominated, end-to-end 80 ms at full quality — 20 ms of
+    /// slack under the paper's 100 ms deadline, matching the shape of
+    /// its Fig. 6 latency breakdown.
+    fn default() -> Self {
+        Self {
+            detection_ms: 40.0,
+            tracking_ms: 15.0,
+            localization_ms: 20.0,
+            fusion_ms: 2.0,
+            motion_ms: 3.0,
+        }
+    }
+}
+
+/// The default three-rung ladder, full quality first.
+///
+/// Detection factors follow `det_scale²` (conv FLOPs are linear in
+/// pixels) times a 0.6 variant discount for the reduced model;
+/// tracking factors follow the capacity ratio.
+pub fn default_ladder() -> Vec<QualityLevel> {
+    vec![
+        QualityLevel {
+            name: "full",
+            knobs: QualityKnobs {
+                det_scale: 1.0,
+                det_variant: ModelVariant::Full,
+                tracker_capacity: 32,
+            },
+            det_factor: 1.0,
+            tra_factor: 1.0,
+        },
+        QualityLevel {
+            name: "reduced",
+            knobs: QualityKnobs {
+                det_scale: 0.75,
+                det_variant: ModelVariant::Full,
+                tracker_capacity: 16,
+            },
+            det_factor: 0.5625,
+            tra_factor: 0.5,
+        },
+        QualityLevel {
+            name: "minimum",
+            knobs: QualityKnobs {
+                det_scale: 0.5,
+                det_variant: ModelVariant::Reduced,
+                tracker_capacity: 8,
+            },
+            det_factor: 0.15,
+            tra_factor: 0.25,
+        },
+    ]
+}
+
+/// Governor tuning. [`AnytimeConfig::off`] (the [`Default`]) disables
+/// the governor entirely: no prediction, no knob changes, and the
+/// supervisor's behavior is bit-identical to a build without this
+/// crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeConfig {
+    /// Master switch. When false the governor is inert.
+    pub enabled: bool,
+    /// The degradation ladder, best quality first. Must be non-empty;
+    /// a single-rung ladder pins that quality statically.
+    pub ladder: Vec<QualityLevel>,
+    /// Nominal full-quality stage costs (ms).
+    pub nominal: NominalCosts,
+    /// Degrade when the forecast exceeds this fraction of the budget /
+    /// deadline.
+    pub enter_fraction: f64,
+    /// Upgrade only when the forecast at the better rung stays under
+    /// this (stricter) fraction — the hysteresis band.
+    pub exit_fraction: f64,
+    /// Minimum frames between knob switches (dwell window).
+    pub dwell_frames: u32,
+    /// EWMA smoothing factor in `(0, 1]` for the predictor level and
+    /// trend.
+    pub ewma_alpha: f64,
+    /// Forecast horizon in frames: the trend is extrapolated this far
+    /// ahead, so ramps are caught before they cross the budget.
+    pub horizon_frames: f64,
+}
+
+impl AnytimeConfig {
+    /// Governor disabled (the default).
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            ladder: default_ladder(),
+            nominal: NominalCosts::default(),
+            enter_fraction: 0.85,
+            exit_fraction: 0.60,
+            dwell_frames: 5,
+            ewma_alpha: 0.35,
+            horizon_frames: 3.0,
+        }
+    }
+
+    /// Governor enabled with the default ladder and thresholds.
+    pub fn on() -> Self {
+        Self { enabled: true, ..Self::off() }
+    }
+
+    /// Governor pinned to a single rung of the default ladder — no
+    /// switching can ever occur, so the pipeline runs statically at
+    /// that quality. Used by the frontier bench for its per-rung
+    /// reference points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range for the default ladder.
+    pub fn pinned(level: usize) -> Self {
+        let ladder = default_ladder();
+        assert!(level < ladder.len(), "pinned level {level} out of range");
+        Self { enabled: true, ladder: vec![ladder[level]], ..Self::off() }
+    }
+}
+
+impl Default for AnytimeConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off_and_ladder_descends() {
+        let cfg = AnytimeConfig::default();
+        assert!(!cfg.enabled);
+        assert!(cfg.ladder.len() >= 2);
+        for pair in cfg.ladder.windows(2) {
+            assert!(pair[1].det_factor < pair[0].det_factor, "ladder must descend in cost");
+            assert!(pair[1].knobs.tracker_capacity <= pair[0].knobs.tracker_capacity);
+        }
+    }
+
+    #[test]
+    fn nominal_e2e_leaves_slack_under_the_deadline() {
+        let cfg = AnytimeConfig::off();
+        let full = cfg.nominal.e2e_ms(&cfg.ladder[0]);
+        assert!(full < 100.0, "full-quality nominal {full} must fit the 100 ms deadline");
+        let min = cfg.nominal.e2e_ms(cfg.ladder.last().unwrap());
+        assert!(min < 0.5 * full, "minimum rung must at least halve the nominal cost");
+    }
+
+    #[test]
+    fn pinned_ladder_has_one_rung() {
+        let cfg = AnytimeConfig::pinned(2);
+        assert_eq!(cfg.ladder.len(), 1);
+        assert_eq!(cfg.ladder[0].name, "minimum");
+    }
+
+    #[test]
+    fn factors_cover_all_stages() {
+        let lvl = &default_ladder()[1];
+        assert_eq!(lvl.factor(STAGE_LOC), 1.0);
+        assert_eq!(lvl.factor(STAGE_DET), lvl.det_factor);
+        assert_eq!(lvl.factor(STAGE_TRA), lvl.tra_factor);
+    }
+}

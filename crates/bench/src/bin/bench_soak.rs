@@ -34,7 +34,7 @@
 //! dozen frames per run. `--quick` keeps the full mix grid but trims
 //! seeds and frames.
 
-use adsim_core::GuardConfig;
+use adsim_core::{GuardConfig, SupervisorConfig};
 use adsim_faults::FaultConfig;
 use adsim_fleet::{run_cell, CellOutcome, CellSpec, FleetAssets, FleetConfig, FleetEngine};
 use adsim_stats::Quantile;
@@ -282,8 +282,10 @@ fn main() {
     let clean = all_mixes.iter().find(|m| m.name == "clean").expect("clean mix exists");
     let overhead_frames = if smoke || quick { frames } else { 40 };
     let pipeline = &engine.config().pipeline;
-    let mut sup_off = assets.supervisor(SEED, clean.cfg.clone(), GuardConfig::off(), pipeline);
-    let mut sup_on = assets.supervisor(SEED, clean.cfg.clone(), GuardConfig::default(), pipeline);
+    let guards_off = SupervisorConfig { guard: GuardConfig::off(), ..SupervisorConfig::default() };
+    let mut sup_off = assets.supervisor(SEED, clean.cfg.clone(), guards_off, pipeline);
+    let mut sup_on =
+        assets.supervisor(SEED, clean.cfg.clone(), SupervisorConfig::default(), pipeline);
     let mut e2e_off = adsim_stats::LatencyRecorder::with_capacity(overhead_frames);
     let mut e2e_on = adsim_stats::LatencyRecorder::with_capacity(overhead_frames);
     for (i, frame) in assets.scenario().stream(res).take(overhead_frames).enumerate() {

@@ -52,3 +52,9 @@ pub use supervisor::{
 // Guard types surface in the supervisor API (config, causes, logs);
 // re-export them so `adsim_core` alone is enough to drive it.
 pub use adsim_guard::{GuardConfig, GuardEvent, GuardStats, Monitor, PipelineGuard, Violation};
+// Anytime-governor types surface the same way (SupervisorConfig holds
+// an AnytimeConfig; ProcessControl carries QualityKnobs).
+pub use adsim_anytime::{
+    default_ladder, AnytimeConfig, Governor, GovernorEvent, ModelVariant, NominalCosts,
+    QualityKnobs, QualityLevel,
+};

@@ -1,8 +1,9 @@
 use crate::modeled::FrameLatency;
+use adsim_anytime::{ModelVariant, QualityKnobs};
 use adsim_dnn::detection::Detection;
 use adsim_perception::{
-    BlobDetector, Detector, GoturnTracker, TemplateTracker, TrackedObject, Tracker, TrackerPool,
-    TrackerPoolConfig, YoloDetector,
+    BlobDetector, Detector, DetectorVariant, GoturnTracker, TemplateTracker, TrackedObject,
+    Tracker, TrackerPool, TrackerPoolConfig, YoloDetector,
 };
 use adsim_planning::{Environment, FusedFrame, FusionEngine, MotionPlan, MotionPlanner};
 use adsim_runtime::Runtime;
@@ -103,6 +104,11 @@ pub struct ProcessControl {
     /// Normalized offset added to every reported track box (injected
     /// tracker divergence).
     pub track_shift: Option<(f32, f32)>,
+    /// Quality operating point commanded by the anytime governor:
+    /// detector input scale + model variant and tracker-pool capacity.
+    /// `None` leaves every knob untouched — the bit-identity hook for
+    /// governor-off runs.
+    pub quality: Option<QualityKnobs>,
 }
 
 /// Output of processing one frame natively.
@@ -221,6 +227,21 @@ impl NativePipeline {
         ctrl: &ProcessControl,
     ) -> NativeFrameResult {
         let _frame_sp = adsim_trace::span("pipeline.frame");
+        // Anytime quality knobs are applied before any stage runs, so
+        // the whole frame executes at one operating point. Both knob
+        // setters are O(1) no-ops when already at the commanded value
+        // (the model-variant switch clones from a shared cache — never
+        // a weight copy).
+        if let Some(k) = ctrl.quality {
+            let variant = match k.det_variant {
+                ModelVariant::Full => DetectorVariant::Full,
+                ModelVariant::Reduced => DetectorVariant::Reduced,
+            };
+            self.detector.set_quality(k.det_scale, variant);
+            if self.pool.capacity() != k.tracker_capacity {
+                self.pool.set_capacity(k.tracker_capacity);
+            }
+        }
         // Steps 1a/1b: detection and localization in parallel (serial
         // in order on a single-worker runtime). When a stage is
         // skipped there is no fork to run concurrently.

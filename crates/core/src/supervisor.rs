@@ -16,7 +16,13 @@
 //! * **planner speed reduction / safe stop** when confidence collapses
 //!   (sustained lock loss or sensor blackout) — commanded speed is
 //!   capped, then the plan is replaced by an emergency stop until the
-//!   pipeline has been healthy for a configured number of frames.
+//!   pipeline has been healthy for a configured number of frames;
+//! * **anytime quality reduction** when the predictive deadline
+//!   governor (`adsim-anytime`) forecasts that the current quality
+//!   level will miss the frame budget — detector resolution, model
+//!   variant and tracker-pool capacity are stepped down a calibrated
+//!   ladder *before* the reactive watchdog would have to abandon the
+//!   stage, and stepped back up when the forecast clears.
 //!
 //! Every transition is recorded in a typed [`DegradationEvent`] log.
 //! Decisions gate **only** on injected (virtual) fault state and on
@@ -27,6 +33,10 @@
 
 use crate::modeled::{FrameLatency, ModeledPipeline, PipelineStats};
 use crate::native::{NativeFrameResult, NativePipeline, ProcessControl};
+use adsim_anytime::{
+    AnytimeConfig, Governor, GovernorEvent, QualityKnobs, STAGE_DET, STAGE_FUS, STAGE_LOC,
+    STAGE_MOT, STAGE_TRA,
+};
 use adsim_faults::{blackout_frame, corrupt_pixels, FaultInjector, FaultStage, FrameFaults};
 use adsim_guard::{digest_image, GuardConfig, GuardEvent, GuardStats, Monitor, PipelineGuard};
 use adsim_planning::MotionPlan;
@@ -49,6 +59,9 @@ pub enum DegradedMode {
     SpeedReduced,
     /// Confidence collapsed; the plan is an emergency stop.
     SafeStop,
+    /// The anytime governor is running perception below full quality
+    /// to protect the frame deadline.
+    QualityReduced,
 }
 
 impl std::fmt::Display for DegradedMode {
@@ -58,6 +71,7 @@ impl std::fmt::Display for DegradedMode {
             DegradedMode::DeadReckoning => "dead-reckoning",
             DegradedMode::SpeedReduced => "speed-reduced",
             DegradedMode::SafeStop => "safe-stop",
+            DegradedMode::QualityReduced => "quality-reduced",
         };
         f.write_str(s)
     }
@@ -97,6 +111,13 @@ pub enum DegradationCause {
         /// The monitor that tripped.
         monitor: Monitor,
     },
+    /// The anytime governor forecast a deadline miss at the current
+    /// quality level and degraded pre-emptively.
+    PredictedMiss {
+        /// Forecast end-to-end latency that triggered the step-down
+        /// (ms, at the quality level in force when it was made).
+        predicted_ms: f64,
+    },
 }
 
 impl std::fmt::Display for DegradationCause {
@@ -117,6 +138,9 @@ impl std::fmt::Display for DegradationCause {
             ),
             DegradationCause::MonitorTripped { monitor } => {
                 write!(f, "safety monitor tripped ({monitor})")
+            }
+            DegradationCause::PredictedMiss { predicted_ms } => {
+                write!(f, "predicted deadline miss ({predicted_ms:.1} ms forecast)")
             }
         }
     }
@@ -178,7 +202,7 @@ impl std::fmt::Display for DegradationEvent {
 
 /// Supervisor tuning. The defaults fit the paper's 100 ms / 10 FPS
 /// operating point.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SupervisorConfig {
     /// Per-stage watchdog budget on *virtual* (injected) latency (ms);
     /// a stage exceeding it is abandoned for the frame.
@@ -200,6 +224,10 @@ pub struct SupervisorConfig {
     /// Safety-monitor and data-plane configuration (native supervisor
     /// only; the modeled mirror has no stage payloads to check).
     pub guard: GuardConfig,
+    /// Predictive deadline governor. Disabled by default — with the
+    /// governor off the supervisor is byte-identical to the pre-anytime
+    /// policy (no knob is ever touched, no event is ever emitted).
+    pub anytime: AnytimeConfig,
 }
 
 impl Default for SupervisorConfig {
@@ -214,6 +242,7 @@ impl Default for SupervisorConfig {
             degraded_speed_factor: 0.5,
             deadline_ms: 100.0,
             guard: GuardConfig::default(),
+            anytime: AnytimeConfig::off(),
         }
     }
 }
@@ -240,6 +269,15 @@ pub struct RecoveryStats {
     pub retries: u64,
     /// Frames whose reported latency missed the deadline.
     pub deadline_misses: u64,
+    /// Frames whose *virtual* end-to-end cost (nominal stage costs at
+    /// the active quality level plus injected latency, before the
+    /// watchdog clamp) exceeded the deadline — the deterministic miss
+    /// count the anytime governor is judged on.
+    pub virtual_deadline_misses: u64,
+    /// Quality-level switches the anytime governor performed.
+    pub quality_switches: u64,
+    /// Frames spent below full quality.
+    pub quality_reduced_frames: u64,
     /// Whether a degradation episode was still open at the end.
     pub degraded_at_end: bool,
 }
@@ -271,6 +309,17 @@ impl RecoveryStats {
             self.deadline_misses as f64 / self.frames as f64
         }
     }
+
+    /// Fraction of frames whose virtual end-to-end cost missed the
+    /// deadline (deterministic; identical across runtimes and worker
+    /// counts for a given seed).
+    pub fn virtual_miss_rate(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.virtual_deadline_misses as f64 / self.frames as f64
+        }
+    }
 }
 
 /// Which degraded modes are active after a frame.
@@ -284,12 +333,18 @@ pub struct ActiveModes {
     pub speed_reduced: bool,
     /// Emergency stop commanded.
     pub safe_stop: bool,
+    /// Perception running below full quality (anytime governor).
+    pub quality_reduced: bool,
 }
 
 impl ActiveModes {
     /// True when any mode is active.
     pub fn any(&self) -> bool {
-        self.tracker_only || self.dead_reckoning || self.speed_reduced || self.safe_stop
+        self.tracker_only
+            || self.dead_reckoning
+            || self.speed_reduced
+            || self.safe_stop
+            || self.quality_reduced
     }
 }
 
@@ -299,10 +354,17 @@ impl ActiveModes {
 struct StagePlan {
     skip_detection: bool,
     skip_localization: bool,
-    /// Virtual latency added per stage (spikes + stall retries).
+    /// Virtual latency added per stage (spikes + stall retries +
+    /// latency drift), after the watchdog clamp.
     extra: FrameLatency,
     /// Why detection was skipped, when it was.
     detection_cause: Option<DegradationCause>,
+    /// Quality knobs the governor commands for this frame (`None`
+    /// when the governor is disabled — no knob is touched).
+    quality: Option<QualityKnobs>,
+    /// Virtual end-to-end cost of the frame: nominal stage costs at
+    /// the active quality level plus pre-clamp injected latency.
+    virtual_e2e_ms: f64,
 }
 
 /// What the supervisor does to the plan after the frame.
@@ -358,10 +420,12 @@ impl MonitorFlags {
 #[derive(Debug)]
 struct SupervisorCore {
     cfg: SupervisorConfig,
+    governor: Governor,
     tracker_only_since: Option<u64>,
     dead_reck_since: Option<u64>,
     speed_red_since: Option<u64>,
     safe_stop_since: Option<u64>,
+    quality_since: Option<u64>,
     consecutive_lost: u32,
     consecutive_blackout: u32,
     healthy_streak: u32,
@@ -388,6 +452,19 @@ fn transition_instant(mode: DegradedMode, entered: bool) -> &'static str {
         (DegradedMode::SpeedReduced, false) => "degrade.exit.speed-reduced",
         (DegradedMode::SafeStop, true) => "degrade.enter.safe-stop",
         (DegradedMode::SafeStop, false) => "degrade.exit.safe-stop",
+        (DegradedMode::QualityReduced, true) => "degrade.enter.quality-reduced",
+        (DegradedMode::QualityReduced, false) => "degrade.exit.quality-reduced",
+    }
+}
+
+/// Maps a fault stage onto the anytime predictor's stage index.
+fn stage_index(stage: FaultStage) -> usize {
+    match stage {
+        FaultStage::Detection => STAGE_DET,
+        FaultStage::Tracking => STAGE_TRA,
+        FaultStage::Localization => STAGE_LOC,
+        FaultStage::Fusion => STAGE_FUS,
+        FaultStage::MotionPlanning => STAGE_MOT,
     }
 }
 
@@ -424,12 +501,15 @@ fn toggle_mode(
 
 impl SupervisorCore {
     fn new(cfg: SupervisorConfig) -> Self {
+        let governor = Governor::new(cfg.anytime.clone());
         Self {
             cfg,
+            governor,
             tracker_only_since: None,
             dead_reck_since: None,
             speed_red_since: None,
             safe_stop_since: None,
+            quality_since: None,
             consecutive_lost: 0,
             consecutive_blackout: 0,
             healthy_streak: 0,
@@ -442,11 +522,18 @@ impl SupervisorCore {
         }
     }
 
-    /// Plans stage dispositions from the frame's fault schedule:
-    /// retries stalled workers (bounded, exponential backoff), then
-    /// applies the per-stage watchdog to the virtual latencies.
+    /// Plans stage dispositions from the frame's fault schedule: runs
+    /// the anytime governor's quality decision, retries stalled
+    /// workers (bounded, exponential backoff), charges latency drift
+    /// against the active quality level's nominal stage costs, feeds
+    /// the pre-clamp virtual latencies to the governor's predictor,
+    /// then applies the per-stage watchdog.
     fn plan(&mut self, faults: &FrameFaults) -> StagePlan {
         let frame = faults.frame;
+        // The governor decides *first*, on last frame's forecast, so
+        // a pre-emptive step-down shrinks this frame's drift charge —
+        // that is the whole mechanism by which it averts the miss.
+        self.governor.decide(frame, self.cfg.stage_budget_ms, self.cfg.deadline_ms);
         let mut extra = FrameLatency {
             detection: 0.0,
             tracking: 0.0,
@@ -500,6 +587,33 @@ impl SupervisorCore {
                     Some(DegradationCause::DetectionStalled { attempts: stall.attempts });
             }
         }
+        // Latency drift is a *multiplicative* load on a stage, so its
+        // virtual cost scales with what the stage nominally costs at
+        // the quality level in force — a degraded detector pays a
+        // proportionally smaller drift tax.
+        for &(stage, load) in &faults.drift {
+            let charge = (load - 1.0).max(0.0) * self.governor.nominal_stage_ms(stage_index(stage));
+            match stage {
+                FaultStage::Detection => extra.detection += charge,
+                FaultStage::Tracking => extra.tracking += charge,
+                FaultStage::Localization => extra.localization += charge,
+                FaultStage::Fusion => extra.fusion += charge,
+                FaultStage::MotionPlanning => extra.motion_planning += charge,
+            }
+        }
+        // The predictor sees the same pre-clamp virtual latencies the
+        // watchdog compares against its budget — the governor never
+        // gets information the reactive path lacks, it only uses it
+        // one forecast horizon earlier.
+        let samples = [
+            extra.detection,
+            extra.tracking,
+            extra.localization,
+            extra.fusion,
+            extra.motion_planning,
+        ];
+        let virtual_e2e_ms = self.governor.nominal_e2e_ms() + samples.iter().sum::<f64>();
+        self.governor.observe(samples);
         // Watchdog: a stage whose virtual latency blows the budget is
         // abandoned at the budget mark rather than dragging the frame
         // past the deadline.
@@ -515,6 +629,8 @@ impl SupervisorCore {
             skip_localization: faults.lock_loss,
             extra,
             detection_cause,
+            quality: self.governor.knobs(),
+            virtual_e2e_ms,
         }
     }
 
@@ -654,6 +770,19 @@ impl SupervisorCore {
             safe_cause,
             frame,
         );
+        // Quality reduction is proactive, not a failure: it neither
+        // blocks the healthy streak nor forces a speed cap — but it is
+        // a degraded mode, logged and counted like the others.
+        let want_quality = self.governor.enabled() && self.governor.level() > 0;
+        toggle_mode(
+            &mut self.quality_since,
+            &mut self.events,
+            &mut self.stats,
+            DegradedMode::QualityReduced,
+            want_quality,
+            DegradationCause::PredictedMiss { predicted_ms: self.governor.last_forecast_e2e() },
+            frame,
+        );
 
         let any_active = self.active_modes().any();
         if any_active {
@@ -670,8 +799,14 @@ impl SupervisorCore {
         if self.safe_stop_since.is_some() {
             self.stats.safe_stop_frames += 1;
         }
+        if self.quality_since.is_some() {
+            self.stats.quality_reduced_frames += 1;
+        }
         if reported_e2e_ms > self.cfg.deadline_ms {
             self.stats.deadline_misses += 1;
+        }
+        if plan.virtual_e2e_ms > self.cfg.deadline_ms {
+            self.stats.virtual_deadline_misses += 1;
         }
 
         Verdict {
@@ -688,11 +823,77 @@ impl SupervisorCore {
             dead_reckoning: self.dead_reck_since.is_some(),
             speed_reduced: self.speed_red_since.is_some(),
             safe_stop: self.safe_stop_since.is_some(),
+            quality_reduced: self.quality_since.is_some(),
+        }
+    }
+
+    /// The active quality level's cost multiplier for a stage (1.0
+    /// with the governor disabled).
+    fn quality_factor(&self, stage: usize) -> f64 {
+        if self.governor.enabled() {
+            self.governor.current().factor(stage)
+        } else {
+            1.0
         }
     }
 
     fn stats(&self) -> RecoveryStats {
-        RecoveryStats { degraded_at_end: self.active_modes().any(), ..self.stats }
+        RecoveryStats {
+            degraded_at_end: self.active_modes().any(),
+            quality_switches: self.governor.switches(),
+            ..self.stats
+        }
+    }
+
+    /// Closes the run: every open degraded mode gets its exit event at
+    /// the end-of-run frame — except a safe stop, which is a valid
+    /// terminal state (the vehicle is parked). Idempotent.
+    fn finish(&mut self) {
+        let frame = self.stats.frames;
+        toggle_mode(
+            &mut self.tracker_only_since,
+            &mut self.events,
+            &mut self.stats,
+            DegradedMode::TrackerOnly,
+            false,
+            DegradationCause::AccompanyingDegradation,
+            frame,
+        );
+        toggle_mode(
+            &mut self.dead_reck_since,
+            &mut self.events,
+            &mut self.stats,
+            DegradedMode::DeadReckoning,
+            false,
+            DegradationCause::AccompanyingDegradation,
+            frame,
+        );
+        toggle_mode(
+            &mut self.speed_red_since,
+            &mut self.events,
+            &mut self.stats,
+            DegradedMode::SpeedReduced,
+            false,
+            DegradationCause::AccompanyingDegradation,
+            frame,
+        );
+        toggle_mode(
+            &mut self.quality_since,
+            &mut self.events,
+            &mut self.stats,
+            DegradedMode::QualityReduced,
+            false,
+            DegradationCause::AccompanyingDegradation,
+            frame,
+        );
+        if self.safe_stop_since.is_none() {
+            if let Some(start) = self.episode_start.take() {
+                let len = frame - start;
+                self.stats.episodes += 1;
+                self.stats.recover_frames_total += len;
+                self.stats.max_recover_frames = self.stats.max_recover_frames.max(len);
+            }
+        }
     }
 }
 
@@ -731,11 +932,12 @@ pub struct Supervisor {
 impl Supervisor {
     /// Wraps a pipeline with a fault schedule and supervision policy.
     pub fn new(pipeline: NativePipeline, injector: FaultInjector, cfg: SupervisorConfig) -> Self {
+        let guard = PipelineGuard::new(cfg.guard);
         Self {
             pipeline,
             injector,
             core: SupervisorCore::new(cfg),
-            guard: PipelineGuard::new(cfg.guard),
+            guard,
             last_delivered: None,
         }
     }
@@ -763,6 +965,25 @@ impl Supervisor {
     /// Recovery metrics so far.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.core.stats()
+    }
+
+    /// The anytime governor's quality-switch log, in frame order
+    /// (empty when the governor is disabled).
+    pub fn governor_events(&self) -> &[GovernorEvent] {
+        self.core.governor.events()
+    }
+
+    /// The anytime governor (quality level, forecast, switch count).
+    pub fn governor(&self) -> &Governor {
+        &self.core.governor
+    }
+
+    /// Closes the run: emits exit events for every still-open degraded
+    /// mode (a safe stop is left open as a valid terminal state) and
+    /// settles episode accounting. Call once after the last frame;
+    /// idempotent.
+    pub fn finish(&mut self) {
+        self.core.finish();
     }
 
     /// The safety guard's trip log, in frame order.
@@ -850,6 +1071,7 @@ impl Supervisor {
             skip_localization: plan.skip_localization,
             pose_fallback: self.core.fallback_pose(plan.skip_localization),
             track_shift: faults.tracker_shift,
+            quality: plan.quality,
         };
         let mut out = self.pipeline.process_with(img, delivered_time_s, &ctrl);
 
@@ -927,6 +1149,25 @@ impl ModeledSupervisor {
         self.core.stats()
     }
 
+    /// The anytime governor's quality-switch log, in frame order
+    /// (empty when the governor is disabled).
+    pub fn governor_events(&self) -> &[GovernorEvent] {
+        self.core.governor.events()
+    }
+
+    /// The anytime governor (quality level, forecast, switch count).
+    pub fn governor(&self) -> &Governor {
+        &self.core.governor
+    }
+
+    /// Closes the run: emits exit events for every still-open degraded
+    /// mode (a safe stop is left open as a valid terminal state) and
+    /// settles episode accounting. Call once after the last frame;
+    /// idempotent.
+    pub fn finish(&mut self) {
+        self.core.finish();
+    }
+
     /// Simulates one supervised frame, returning the reported latency.
     ///
     /// Degraded stages cost what their degraded implementations cost:
@@ -938,10 +1179,15 @@ impl ModeledSupervisor {
         let faults = self.injector.next_frame();
         let plan = self.core.plan(&faults);
         let base = self.pipeline.simulate_frame(pixel_ratio);
+        // Quality-reduced stages cost their scaled nominal share; the
+        // factors are exactly 1.0 with the governor off, keeping the
+        // governor-off latency stream bit-identical.
+        let det_factor = self.core.quality_factor(STAGE_DET);
+        let tra_factor = self.core.quality_factor(STAGE_TRA);
         let reported = FrameLatency {
-            detection: if plan.skip_detection { 0.0 } else { base.detection }
+            detection: if plan.skip_detection { 0.0 } else { base.detection * det_factor }
                 + plan.extra.detection,
-            tracking: base.tracking + plan.extra.tracking,
+            tracking: base.tracking * tra_factor + plan.extra.tracking,
             localization: if plan.skip_localization { DEAD_RECKON_MS } else { base.localization }
                 + plan.extra.localization,
             fusion: base.fusion + plan.extra.fusion,
@@ -1097,7 +1343,7 @@ mod tests {
         let mut sup = ModeledSupervisor::new(
             ModeledPipeline::new(PlatformConfig::uniform(Platform::Gpu), 1),
             FaultInjector::new(17, faults),
-            sup_cfg,
+            sup_cfg.clone(),
         );
         let lat = sup.simulate_frame(1.0);
         assert!(lat.end_to_end().is_finite());

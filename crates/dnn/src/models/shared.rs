@@ -31,12 +31,18 @@ use std::sync::{Mutex, OnceLock};
 
 use super::error::ModelError;
 use super::goturn::try_goturn_tiny;
-use super::yolo::try_yolo_tiny;
+use super::yolo::{try_yolo_tiny, try_yolo_v2_tiny};
 use crate::network::Network;
 
 /// One cached network per YOLO grid size (the native pipeline uses a
 /// single size, but tests exercise several).
 static YOLO_CACHE: OnceLock<Mutex<HashMap<usize, Network>>> = OnceLock::new();
+
+/// One cached `yolo-v2-tiny` per grid size, separate from the tiny
+/// cache. The anytime governor's model-variant knob flips a detector
+/// between the two caches, so a switch is a pointer-bump clone of an
+/// already-built network — never a weight copy.
+static YOLO_V2_CACHE: OnceLock<Mutex<HashMap<usize, Network>>> = OnceLock::new();
 
 /// The GOTURN input shape is fixed, so a single slot suffices.
 static GOTURN_CACHE: OnceLock<Network> = OnceLock::new();
@@ -64,6 +70,33 @@ pub fn try_yolo_tiny_shared(grid: usize) -> Result<Network, ModelError> {
         return Ok(net.clone());
     }
     let net = try_yolo_tiny(grid)?;
+    map.insert(grid, net.clone());
+    Ok(net)
+}
+
+/// A clone of the process-wide `yolo-v2-tiny` instance for `grid`,
+/// sharing all weight storage with every other clone for the same
+/// grid. Identical weights to [`super::yolo_v2_tiny`] (same seed).
+///
+/// # Panics
+///
+/// Panics if `grid == 0`.
+pub fn yolo_v2_tiny_shared(grid: usize) -> Network {
+    try_yolo_v2_tiny_shared(grid).unwrap_or_else(|e| panic!("grid must be positive: {e}"))
+}
+
+/// Fallible form of [`yolo_v2_tiny_shared`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::ZeroSize`] when `grid == 0`.
+pub fn try_yolo_v2_tiny_shared(grid: usize) -> Result<Network, ModelError> {
+    let cache = YOLO_V2_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("yolo-v2 cache poisoned");
+    if let Some(net) = map.get(&grid) {
+        return Ok(net.clone());
+    }
+    let net = try_yolo_v2_tiny(grid)?;
     map.insert(grid, net.clone());
     Ok(net)
 }
@@ -101,6 +134,15 @@ mod tests {
         let a = yolo_tiny_shared(2);
         let b = yolo_tiny_shared(4);
         assert!(!a.shares_weights(&b));
+    }
+
+    #[test]
+    fn v2_cache_is_shared_and_disjoint_from_tiny() {
+        let a = yolo_v2_tiny_shared(4);
+        let b = yolo_v2_tiny_shared(4);
+        assert!(a.shares_weights(&b), "same-grid v2 clones share storage");
+        let t = yolo_tiny_shared(4);
+        assert!(!a.shares_weights(&t), "variant caches must not alias");
     }
 
     #[test]

@@ -208,6 +208,62 @@ pub fn try_yolo_tiny(grid: usize) -> Result<Network, ModelError> {
     Ok(net)
 }
 
+/// Reduced-scale YOLOv2-style detector that runs natively: the same
+/// input/output geometry as [`yolo_tiny`] (`[1, 1, 8·grid, 8·grid]` in,
+/// `grid`×`grid` head out) but with a richer trunk — wider stages with
+/// the 1×1 bottleneck convs characteristic of the full
+/// [`yolo_v2_spec`] architecture. Roughly an order of magnitude more
+/// FLOPs than `yolo_tiny` at the same grid: the executable stand-in
+/// for the "full model" end of the anytime quality ladder, with
+/// `yolo_tiny` as the degraded variant.
+///
+/// # Panics
+///
+/// Panics if `grid == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use adsim_dnn::models::{yolo_tiny, yolo_v2_tiny};
+///
+/// let full = yolo_v2_tiny(4);
+/// let tiny = yolo_tiny(4);
+/// assert_eq!(full.input_shape(), tiny.input_shape());
+/// assert_eq!(full.output_shape().unwrap(), tiny.output_shape().unwrap());
+/// let (f, t) = (full.cost().unwrap().total.flops, tiny.cost().unwrap().total.flops);
+/// assert!(f > 5 * t, "v2 trunk must cost several times the tiny trunk");
+/// ```
+pub fn yolo_v2_tiny(grid: usize) -> Network {
+    try_yolo_v2_tiny(grid).unwrap_or_else(|e| panic!("grid must be positive: {e}"))
+}
+
+/// Fallible form of [`yolo_v2_tiny`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::ZeroSize`] when `grid == 0`, or
+/// [`ModelError::Build`] if the layer stack fails shape propagation.
+pub fn try_yolo_v2_tiny(grid: usize) -> Result<Network, ModelError> {
+    if grid == 0 {
+        return Err(ModelError::ZeroSize { model: "yolo-v2-tiny", parameter: "grid" });
+    }
+    let side = 8 * grid;
+    let net = NetworkBuilder::new("yolo-v2-tiny", [1, 1, side, side], 0xDE72)
+        .conv(16, 3, 1, 1, LEAKY)
+        .max_pool(2, 2)
+        .conv(32, 3, 1, 1, LEAKY)
+        .conv(16, 1, 1, 0, LEAKY)
+        .conv(32, 3, 1, 1, LEAKY)
+        .max_pool(2, 2)
+        .conv(64, 3, 1, 1, LEAKY)
+        .conv(32, 1, 1, 0, LEAKY)
+        .conv(64, 3, 1, 1, LEAKY)
+        .max_pool(2, 2)
+        .conv(5 + ObjectClass::COUNT, 1, 1, 0, Activation::None)
+        .build()?;
+    Ok(net)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +343,28 @@ mod tests {
         let a = vgg16_spec(224, 224).cost().unwrap().total.flops as f64;
         let b = vgg16_spec(448, 448).cost().unwrap().total.flops as f64;
         assert!(b / a > 3.5, "ratio {}", b / a);
+    }
+
+    #[test]
+    fn v2_tiny_matches_tiny_geometry_and_decodes() {
+        let net = yolo_v2_tiny(4);
+        assert_eq!(net.input_shape().dims(), &[1, 1, 32, 32]);
+        assert_eq!(net.output_shape().unwrap().dims(), yolo_tiny(4).output_shape().unwrap().dims());
+        let input = Tensor::from_fn([1, 1, 32, 32], |i| ((i[2] ^ i[3]) & 1) as f32);
+        let dets = decode_grid(&net.forward(&input).unwrap(), 0.0);
+        assert_eq!(dets.len(), 16);
+        assert_eq!(
+            try_yolo_v2_tiny(0).unwrap_err(),
+            ModelError::ZeroSize { model: "yolo-v2-tiny", parameter: "grid" }
+        );
+    }
+
+    #[test]
+    fn v2_tiny_weights_differ_from_tiny() {
+        // Different seed and architecture: the variants must not alias.
+        let a = yolo_v2_tiny(2);
+        let b = yolo_tiny(2);
+        assert_ne!(a.params().len(), b.params().len());
     }
 
     #[test]

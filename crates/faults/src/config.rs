@@ -87,6 +87,17 @@ pub struct FaultConfig {
     /// Skew magnitude range (s), inclusive; the sign is drawn per
     /// fault, so skews move timestamps both forward and backward.
     pub timestamp_skew_s: (f64, f64),
+    /// Probability per stage per frame of a sustained latency drift
+    /// starting: the stage's cost ramps up by a fixed fraction each
+    /// frame for the episode duration (thermal throttling / contention
+    /// creep, as opposed to the one-frame [`latency
+    /// spikes`](FaultConfig::latency_spike_rate)).
+    pub drift_rate: f64,
+    /// Drift episode duration range in frames, inclusive.
+    pub drift_frames: (u32, u32),
+    /// Per-frame load growth range, inclusive, as a fraction of the
+    /// stage's nominal cost (0.02 = +2% of nominal per frame).
+    pub drift_per_frame: (f64, f64),
 }
 
 impl FaultConfig {
@@ -110,6 +121,9 @@ impl FaultConfig {
             stuck_frames: (1, 3),
             timestamp_skew_rate: 0.0,
             timestamp_skew_s: (0.02, 0.25),
+            drift_rate: 0.0,
+            drift_frames: (20, 60),
+            drift_per_frame: (0.02, 0.08),
         }
     }
 
@@ -126,6 +140,7 @@ impl FaultConfig {
             stall_rate: 0.08,
             stuck_rate: 0.06,
             timestamp_skew_rate: 0.06,
+            drift_rate: 0.01,
             ..Self::off()
         }
     }
@@ -140,6 +155,7 @@ impl FaultConfig {
             && self.stall_rate == 0.0
             && self.stuck_rate == 0.0
             && self.timestamp_skew_rate == 0.0
+            && self.drift_rate == 0.0
     }
 }
 

@@ -44,6 +44,10 @@ pub struct FrameFaults {
     pub stall: Option<WorkerStall>,
     /// Offset added to the frame's capture timestamp (s).
     pub time_skew_s: Option<f64>,
+    /// Sustained latency drift: per-stage load multipliers (> 1.0)
+    /// for every stage currently inside a drift episode, in pipeline
+    /// order. A stage at load `l` costs `l ×` its nominal this frame.
+    pub drift: Vec<(FaultStage, f64)>,
 }
 
 impl FrameFaults {
@@ -57,11 +61,18 @@ impl FrameFaults {
             && self.tracker_shift.is_none()
             && self.stall.is_none()
             && self.time_skew_s.is_none()
+            && self.drift.is_empty()
     }
 
     /// Total injected latency across all stages (ms), spikes only.
     pub fn spike_ms(&self) -> f64 {
         self.spikes.iter().map(|(_, ms)| ms).sum()
+    }
+
+    /// The drift load multiplier for `stage` (1.0 when the stage is
+    /// not inside a drift episode).
+    pub fn drift_load(&self, stage: FaultStage) -> f64 {
+        self.drift.iter().find(|(s, _)| *s == stage).map_or(1.0, |&(_, l)| l)
     }
 }
 
@@ -125,6 +136,16 @@ pub enum FaultKind {
         /// Offset added to the timestamp (s).
         skew_s: f64,
     },
+    /// A sustained latency drift began on a stage: its cost ramps by
+    /// `per_frame × nominal` each frame for `frames` frames.
+    LatencyDriftStarted {
+        /// Stage whose cost is drifting.
+        stage: FaultStage,
+        /// Episode length in frames.
+        frames: u32,
+        /// Per-frame load growth (fraction of nominal).
+        per_frame: f64,
+    },
 }
 
 impl std::fmt::Display for FaultEvent {
@@ -155,6 +176,13 @@ impl std::fmt::Display for FaultEvent {
             FaultKind::TimestampSkew { skew_s } => {
                 write!(f, "timestamp skew ({skew_s:+.3} s)")
             }
+            FaultKind::LatencyDriftStarted { stage, frames, per_frame } => {
+                write!(
+                    f,
+                    "latency drift on {stage} (+{:.1}%/frame for {frames} frame(s))",
+                    per_frame * 100.0
+                )
+            }
         }
     }
 }
@@ -184,12 +212,14 @@ pub enum FaultClass {
     WorkerStall,
     /// Capture-timestamp skew.
     TimestampSkew,
+    /// Sustained per-stage latency drift.
+    LatencyDrift,
 }
 
 impl FaultClass {
     /// The canonical draw order (matches [`FaultInjector::next_frame`]).
     /// Any permutation of this slice produces the identical schedule.
-    pub const ALL: [FaultClass; 8] = [
+    pub const ALL: [FaultClass; 9] = [
         FaultClass::Blackout,
         FaultClass::StuckFrame,
         FaultClass::PixelCorruption,
@@ -198,6 +228,7 @@ impl FaultClass {
         FaultClass::TrackerDivergence,
         FaultClass::WorkerStall,
         FaultClass::TimestampSkew,
+        FaultClass::LatencyDrift,
     ];
 
     /// Salt separating this class's per-frame RNG stream from the
@@ -213,6 +244,7 @@ impl FaultClass {
             FaultClass::TrackerDivergence => 0x06,
             FaultClass::WorkerStall => 0x07,
             FaultClass::TimestampSkew => 0x08,
+            FaultClass::LatencyDrift => 0x09,
         }
     }
 }
@@ -238,6 +270,7 @@ struct FrameDraws {
     shift: Option<(f32, f32)>,
     stall: Option<WorkerStall>,
     skew_s: Option<f64>,
+    drift: Vec<(FaultStage, u32, f64)>,
 }
 
 /// The seeded fault schedule generator.
@@ -258,6 +291,9 @@ pub struct FaultInjector {
     blackout_left: u32,
     stuck_left: u32,
     lock_loss_left: u32,
+    drift_left: [u32; FaultStage::ALL.len()],
+    drift_step: [f64; FaultStage::ALL.len()],
+    drift_load: [f64; FaultStage::ALL.len()],
     events: Vec<FaultEvent>,
 }
 
@@ -271,6 +307,9 @@ impl FaultInjector {
             blackout_left: 0,
             stuck_left: 0,
             lock_loss_left: 0,
+            drift_left: [0; FaultStage::ALL.len()],
+            drift_step: [0.0; FaultStage::ALL.len()],
+            drift_load: [1.0; FaultStage::ALL.len()],
             events: Vec::new(),
         }
     }
@@ -372,6 +411,20 @@ impl FaultInjector {
                     let (lo, hi) = self.cfg.timestamp_skew_s;
                     let mag = if lo < hi { rng.range_f64(lo, hi) } else { lo };
                     draws.skew_s = Some(if rng.chance(0.5) { mag } else { -mag });
+                }
+            }
+            FaultClass::LatencyDrift => {
+                // One sub-stream per stage, like LatencySpikes.
+                for (i, stage) in FaultStage::ALL.into_iter().enumerate() {
+                    let mut srng = Rng64::new(rng.next_u64() ^ mix(i as u64));
+                    if srng.chance(self.cfg.drift_rate) {
+                        let (lo, hi) = self.cfg.drift_frames;
+                        let frames = srng.range_usize(lo as usize, hi as usize + 1) as u32;
+                        let (plo, phi) = self.cfg.drift_per_frame;
+                        let per_frame =
+                            if plo < phi { srng.range_f64(plo, phi) } else { plo };
+                        draws.drift.push((stage, frames, per_frame));
+                    }
                 }
             }
         }
@@ -484,6 +537,33 @@ impl FaultInjector {
             self.events.push(FaultEvent { frame, kind: FaultKind::TimestampSkew { skew_s } });
         }
 
+        // Sustained latency drift, per stage in pipeline order. An
+        // ongoing episode takes precedence over a fresh draw for the
+        // same stage (the new draw is discarded — like an outage, a
+        // stage drifts one episode at a time); load resets to nominal
+        // the frame after the episode ends.
+        for (i, stage) in FaultStage::ALL.into_iter().enumerate() {
+            if self.drift_left[i] > 0 {
+                self.drift_left[i] -= 1;
+                self.drift_load[i] += self.drift_step[i];
+                out.drift.push((stage, self.drift_load[i]));
+            } else if let Some(&(_, frames, per_frame)) =
+                draws.drift.iter().find(|(s, _, _)| *s == stage)
+            {
+                self.drift_left[i] = frames.saturating_sub(1);
+                self.drift_step[i] = per_frame;
+                self.drift_load[i] = 1.0 + per_frame;
+                out.drift.push((stage, self.drift_load[i]));
+                self.events.push(FaultEvent {
+                    frame,
+                    kind: FaultKind::LatencyDriftStarted { stage, frames, per_frame },
+                });
+            } else {
+                self.drift_load[i] = 1.0;
+                self.drift_step[i] = 0.0;
+            }
+        }
+
         out
     }
 }
@@ -588,6 +668,57 @@ mod tests {
         assert!(has(|k| matches!(k, FaultKind::TrackerDivergence { .. })));
         assert!(has(|k| matches!(k, FaultKind::WorkerStall { .. })));
         assert!(has(|k| matches!(k, FaultKind::TimestampSkew { .. })));
+        assert!(has(|k| matches!(k, FaultKind::LatencyDriftStarted { .. })));
+    }
+
+    #[test]
+    fn drift_ramps_linearly_for_its_drawn_duration() {
+        let cfg = FaultConfig {
+            drift_rate: 0.01,
+            drift_frames: (10, 10),
+            drift_per_frame: (0.05, 0.05),
+            ..FaultConfig::off()
+        };
+        let (frames, events) = run(17, cfg, 600);
+        assert!(!events.is_empty(), "drift must fire at 1%/stage over 600 frames");
+        for e in &events {
+            if let FaultKind::LatencyDriftStarted { stage, frames: n, per_frame } = e.kind {
+                assert_eq!(n, 10);
+                assert_eq!(per_frame, 0.05);
+                // The load ramps 1.05, 1.10, ... 1.50 over the episode
+                // (unless a later episode on the same stage overlaps
+                // the tail, which the fixed 10-frame duration plus the
+                // precedence rule makes impossible to start mid-ramp).
+                for k in 0..u64::from(n) {
+                    let f = &frames[(e.frame + k) as usize];
+                    let expect = 1.0 + 0.05 * (k + 1) as f64;
+                    assert!(
+                        (f.drift_load(stage) - expect).abs() < 1e-9,
+                        "frame {} stage {stage}: load {} want {expect}",
+                        e.frame + k,
+                        f.drift_load(stage)
+                    );
+                }
+                // The frame after the episode is back to nominal,
+                // unless a new episode started exactly there.
+                let after = &frames[(e.frame + u64::from(n)) as usize];
+                let fresh_start = events.iter().any(|e2| {
+                    e2.frame == after.frame
+                        && matches!(e2.kind,
+                            FaultKind::LatencyDriftStarted { stage: s, .. } if s == stage)
+                });
+                if !fresh_start {
+                    assert_eq!(after.drift_load(stage), 1.0, "frame {}", after.frame);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_load_defaults_to_nominal() {
+        let f = FrameFaults::default();
+        assert!(f.is_clean());
+        assert_eq!(f.drift_load(FaultStage::Detection), 1.0);
     }
 
     #[test]

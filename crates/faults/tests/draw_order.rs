@@ -32,6 +32,7 @@ fn permutations() -> Vec<Vec<FaultClass>> {
     // A swap-heavy shuffle (deterministic, hand-picked).
     perms.push(vec![
         FaultClass::TimestampSkew,
+        FaultClass::LatencyDrift,
         FaultClass::PixelCorruption,
         FaultClass::WorkerStall,
         FaultClass::Blackout,

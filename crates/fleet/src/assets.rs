@@ -1,8 +1,7 @@
 //! World assets shared read-only by every vehicle cell of a campaign.
 
 use adsim_core::{
-    build_prior_map, GuardConfig, NativePipeline, NativePipelineConfig, Supervisor,
-    SupervisorConfig,
+    build_prior_map, NativePipeline, NativePipelineConfig, Supervisor, SupervisorConfig,
 };
 use adsim_faults::{FaultConfig, FaultInjector};
 use adsim_slam::PriorMap;
@@ -78,12 +77,11 @@ impl FleetAssets {
         &self,
         seed: u64,
         faults: FaultConfig,
-        guard: GuardConfig,
+        cfg: SupervisorConfig,
         pipeline: &NativePipelineConfig,
     ) -> Supervisor {
         let mut pipe = NativePipeline::new(self.camera, &self.map, pipeline.clone());
         pipe.seed_pose(self.scenario.pose_at(0));
-        let cfg = SupervisorConfig { guard, ..SupervisorConfig::default() };
         Supervisor::new(pipe, FaultInjector::new(seed, faults), cfg)
     }
 }

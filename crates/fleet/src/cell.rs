@@ -3,23 +3,27 @@
 
 use crate::assets::FleetAssets;
 use crate::sink::StageHistograms;
-use adsim_core::{GuardConfig, NativePipelineConfig, SupervisedFrameResult};
+use adsim_core::{GuardConfig, NativePipelineConfig, SupervisedFrameResult, SupervisorConfig};
 use adsim_faults::FaultConfig;
 use adsim_guard::{Digest, Hasher};
+use adsim_perception::metrics::{MotAccumulator, TruthBox};
 use adsim_planning::MotionPlan;
 use adsim_stats::Quantile;
 
-/// What one vehicle cell runs: a fault mix and guard policy over a
-/// derived seed for a fixed number of frames. The campaign scenario and
-/// resolution come from the engine's [`FleetAssets`].
+/// IoU threshold for the per-cell CLEAR-MOT association.
+const MOT_IOU: f32 = 0.3;
+
+/// What one vehicle cell runs: a fault mix and supervision policy over
+/// a derived seed for a fixed number of frames. The campaign scenario
+/// and resolution come from the engine's [`FleetAssets`].
 #[derive(Debug, Clone)]
 pub struct CellSpec {
     /// Human-readable label carried into reports (e.g. `"data/default"`).
     pub label: String,
     /// Fault schedule for this cell's injector.
     pub faults: FaultConfig,
-    /// Guard policy for this cell's supervisor.
-    pub guard: GuardConfig,
+    /// Supervision policy (watchdog budgets, guard, anytime governor).
+    pub supervisor: SupervisorConfig,
     /// Injector seed (derives every per-frame decision).
     pub seed: u64,
     /// Frames to stream through the cell.
@@ -27,15 +31,28 @@ pub struct CellSpec {
 }
 
 impl CellSpec {
-    /// A cell with the default guard.
+    /// A cell with the default supervision policy.
     pub fn new(label: impl Into<String>, faults: FaultConfig, seed: u64, frames: usize) -> Self {
-        Self { label: label.into(), faults, guard: GuardConfig::default(), seed, frames }
+        Self {
+            label: label.into(),
+            faults,
+            supervisor: SupervisorConfig::default(),
+            seed,
+            frames,
+        }
     }
 
     /// Replaces the guard policy.
     #[must_use]
     pub fn with_guard(mut self, guard: GuardConfig) -> Self {
-        self.guard = guard;
+        self.supervisor.guard = guard;
+        self
+    }
+
+    /// Replaces the whole supervision policy (guard included).
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
         self
     }
 }
@@ -75,6 +92,19 @@ pub struct CellOutcome {
     pub safe_stops: u64,
     /// Stage retries performed.
     pub retries: u64,
+    /// CLEAR-MOT tracking accuracy against the scenario's scripted
+    /// ground truth (1.0 is perfect; can go negative under heavy
+    /// false-positive load).
+    pub mota: f64,
+    /// Fraction of frames whose virtual end-to-end cost missed the
+    /// deadline (deterministic miss accounting).
+    pub virtual_miss_rate: f64,
+    /// Quality-level switches the anytime governor performed.
+    pub quality_switches: u64,
+    /// Frames spent below full quality.
+    pub quality_reduced_frames: u64,
+    /// Anytime-governor quality-switch log, rendered.
+    pub gov_log: Vec<String>,
     /// Degradation-event log, rendered.
     pub sup_log: Vec<String>,
     /// Guard-event log, rendered.
@@ -105,8 +135,8 @@ impl CellOutcome {
     pub fn signature(&self) -> String {
         format!(
             "{} {:#x} frames={} injected={} detected={} recovered={} trips={} uncaught={} \
-             episodes={} ttr={:.4}/{} degraded={:.6} safestops={} retries={} \
-             suplog={} guardlog={} digest={}",
+             episodes={} ttr={:.4}/{} degraded={:.6} safestops={} retries={} mota={:.6} \
+             vmiss={:.6} qswitch={} qframes={} govlog={} suplog={} guardlog={} digest={}",
             self.label,
             self.seed,
             self.frames,
@@ -121,6 +151,11 @@ impl CellOutcome {
             self.degraded_rate,
             self.safe_stops,
             self.retries,
+            self.mota,
+            self.virtual_miss_rate,
+            self.quality_switches,
+            self.quality_reduced_frames,
+            self.gov_log.len(),
             self.sup_log.len(),
             self.guard_log.len(),
             self.output_digest,
@@ -171,7 +206,8 @@ fn fold_frame(h: &mut Hasher, out: &SupervisedFrameResult) {
         out.modes.tracker_only as u64
             | (out.modes.dead_reckoning as u64) << 1
             | (out.modes.speed_reduced as u64) << 2
-            | (out.modes.safe_stop as u64) << 3,
+            | (out.modes.safe_stop as u64) << 3
+            | (out.modes.quality_reduced as u64) << 4,
     );
 }
 
@@ -184,10 +220,12 @@ pub fn run_cell(
     spec: &CellSpec,
     pipeline: &NativePipelineConfig,
 ) -> (CellOutcome, StageHistograms) {
-    let mut sup = assets.supervisor(spec.seed, spec.faults.clone(), spec.guard, pipeline);
+    let mut sup =
+        assets.supervisor(spec.seed, spec.faults.clone(), spec.supervisor.clone(), pipeline);
     let mut hists = StageHistograms::new();
     let mut e2e = adsim_stats::LatencyRecorder::with_capacity(spec.frames);
     let mut digest = Hasher::new();
+    let mut mot = MotAccumulator::new(MOT_IOU);
     let mut injected = 0u64;
     let mut uncaught = 0u64;
     for frame in assets.scenario().stream(assets.resolution()).take(spec.frames) {
@@ -196,6 +234,12 @@ pub fn run_cell(
         hists.record(&out.reported);
         e2e.record(out.reported.end_to_end());
         fold_frame(&mut digest, &out);
+        let truth: Vec<TruthBox> = frame
+            .truth_objects
+            .iter()
+            .map(|t| TruthBox { id: t.id, bbox: t.bbox })
+            .collect();
+        mot.observe(&truth, &out.result.tracks);
         let after = *sup.guard_stats();
 
         // Ground truth: did the injector touch the sensor payload?
@@ -232,6 +276,11 @@ pub fn run_cell(
         degraded_rate: stats.degraded_rate(),
         safe_stops: stats.safe_stops,
         retries: stats.retries,
+        mota: mot.mota(),
+        virtual_miss_rate: stats.virtual_miss_rate(),
+        quality_switches: stats.quality_switches,
+        quality_reduced_frames: stats.quality_reduced_frames,
+        gov_log: sup.governor_events().iter().map(|e| e.to_string()).collect(),
         sup_log: sup.events().iter().map(|e| e.to_string()).collect(),
         guard_log: sup.guard_events().iter().map(|e| e.to_string()).collect(),
         output_digest: digest.finish(),

@@ -88,6 +88,8 @@ pub struct FleetSink {
     pub safe_stops: u64,
     /// Completed degradation episodes across the fleet.
     pub episodes: u64,
+    /// Anytime-governor quality switches across the fleet.
+    pub quality_switches: u64,
 }
 
 impl FleetSink {
@@ -107,6 +109,7 @@ impl FleetSink {
         self.uncaught += outcome.uncaught;
         self.safe_stops += outcome.safe_stops;
         self.episodes += outcome.episodes;
+        self.quality_switches += outcome.quality_switches;
     }
 
     /// Fleet vehicles×frames/s throughput over a measured wall-clock

@@ -1,8 +1,19 @@
 use adsim_dnn::detection::{decode_grid, nms, BBox, Detection, ObjectClass};
-use adsim_dnn::models::yolo_tiny_shared;
+use adsim_dnn::models::{yolo_tiny_shared, yolo_v2_tiny_shared};
 use adsim_dnn::Network;
 use adsim_runtime::Runtime;
 use adsim_vision::GrayImage;
+
+/// Which detection model family a [`Detector`] should run — the
+/// anytime governor's model-variant knob, kept independent of the
+/// policy crate so perception has no upward dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorVariant {
+    /// The richer, costlier model (`yolo_v2_tiny` on the DNN path).
+    Full,
+    /// The cheap fallback model (`yolo_tiny`).
+    Reduced,
+}
 
 /// Work performed by one detection pass, for the platform cost models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,6 +37,13 @@ pub trait Detector {
 
     /// Human-readable engine name.
     fn name(&self) -> &'static str;
+
+    /// Applies an anytime quality setting: input-resolution scale in
+    /// `(0, 1]` (the paper's Fig. 13 axis) and model variant. Must be
+    /// O(1) — detectors switch models through the process-wide shared
+    /// caches, never by rebuilding weights. The default implementation
+    /// ignores the request (a detector without quality knobs).
+    fn set_quality(&mut self, _scale: f32, _variant: DetectorVariant) {}
 }
 
 /// The DNN path: a YOLO-style grid detector (paper §3.1.1).
@@ -39,6 +57,9 @@ pub trait Detector {
 #[derive(Debug)]
 pub struct YoloDetector {
     net: Network,
+    base_grid: usize,
+    grid: usize,
+    variant: DetectorVariant,
     side: usize,
     threshold: f32,
     iou_threshold: f32,
@@ -62,12 +83,25 @@ impl YoloDetector {
         let net = yolo_tiny_shared(grid);
         Self {
             net,
+            base_grid: grid,
+            grid,
+            variant: DetectorVariant::Reduced,
             side: 8 * grid,
             threshold,
             iou_threshold: 0.5,
             runtime: Runtime::serial(),
             last_cost: DetCost::default(),
         }
+    }
+
+    /// The active output grid (scales with the resolution knob).
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// The active model variant.
+    pub fn variant(&self) -> DetectorVariant {
+        self.variant
     }
 
     /// Runs the detection network's kernels on the given worker pool.
@@ -107,6 +141,23 @@ impl Detector for YoloDetector {
     fn name(&self) -> &'static str {
         "yolo-dnn"
     }
+
+    /// O(1): both variants come from process-wide shared caches, so a
+    /// switch is a pointer-bump clone — no weight copies, mid-run.
+    fn set_quality(&mut self, scale: f32, variant: DetectorVariant) {
+        let scale = scale.clamp(0.25, 1.0);
+        let grid = ((self.base_grid as f32 * scale).round() as usize).max(1);
+        if grid == self.grid && variant == self.variant {
+            return;
+        }
+        self.net = match variant {
+            DetectorVariant::Full => yolo_v2_tiny_shared(grid),
+            DetectorVariant::Reduced => yolo_tiny_shared(grid),
+        };
+        self.grid = grid;
+        self.side = 8 * grid;
+        self.variant = variant;
+    }
 }
 
 /// The classical path: connected-component blob detection with
@@ -124,6 +175,10 @@ pub struct BlobDetector {
     min_intensity: u8,
     /// Components smaller than this many pixels are noise.
     min_area: usize,
+    /// Input-resolution scale in `(0, 1]`; below 1.0 the frame is
+    /// downsampled before component extraction, trading recall on
+    /// small objects for proportionally less work (Fig. 13).
+    scale: f32,
     /// Components whose intensity standard deviation exceeds this are
     /// rejected: objects are painted in a tight band around their
     /// class intensity, whereas map landmarks are high-contrast
@@ -143,6 +198,7 @@ impl BlobDetector {
         Self {
             min_intensity: 120,
             min_area: 6,
+            scale: 1.0,
             max_stddev: 20.0,
             max_border_mean: 60.0,
             last_cost: DetCost::default(),
@@ -170,8 +226,11 @@ impl Default for BlobDetector {
     }
 }
 
-impl Detector for BlobDetector {
-    fn detect(&mut self, frame: &GrayImage) -> Vec<Detection> {
+impl BlobDetector {
+    /// Component extraction at the frame's native resolution. Boxes
+    /// are normalized, so detections from a downsampled frame need no
+    /// coordinate correction.
+    fn detect_at_native(&mut self, frame: &GrayImage) -> Vec<Detection> {
         let (w, h) = (frame.width(), frame.height());
         let mut visited = vec![false; w * h];
         let mut detections = Vec::new();
@@ -269,6 +328,18 @@ impl Detector for BlobDetector {
         };
         detections
     }
+}
+
+impl Detector for BlobDetector {
+    fn detect(&mut self, frame: &GrayImage) -> Vec<Detection> {
+        if self.scale < 1.0 {
+            let rw = ((frame.width() as f32 * self.scale).round() as usize).max(8);
+            let rh = ((frame.height() as f32 * self.scale).round() as usize).max(8);
+            let resized = frame.resize(rw, rh);
+            return self.detect_at_native(&resized);
+        }
+        self.detect_at_native(frame)
+    }
 
     fn last_cost(&self) -> DetCost {
         self.last_cost
@@ -276,6 +347,12 @@ impl Detector for BlobDetector {
 
     fn name(&self) -> &'static str {
         "blob-classical"
+    }
+
+    /// The classical path has no model variant; only the resolution
+    /// knob applies.
+    fn set_quality(&mut self, scale: f32, _variant: DetectorVariant) {
+        self.scale = scale.clamp(0.25, 1.0);
     }
 }
 
@@ -384,5 +461,55 @@ mod tests {
     #[test]
     fn detector_names_differ() {
         assert_ne!(BlobDetector::new().name(), YoloDetector::new(2, 0.5).name());
+    }
+
+    #[test]
+    fn yolo_quality_switch_is_shared_cache_backed() {
+        use adsim_dnn::models::{yolo_tiny_shared, yolo_v2_tiny_shared};
+        let mut det = YoloDetector::new(4, 0.5);
+        assert_eq!(det.variant(), DetectorVariant::Reduced);
+        assert!(det.network().shares_weights(&yolo_tiny_shared(4)), "default is the tiny cache");
+        det.set_quality(1.0, DetectorVariant::Full);
+        assert_eq!(det.variant(), DetectorVariant::Full);
+        assert_eq!(det.grid(), 4);
+        assert!(
+            det.network().shares_weights(&yolo_v2_tiny_shared(4)),
+            "variant switch clones from the v2 cache — no weight copy"
+        );
+        det.set_quality(0.5, DetectorVariant::Reduced);
+        assert_eq!(det.grid(), 2, "resolution knob halves the grid");
+        assert!(det.network().shares_weights(&yolo_tiny_shared(2)));
+    }
+
+    #[test]
+    fn yolo_resolution_knob_cuts_flops() {
+        let img = GrayImage::from_fn(100, 80, |x, y| ((x * y) % 255) as u8);
+        let mut det = YoloDetector::new(4, 0.5);
+        det.detect(&img);
+        let full = det.last_cost().dnn_flops;
+        det.set_quality(0.5, DetectorVariant::Reduced);
+        det.detect(&img);
+        let half = det.last_cost().dnn_flops;
+        assert!(half * 3 < full, "half resolution must cut FLOPs ~4x: {half} vs {full}");
+    }
+
+    #[test]
+    fn blob_resolution_knob_cuts_pixels_and_keeps_big_objects() {
+        let mut img = GrayImage::new(200, 150);
+        img.fill_rect(40, 40, 30, 20, ObjectClass::Vehicle.render_intensity());
+        let mut det = BlobDetector::new();
+        let native = det.detect(&img);
+        assert_eq!(native.len(), 1);
+        let native_pixels = det.last_cost().pixels;
+        det.set_quality(0.5, DetectorVariant::Reduced);
+        let scaled = det.detect(&img);
+        assert_eq!(scaled.len(), 1, "a 30x20 vehicle survives half resolution");
+        assert!(
+            det.last_cost().pixels * 3 < native_pixels,
+            "half resolution must process ~1/4 the pixels"
+        );
+        // Normalized coordinates need no correction after downsampling.
+        assert!((scaled[0].bbox.cx - native[0].bbox.cx).abs() < 0.03);
+        assert!((scaled[0].bbox.w - native[0].bbox.w).abs() < 0.03);
     }
 }

@@ -98,6 +98,27 @@ impl TrackerPool {
         self.tracks.len()
     }
 
+    /// The current pool capacity.
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity
+    }
+
+    /// Resizes the pool mid-run (the anytime governor's tracker knob),
+    /// clamped to at least one slot. Shrinking below the active track
+    /// count deterministically evicts the newest tracks (highest ids)
+    /// — the oldest, longest-confirmed tracks survive — so the table
+    /// after a shrink is a pure function of the table before it.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.cfg.capacity = capacity.max(1);
+        if self.tracks.len() > self.cfg.capacity {
+            let mut ids: Vec<u64> = self.tracks.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids.into_iter().skip(self.cfg.capacity) {
+                self.tracks.remove(&id);
+            }
+        }
+    }
+
     /// The tracked-object table, sorted by track id.
     pub fn table(&self) -> Vec<TrackedObject> {
         let mut rows: Vec<TrackedObject> = self.tracks.values().map(|(_, t)| *t).collect();
@@ -350,6 +371,34 @@ mod tests {
                 .with_runtime(adsim_runtime::Runtime::new(threads));
             assert_eq!(signature(&mut par), expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_newest_tracks_first() {
+        let mut p = pool(TrackerPoolConfig::default());
+        let f = frame();
+        p.step(&f, &[det(0.2, 0.2, ObjectClass::Vehicle)]);
+        p.step(
+            &f,
+            &[
+                det(0.2, 0.2, ObjectClass::Vehicle),
+                det(0.5, 0.5, ObjectClass::Pedestrian),
+                det(0.8, 0.8, ObjectClass::Bicycle),
+            ],
+        );
+        assert_eq!(p.active(), 3);
+        p.set_capacity(2);
+        let ids: Vec<u64> = p.table().iter().map(|t| t.track_id).collect();
+        assert_eq!(ids, vec![0, 1], "oldest tracks survive the shrink");
+        assert_eq!(p.capacity(), 2);
+        // Growing back re-opens slots for new detections.
+        p.set_capacity(32);
+        let t = p.step(&f, &[det(0.8, 0.8, ObjectClass::Bicycle)]);
+        assert_eq!(t.len(), 3);
+        // Zero clamps to one slot rather than an unusable pool.
+        p.set_capacity(0);
+        assert_eq!(p.capacity(), 1);
+        assert_eq!(p.active(), 1);
     }
 
     #[test]

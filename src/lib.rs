@@ -20,6 +20,7 @@
 //! | [`faults`] | Deterministic seeded fault injection |
 //! | [`trace`] | Span tracing, streaming tail-latency histograms, Chrome-trace export |
 //! | [`fleet`] | Work-stealing fleet campaign engine with Arc-shared weights |
+//! | [`anytime`] | Predictive deadline governor: anytime perception over the latency-accuracy frontier |
 //! | [`core`] | The end-to-end pipelines, supervisor, and design-constraint checker |
 //!
 //! # Quickstart
@@ -39,6 +40,7 @@
 //! `crates/bench` for the harnesses that regenerate every table and
 //! figure of the paper (documented in EXPERIMENTS.md).
 
+pub use adsim_anytime as anytime;
 pub use adsim_core as core;
 pub use adsim_dnn as dnn;
 pub use adsim_faults as faults;

@@ -4,7 +4,7 @@
 //! on its deterministic counters, and weight sharing survives a real
 //! campaign (cells never detach the shared model storage).
 
-use adsim::core::{DetectorKind, GuardConfig, NativePipelineConfig, TrackerKind};
+use adsim::core::{DetectorKind, GuardConfig, NativePipelineConfig, SupervisorConfig, TrackerKind};
 use adsim::dnn::models::{goturn_tiny_shared, yolo_tiny_shared};
 use adsim::faults::FaultConfig;
 use adsim::fleet::{CellSpec, FleetAssets, FleetConfig, FleetEngine};
@@ -90,8 +90,8 @@ fn campaign_cells_share_prior_map_and_weights() {
     let assets = FleetAssets::urban(RES);
     // Two supervisors built from the same assets share the prior map Arc…
     let cfg = FleetConfig::default().pipeline;
-    let a = assets.supervisor(1, FaultConfig::off(), GuardConfig::default(), &cfg);
-    let b = assets.supervisor(2, FaultConfig::off(), GuardConfig::default(), &cfg);
+    let a = assets.supervisor(1, FaultConfig::off(), SupervisorConfig::default(), &cfg);
+    let b = assets.supervisor(2, FaultConfig::off(), SupervisorConfig::default(), &cfg);
     assert!(
         a.pipeline().localizer().map().shares_prior_with(b.pipeline().localizer().map()),
         "cells must share one prior map allocation"
