@@ -53,6 +53,10 @@ pub struct Governor {
     switches: u64,
     last_pred_det: f64,
     last_pred_e2e: f64,
+    // Most recent full-quality extras forecast (summed), so the next
+    // observation can score it — the telemetry forecast-error series.
+    last_fc_sum: f64,
+    has_forecast: bool,
     events: Vec<GovernorEvent>,
 }
 
@@ -72,6 +76,8 @@ impl Governor {
             switches: 0,
             last_pred_det: 0.0,
             last_pred_e2e: 0.0,
+            last_fc_sum: 0.0,
+            has_forecast: false,
             events: Vec::new(),
         }
     }
@@ -151,6 +157,8 @@ impl Governor {
         let (det_now, e2e_now) = self.forecast_at(&fc, self.level);
         self.last_pred_det = det_now;
         self.last_pred_e2e = self.nominal_e2e_ms() + e2e_now;
+        self.last_fc_sum = fc.iter().sum();
+        self.has_forecast = true;
         if self.cfg.ladder.len() < 2 {
             return; // pinned rung: nothing to switch
         }
@@ -193,6 +201,12 @@ impl Governor {
         let from = self.level;
         let degrade = target > from;
         adsim_trace::instant(if degrade { "anytime.degrade" } else { "anytime.upgrade" });
+        adsim_trace::counter("anytime.quality-level", target as f64);
+        adsim_telemetry::counter_add(
+            "anytime_switch_total",
+            if degrade { "degrade" } else { "upgrade" },
+            1,
+        );
         let a = self.cfg.ladder[from].knobs;
         let b = self.cfg.ladder[target].knobs;
         if a.det_scale != b.det_scale {
@@ -226,7 +240,12 @@ impl Governor {
             return;
         }
         let lvl = &self.cfg.ladder[self.level];
-        let normalized = std::array::from_fn(|s| extras_ms[s] / lvl.factor(s).max(1e-9));
+        let normalized: [f64; STAGES] =
+            std::array::from_fn(|s| extras_ms[s] / lvl.factor(s).max(1e-9));
+        if self.has_forecast {
+            let err = (self.last_fc_sum - normalized.iter().sum::<f64>()).abs();
+            adsim_telemetry::observe_ms("anytime_forecast_abs_err_ms", "", err);
+        }
         self.predictor.observe(normalized);
     }
 }

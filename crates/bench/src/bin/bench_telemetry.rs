@@ -1,0 +1,345 @@
+//! Fleet telemetry plane + black-box flight recorder harness.
+//!
+//! Replays the soak fault grid (data and everything mixes × derived
+//! seeds) as a fleet campaign under a recording `TelemetrySession` and
+//! checks the telemetry plane's three contracts:
+//!
+//! * **Fleet determinism** — the fleet-merged registry's Prometheus
+//!   exposition is byte-identical across 1, 2 and 8 fleet workers and
+//!   across same-seed re-runs (only virtual-clock quantities enter the
+//!   registry, and the engine merges per-cell registries in spec
+//!   order).
+//! * **Dump causality** — every SafeStop flight dump in a data-bearing
+//!   cell must contain the injector-corrupted frame that preceded the
+//!   escalation: the most recent injected data-plane fault at or before
+//!   the trigger frame appears in the dump window with its data-fault
+//!   bits set. The injector replay is exact (same seed, same schedule),
+//!   so the culprit frame is known ground truth.
+//! * **Overhead** — recording on vs off, interleaved frame by frame in
+//!   alternating order over the same supervised pipeline; the telemetry
+//!   fast path must cost ≤ 2 % (asserted in full mode; smoke prints).
+//!
+//! Artifacts: `BENCH_telemetry.json` (validated by the workspace JSON
+//! checker) and `PROM_telemetry.txt` (the fleet Prometheus snapshot
+//! plus wall-clock worker-utilization gauges from a traced segment,
+//! validated by the hand-rolled exposition validator).
+//!
+//! ```text
+//! cargo run --release -p adsim-bench --bin bench_telemetry [-- --smoke]
+//! ```
+
+use adsim_faults::{FaultConfig, FaultInjector};
+use adsim_fleet::{CellOutcome, CellSpec, FleetAssets, FleetConfig, FleetEngine};
+use adsim_runtime::Runtime;
+use adsim_stats::Quantile;
+use adsim_telemetry::{
+    prometheus_text, validate_prometheus, DumpTrigger, MetricsRegistry, TelemetrySession,
+    FAULT_DATA_MASK,
+};
+use adsim_trace::{validate_json, worker_utilization, TraceSession};
+use adsim_workload::Resolution;
+
+/// Campaign base seed (the soak harness's, so the grids line up).
+const SEED: u64 = 0x50A_C0DE;
+
+/// The i-th derived campaign seed (golden-ratio stride).
+fn derived_seed(i: u64) -> u64 {
+    SEED ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).max(1)
+}
+
+/// The soak grid's data-plane mix (blackouts, stuck frames, pixel
+/// corruption) — the mix whose SafeStops have an injector-known cause.
+fn data_mix() -> FaultConfig {
+    FaultConfig {
+        blackout_rate: 0.06,
+        blackout_frames: (2, 5),
+        pixel_corruption_rate: 0.25,
+        corrupted_fraction: 0.05,
+        stuck_rate: 0.12,
+        stuck_frames: (1, 3),
+        ..FaultConfig::off()
+    }
+}
+
+struct Grid {
+    specs: Vec<CellSpec>,
+    mixes: Vec<&'static str>,
+}
+
+fn build_grid(n_seeds: u64, frames: usize) -> Grid {
+    let mut specs = Vec::new();
+    let mut mixes = Vec::new();
+    for (name, cfg) in [("data", data_mix()), ("everything", FaultConfig::stress())] {
+        for i in 0..n_seeds {
+            specs.push(CellSpec::new(format!("{name}/{i}"), cfg.clone(), derived_seed(i), frames));
+            mixes.push(name);
+        }
+    }
+    Grid { specs, mixes }
+}
+
+/// Replays a cell's injector schedule and returns the frames on which
+/// the sensor payload was touched (blackout, stuck, pixel corruption).
+fn injected_data_fault_frames(spec: &CellSpec) -> Vec<u64> {
+    let mut injector = FaultInjector::new(spec.seed, spec.faults.clone());
+    (0..spec.frames as u64)
+        .filter(|_| {
+            let f = injector.next_frame();
+            f.blackout || f.stuck || f.pixel_corruption.is_some()
+        })
+        .collect()
+}
+
+struct Causality {
+    safe_stop_dumps: u64,
+    checked: u64,
+    violations: u64,
+}
+
+/// The dump-causality sweep: for every SafeStop dump in a cell, the
+/// latest injected data fault at or before the trigger frame must sit
+/// in the dump window with its data-fault bits set.
+fn check_causality(specs: &[CellSpec], outcomes: &[CellOutcome]) -> Causality {
+    let mut c = Causality { safe_stop_dumps: 0, checked: 0, violations: 0 };
+    for (spec, outcome) in specs.iter().zip(outcomes) {
+        let fault_frames = injected_data_fault_frames(spec);
+        for dump in &outcome.dumps {
+            if dump.trigger != DumpTrigger::SafeStop {
+                continue;
+            }
+            c.safe_stop_dumps += 1;
+            let Some(&culprit) = fault_frames.iter().rev().find(|&&f| f <= dump.frame) else {
+                continue; // SafeStop with no prior data fault (timing path)
+            };
+            c.checked += 1;
+            let hit = dump
+                .records
+                .iter()
+                .any(|r| r.frame == culprit && r.fault_bits & FAULT_DATA_MASK != 0);
+            if !hit {
+                c.violations += 1;
+                println!(
+                    "  CAUSALITY FAIL {}: dump at frame {} missing corrupted frame {culprit}",
+                    outcome.label, dump.frame
+                );
+            }
+        }
+    }
+    c
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_seeds, frames, mode) = if smoke { (2u64, 12usize, "smoke") } else { (4, 60, "full") };
+
+    adsim_bench::header(
+        "Telemetry",
+        "fleet metrics registry + black-box flight recorder over the soak fault grid",
+    );
+    let assets = FleetAssets::urban(Resolution::Hhd);
+    let grid = build_grid(n_seeds, frames);
+    println!(
+        "grid: data+everything x {n_seeds} seeds, {frames} frames/cell ({} cells)",
+        grid.specs.len()
+    );
+
+    // -- Fleet determinism: Prometheus snapshot across worker counts. --
+    let session = TelemetrySession::begin();
+    let mut reference: Option<(String, Vec<String>)> = None;
+    let mut parity = Vec::new();
+    let mut last_outcomes: Vec<CellOutcome> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let engine = FleetEngine::new(assets.clone(), FleetConfig::with_workers(workers));
+        let campaign = engine.run(&grid.specs);
+        let prom = prometheus_text(&campaign.telemetry);
+        validate_prometheus(&prom).expect("fleet exposition must validate");
+        let signatures = campaign.signatures();
+        let identical = match &reference {
+            None => {
+                reference = Some((prom.clone(), signatures));
+                true
+            }
+            Some((ref_prom, ref_sigs)) => prom == *ref_prom && signatures == *ref_sigs,
+        };
+        println!(
+            "  {workers} worker(s): {} series, prometheus {}",
+            campaign.telemetry.len(),
+            if identical { "byte-identical" } else { "DIVERGED" }
+        );
+        parity.push((workers, identical));
+        last_outcomes = campaign.outcomes;
+    }
+    assert!(
+        parity.iter().all(|&(_, ok)| ok),
+        "fleet telemetry must be byte-identical across worker counts"
+    );
+
+    // Same-seed re-run (fresh engine, same worker count as the last).
+    let engine = FleetEngine::new(assets.clone(), FleetConfig::with_workers(8));
+    let rerun = engine.run(&grid.specs);
+    let rerun_prom = prometheus_text(&rerun.telemetry);
+    let rerun_identical =
+        reference.as_ref().is_some_and(|(ref_prom, _)| rerun_prom == *ref_prom);
+    println!("  re-run: prometheus {}", if rerun_identical { "byte-identical" } else { "DIVERGED" });
+    assert!(rerun_identical, "same-seed re-run must reproduce the fleet registry exactly");
+
+    // -- Dump causality over the grid. ---------------------------------
+    let causality = check_causality(&grid.specs, &last_outcomes);
+    let total_dumps: usize = last_outcomes.iter().map(|o| o.dumps.len()).sum();
+    println!(
+        "dump causality: {total_dumps} dump(s), {} safe-stop, {} checked, {} violation(s)",
+        causality.safe_stop_dumps, causality.checked, causality.violations
+    );
+    assert_eq!(causality.violations, 0, "every SafeStop dump must contain its corrupted frame");
+    if !smoke {
+        assert!(causality.checked > 0, "full grid must exercise data-fault SafeStop dumps");
+    }
+
+    // -- Overhead: recording on vs off. Both legs process the *same*
+    // frame back to back, so the paired per-frame difference cancels
+    // frame-content and fault-schedule variance; alternating which leg
+    // goes first cancels the cache-warming advantage of running second.
+    // The median of the paired relative differences is the overhead —
+    // far tighter than comparing two independently-measured p50s.
+    let overhead_frames = if smoke { frames * 2 } else { 120 };
+    let pipeline = engine.config().pipeline.clone();
+    let mut sup_on = assets.supervisor(SEED, data_mix(), Default::default(), &pipeline);
+    let mut sup_off = assets.supervisor(SEED, data_mix(), Default::default(), &pipeline);
+    let mut e2e_on = adsim_stats::LatencyRecorder::with_capacity(overhead_frames);
+    let mut e2e_off = adsim_stats::LatencyRecorder::with_capacity(overhead_frames);
+    let mut diffs_pct = Vec::with_capacity(overhead_frames);
+    for (i, frame) in assets.scenario().stream(assets.resolution()).take(overhead_frames).enumerate()
+    {
+        let on_first = i % 2 == 0;
+        let (mut on_ms, mut off_ms) = (0.0f64, 0.0f64);
+        for leg in 0..2 {
+            let on_leg = (leg == 0) == on_first;
+            if on_leg {
+                session.resume();
+                on_ms = sup_on.process(&frame.image, frame.time_s).reported.end_to_end();
+                e2e_on.record(on_ms);
+            } else {
+                session.pause();
+                off_ms = sup_off.process(&frame.image, frame.time_s).reported.end_to_end();
+                e2e_off.record(off_ms);
+            }
+        }
+        if off_ms > 0.0 {
+            diffs_pct.push((on_ms - off_ms) / off_ms * 100.0);
+        }
+    }
+    session.resume();
+    let on_ms = e2e_on.quantile(Quantile::P50);
+    let off_ms = e2e_off.quantile(Quantile::P50);
+    diffs_pct.sort_by(f64::total_cmp);
+    let overhead_pct =
+        if diffs_pct.is_empty() { 0.0 } else { diffs_pct[diffs_pct.len() / 2] };
+    println!("overhead probe telemetry-off: p50 {off_ms:.3} ms over {overhead_frames} frames");
+    println!("overhead probe telemetry-on:  p50 {on_ms:.3} ms over {overhead_frames} frames");
+    println!(
+        "telemetry-on overhead: {overhead_pct:+.2}% paired-median \
+         (bit-identity pinned in tests/telemetry.rs)"
+    );
+    if !smoke {
+        assert!(overhead_pct <= 2.0, "telemetry fast path must cost <= 2% ({overhead_pct:+.2}%)");
+    }
+    let _ = session.finish(); // clears the enable flag; cells already drained their shards
+
+    // -- Worker utilization from a traced segment (satellite of the
+    // nested-span double-counting fix): fold the corrected gauge into
+    // the exported registry. Wall-clock — excluded from parity above.
+    let trace_session = TraceSession::begin();
+    let rt = Runtime::new(4);
+    let mut data = vec![0u64; 1 << 14];
+    rt.par_chunks_mut(&mut data, 64, |i, chunk| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            *slot = ((i * 64 + j) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    });
+    let trace = trace_session.finish();
+    let (util_workers, region_ms) = worker_utilization(&trace.events);
+    let mut export: MetricsRegistry = rerun.telemetry.clone();
+    for w in &util_workers {
+        let util = if region_ms > 0.0 { w.busy_ms / region_ms } else { 0.0 };
+        assert!(util <= 1.001, "utilization must stay within wall clock after the nesting fix");
+        export.gauge_set("runtime_utilization", w.worker, "", 0, util);
+    }
+    export.sort();
+    let prom_out = prometheus_text(&export);
+    validate_prometheus(&prom_out).expect("exported exposition must validate");
+    std::fs::write("PROM_telemetry.txt", &prom_out).expect("write PROM_telemetry.txt");
+    println!(
+        "\nwrote PROM_telemetry.txt ({} series, {} workers utilization)",
+        export.len(),
+        util_workers.len()
+    );
+
+    let json = to_json(
+        mode,
+        &parity,
+        rerun_identical,
+        &rerun.telemetry,
+        &causality,
+        total_dumps,
+        off_ms,
+        on_ms,
+        overhead_pct,
+        &grid,
+        &last_outcomes,
+    );
+    validate_json(&json).expect("BENCH_telemetry.json must be well-formed");
+    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
+    println!("wrote BENCH_telemetry.json ({} cells)", last_outcomes.len());
+}
+
+/// Hand-rolled JSON (offline policy: no serde).
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    mode: &str,
+    parity: &[(usize, bool)],
+    rerun_identical: bool,
+    registry: &MetricsRegistry,
+    causality: &Causality,
+    total_dumps: usize,
+    off_ms: f64,
+    on_ms: f64,
+    overhead_pct: f64,
+    grid: &Grid,
+    outcomes: &[CellOutcome],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"bench_telemetry\",\n");
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    let parity_json: Vec<String> = parity
+        .iter()
+        .map(|(w, ok)| format!("{{\"workers\": {w}, \"prometheus_byte_identical\": {ok}}}"))
+        .collect();
+    s.push_str(&format!("  \"parity\": [{}],\n", parity_json.join(", ")));
+    s.push_str(&format!("  \"rerun_byte_identical\": {rerun_identical},\n"));
+    s.push_str(&format!("  \"series\": {},\n", registry.len()));
+    s.push_str(&format!(
+        "  \"dump_causality\": {{\"dumps\": {total_dumps}, \"safe_stop_dumps\": {}, \
+         \"checked\": {}, \"violations\": {}}},\n",
+        causality.safe_stop_dumps, causality.checked, causality.violations
+    ));
+    s.push_str(&format!(
+        "  \"overhead\": {{\"telemetry_off_p50_ms\": {off_ms:.4}, \
+         \"telemetry_on_p50_ms\": {on_ms:.4}, \"overhead_pct\": {overhead_pct:.2}}},\n"
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, (outcome, mix)) in outcomes.iter().zip(&grid.mixes).enumerate() {
+        s.push_str(&format!(
+            "    {{\"mix\": \"{mix}\", \"seed\": {}, \"frames\": {}, \"safe_stops\": {}, \
+             \"monitor_trips\": {}, \"dumps\": {}}}{}\n",
+            outcome.seed,
+            outcome.frames,
+            outcome.safe_stops,
+            outcome.monitor_trips,
+            outcome.dumps.len(),
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -7,6 +7,8 @@
 //! comparison columns — measured values come from the models and
 //! implementations in this workspace.
 
+pub mod check;
+pub mod json;
 pub mod paper;
 pub mod timing;
 

@@ -58,3 +58,6 @@ pub use adsim_anytime::{
     default_ladder, AnytimeConfig, Governor, GovernorEvent, ModelVariant, NominalCosts,
     QualityKnobs, QualityLevel,
 };
+// Flight-recorder types surface through the supervisor API too
+// (SupervisorConfig sizes the ring; dumps come back from it).
+pub use adsim_telemetry::{DumpTrigger, FlightDump, FlightRecorder, FrameRecord};

@@ -142,6 +142,9 @@ pub struct NativePipeline {
     fusion: FusionEngine,
     motion: MotionPlanner,
     runtime: Runtime,
+    /// Frames processed so far — stamps the track-count gauge so fleet
+    /// merges can pick the later sample deterministically.
+    frames: u64,
 }
 
 impl std::fmt::Debug for NativePipeline {
@@ -198,6 +201,7 @@ impl NativePipeline {
             motion: MotionPlanner::new(cfg.environment, cfg.cruise_mps)
                 .with_runtime(cfg.runtime),
             runtime: cfg.runtime,
+            frames: 0,
         }
     }
 
@@ -313,6 +317,18 @@ impl NativePipeline {
         let plan = self.motion.plan(&fused);
         let mot_ms = t.elapsed().as_secs_f64() * 1e3;
         drop(mot_sp);
+
+        // Telemetry is recorded on the calling thread only — the DET /
+        // LOC join closures run on pool workers whose shards belong to
+        // whatever vehicle scope those threads happen to hold. Counts
+        // and the track gauge are virtual-clock-free quantities, so
+        // fleet aggregates stay deterministic.
+        self.frames += 1;
+        adsim_telemetry::counter_add("pipeline_frame_total", "", 1);
+        if !ctrl.skip_detection {
+            adsim_telemetry::counter_add("pipeline_detection_total", "det", detections.len() as u64);
+        }
+        adsim_telemetry::gauge_set("pipeline_track_count", "tra", self.frames, tracks.len() as f64);
 
         NativeFrameResult {
             latency: FrameLatency {

@@ -41,6 +41,7 @@ use adsim_faults::{blackout_frame, corrupt_pixels, FaultInjector, FaultStage, Fr
 use adsim_guard::{digest_image, GuardConfig, GuardEvent, GuardStats, Monitor, PipelineGuard};
 use adsim_planning::MotionPlan;
 use adsim_stats::LatencyRecorder;
+use adsim_telemetry::{DumpTrigger, FlightDump, FlightRecorder, FrameRecord, VehicleScope};
 use adsim_vision::{GrayImage, Pose2};
 
 /// Localization cost charged while dead-reckoning in the modeled
@@ -228,6 +229,13 @@ pub struct SupervisorConfig {
     /// governor off the supervisor is byte-identical to the pre-anytime
     /// policy (no knob is ever touched, no event is ever emitted).
     pub anytime: AnytimeConfig,
+    /// Vehicle id stamped onto telemetry series and flight-recorder
+    /// dumps. The fleet engine overwrites it with the cell's spec
+    /// index; standalone supervisors report as vehicle 0.
+    pub vehicle: u32,
+    /// Flight-recorder window: how many of the most recent frames the
+    /// black-box ring retains for post-mortem dumps.
+    pub flight_frames: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -243,6 +251,8 @@ impl Default for SupervisorConfig {
             deadline_ms: 100.0,
             guard: GuardConfig::default(),
             anytime: AnytimeConfig::off(),
+            vehicle: 0,
+            flight_frames: 32,
         }
     }
 }
@@ -437,6 +447,10 @@ struct SupervisorCore {
     last_pose: Option<Pose2>,
     delta: Option<(f64, f64, f64)>,
     reckon: Option<Pose2>,
+    // Black-box ring of the most recent frames, always on (bounded
+    // memory, virtual-clock content only), and the dumps it produced.
+    recorder: FlightRecorder,
+    dumps: Vec<FlightDump>,
 }
 
 /// Static trace-instant name for a mode transition, so degraded-mode
@@ -455,6 +469,54 @@ fn transition_instant(mode: DegradedMode, entered: bool) -> &'static str {
         (DegradedMode::QualityReduced, true) => "degrade.enter.quality-reduced",
         (DegradedMode::QualityReduced, false) => "degrade.exit.quality-reduced",
     }
+}
+
+/// Stable telemetry label for a degraded mode.
+fn mode_label(mode: DegradedMode) -> &'static str {
+    match mode {
+        DegradedMode::TrackerOnly => "tracker-only",
+        DegradedMode::DeadReckoning => "dead-reckoning",
+        DegradedMode::SpeedReduced => "speed-reduced",
+        DegradedMode::SafeStop => "safe-stop",
+        DegradedMode::QualityReduced => "quality-reduced",
+    }
+}
+
+/// Stable telemetry label for a pipeline stage (predictor index order).
+const STAGE_LABELS: [&str; 5] = ["det", "tra", "loc", "fus", "mot"];
+
+/// Packs a frame's injected faults into [`FrameRecord::fault_bits`].
+fn fault_bits(faults: &FrameFaults) -> u16 {
+    use adsim_telemetry as t;
+    let mut bits = 0u16;
+    if faults.blackout {
+        bits |= t::FAULT_BLACKOUT;
+    }
+    if faults.stuck {
+        bits |= t::FAULT_STUCK;
+    }
+    if faults.pixel_corruption.is_some() {
+        bits |= t::FAULT_CORRUPT;
+    }
+    if !faults.spikes.is_empty() {
+        bits |= t::FAULT_SPIKE;
+    }
+    if faults.lock_loss {
+        bits |= t::FAULT_LOCK_LOSS;
+    }
+    if faults.tracker_shift.is_some() {
+        bits |= t::FAULT_TRACKER_SHIFT;
+    }
+    if faults.stall.is_some() {
+        bits |= t::FAULT_STALL;
+    }
+    if faults.time_skew_s.is_some() {
+        bits |= t::FAULT_TIME_SKEW;
+    }
+    if !faults.drift.is_empty() {
+        bits |= t::FAULT_DRIFT;
+    }
+    bits
 }
 
 /// Maps a fault stage onto the anytime predictor's stage index.
@@ -483,8 +545,10 @@ fn toggle_mode(
             *slot = Some(frame);
             events.push(DegradationEvent { frame, kind: DegradationEventKind::Entered { mode, cause } });
             adsim_trace::instant(transition_instant(mode, true));
+            adsim_telemetry::counter_add("sup_mode_enter_total", mode_label(mode), 1);
             if mode == DegradedMode::SafeStop {
                 stats.safe_stops += 1;
+                adsim_telemetry::counter_add("sup_safe_stop_total", "", 1);
             }
         }
         (Some(since), false) => {
@@ -494,6 +558,7 @@ fn toggle_mode(
                 kind: DegradationEventKind::Exited { mode, frames_degraded: frame - since },
             });
             adsim_trace::instant(transition_instant(mode, false));
+            adsim_telemetry::counter_add("sup_mode_exit_total", mode_label(mode), 1);
         }
         _ => {}
     }
@@ -502,9 +567,12 @@ fn toggle_mode(
 impl SupervisorCore {
     fn new(cfg: SupervisorConfig) -> Self {
         let governor = Governor::new(cfg.anytime.clone());
+        let recorder = FlightRecorder::new(cfg.flight_frames);
         Self {
             cfg,
             governor,
+            recorder,
+            dumps: Vec::new(),
             tracker_only_since: None,
             dead_reck_since: None,
             speed_red_since: None,
@@ -572,6 +640,11 @@ impl SupervisorCore {
                     kind: DegradationEventKind::Retry { stage: stall.stage, attempt, backoff_ms: backoff },
                 });
                 adsim_trace::instant("degrade.retry");
+                adsim_telemetry::counter_add(
+                    "sup_retry_total",
+                    STAGE_LABELS[stage_index(stall.stage)],
+                    1,
+                );
                 self.stats.retries += 1;
             }
             match stall.stage {
@@ -673,10 +746,14 @@ impl SupervisorCore {
         plan: &StagePlan,
         reported_e2e_ms: f64,
         monitors: MonitorFlags,
+        payload_digest: u64,
     ) -> Verdict {
         let frame = faults.frame;
         let had_pose = pose.is_some();
         let detection_ran = !plan.skip_detection;
+        // Transitions pushed during this settle decide the flight dump
+        // triggers below.
+        let events_before = self.events.len();
         self.stats.frames += 1;
 
         // Dead-reckoning coverage is decided *before* odometry folds
@@ -807,7 +884,15 @@ impl SupervisorCore {
         }
         if plan.virtual_e2e_ms > self.cfg.deadline_ms {
             self.stats.virtual_deadline_misses += 1;
+            // Perfetto counter track: deterministic miss count next to
+            // the stage spans that caused it.
+            adsim_trace::counter(
+                "supervisor.virtual-miss",
+                self.stats.virtual_deadline_misses as f64,
+            );
         }
+
+        self.record_frame(faults, plan, monitors, payload_digest, events_before);
 
         Verdict {
             safe_stop: self.safe_stop_since.is_some(),
@@ -815,6 +900,96 @@ impl SupervisorCore {
                 .speed_red_since
                 .map(|_| self.cfg.degraded_speed_factor),
         }
+    }
+
+    /// Telemetry + black-box tail of settle: emits this frame's metric
+    /// series (virtual quantities only — the registry must stay a pure
+    /// function of the spec), pushes the flight record, and dumps the
+    /// ring when this frame's transitions warrant it.
+    fn record_frame(
+        &mut self,
+        faults: &FrameFaults,
+        plan: &StagePlan,
+        monitors: MonitorFlags,
+        payload_digest: u64,
+        events_before: usize,
+    ) {
+        use adsim_telemetry as t;
+        let frame = faults.frame;
+        let extras = [
+            plan.extra.detection,
+            plan.extra.tracking,
+            plan.extra.localization,
+            plan.extra.fusion,
+            plan.extra.motion_planning,
+        ];
+        let mut stage_virtual_ms = [0.0f64; 5];
+        for (i, slot) in stage_virtual_ms.iter_mut().enumerate() {
+            *slot = self.governor.nominal_stage_ms(i) + extras[i];
+        }
+
+        t::counter_add("sup_frames_total", "", 1);
+        if plan.virtual_e2e_ms > self.cfg.deadline_ms {
+            t::counter_add("sup_virtual_deadline_miss_total", "", 1);
+        }
+        for (i, &label) in STAGE_LABELS.iter().enumerate() {
+            t::observe_ms("stage_virtual_ms", label, stage_virtual_ms[i]);
+        }
+        t::observe_ms("e2e_virtual_ms", "", plan.virtual_e2e_ms);
+        if self.governor.enabled() {
+            t::gauge_set("sup_quality_level", "", frame, self.governor.level() as f64);
+        }
+
+        let modes = self.active_modes();
+        let mode_bits = ((modes.tracker_only as u8) * t::MODE_TRACKER_ONLY)
+            | ((modes.dead_reckoning as u8) * t::MODE_DEAD_RECKONING)
+            | ((modes.speed_reduced as u8) * t::MODE_SPEED_REDUCED)
+            | ((modes.safe_stop as u8) * t::MODE_SAFE_STOP)
+            | ((modes.quality_reduced as u8) * t::MODE_QUALITY_REDUCED);
+        let monitor_bits = ((monitors.data as u8) * t::MONITOR_DATA)
+            | ((monitors.detection as u8) * t::MONITOR_DETECTION)
+            | ((monitors.tracker as u8) * t::MONITOR_TRACKER)
+            | ((monitors.localization as u8) * t::MONITOR_LOCALIZATION)
+            | ((monitors.planner as u8) * t::MONITOR_PLANNER);
+        let quality_rung =
+            if self.governor.enabled() { self.governor.current().name } else { "full" };
+        self.recorder.push(FrameRecord {
+            frame,
+            stage_virtual_ms,
+            virtual_e2e_ms: plan.virtual_e2e_ms,
+            quality_rung,
+            mode_bits,
+            monitor_bits,
+            fault_bits: fault_bits(faults),
+            payload_digest,
+            forecast_e2e_ms: self.governor.last_forecast_e2e(),
+        });
+
+        // Dump triggers, in severity order: entering SafeStop always
+        // dumps; otherwise any monitor-tripped escalation does.
+        let mut trigger = None;
+        for e in &self.events[events_before..] {
+            if let DegradationEventKind::Entered { mode, cause } = e.kind {
+                if mode == DegradedMode::SafeStop {
+                    trigger = Some(DumpTrigger::SafeStop);
+                    break;
+                }
+                if matches!(cause, DegradationCause::MonitorTripped { .. }) {
+                    trigger = Some(DumpTrigger::MonitorTripped);
+                }
+            }
+        }
+        if let Some(trigger) = trigger {
+            self.dump(trigger, frame);
+        }
+    }
+
+    /// Captures a flight dump of the black-box ring as of `frame`.
+    fn dump(&mut self, trigger: DumpTrigger, frame: u64) -> FlightDump {
+        let dump = self.recorder.dump(self.cfg.vehicle, trigger, frame);
+        adsim_telemetry::counter_add("flight_dump_total", trigger.name(), 1);
+        self.dumps.push(dump.clone());
+        dump
     }
 
     fn active_modes(&self) -> ActiveModes {
@@ -986,6 +1161,24 @@ impl Supervisor {
         self.core.finish();
     }
 
+    /// Flight-recorder dumps captured so far (SafeStop, monitor-trip
+    /// and manual triggers), in capture order.
+    pub fn flight_dumps(&self) -> &[FlightDump] {
+        &self.core.dumps
+    }
+
+    /// Takes ownership of the captured dumps (the fleet engine moves
+    /// them into the cell outcome).
+    pub fn take_flight_dumps(&mut self) -> Vec<FlightDump> {
+        std::mem::take(&mut self.core.dumps)
+    }
+
+    /// Captures an on-demand dump of the black-box window right now.
+    pub fn dump_flight(&mut self) -> FlightDump {
+        let frame = self.core.stats.frames.saturating_sub(1);
+        self.core.dump(DumpTrigger::Manual, frame)
+    }
+
     /// The safety guard's trip log, in frame order.
     pub fn guard_events(&self) -> &[GuardEvent] {
         self.guard.events()
@@ -1003,6 +1196,10 @@ impl Supervisor {
     /// degraded-mode state machine, and adjusts the motion plan for
     /// the active modes.
     pub fn process(&mut self, image: &GrayImage, time_s: f64) -> SupervisedFrameResult {
+        // Every metric recorded during this frame — by the guard, the
+        // governor, the pipeline or the supervisor itself — carries
+        // this vehicle's id without any of them knowing about fleets.
+        let _vehicle = VehicleScope::enter(self.core.cfg.vehicle);
         let faults = self.injector.next_frame();
         let mut plan = self.core.plan(&faults);
         let frame = faults.frame;
@@ -1035,8 +1232,10 @@ impl Supervisor {
         // delivery, transient transport corruption does not.
         let mut recovered = None;
         let mut data_bad = false;
+        let mut payload_digest = 0u64;
         if self.core.cfg.guard.enabled && self.core.cfg.guard.data_plane {
             let expected = digest_image(image);
+            payload_digest = expected.0;
             let (dv, replacement) = self.guard.check_delivery(frame, expected, img, || {
                 if faults.blackout {
                     blackout_frame(image)
@@ -1103,8 +1302,14 @@ impl Supervisor {
             data: data_bad,
         };
 
-        let verdict =
-            self.core.settle(&faults, out.pose, &plan, reported.end_to_end(), monitors);
+        let verdict = self.core.settle(
+            &faults,
+            out.pose,
+            &plan,
+            reported.end_to_end(),
+            monitors,
+            payload_digest,
+        );
         if verdict.safe_stop {
             out.plan = MotionPlan::EmergencyStop;
         } else if let Some(factor) = verdict.speed_factor {
@@ -1176,6 +1381,7 @@ impl ModeledSupervisor {
     /// localization sample. The modeled pipeline has no natural
     /// localization misses, so lock loss is purely injected.
     pub fn simulate_frame(&mut self, pixel_ratio: f64) -> FrameLatency {
+        let _vehicle = VehicleScope::enter(self.core.cfg.vehicle);
         let faults = self.injector.next_frame();
         let plan = self.core.plan(&faults);
         let base = self.pipeline.simulate_frame(pixel_ratio);
@@ -1194,7 +1400,14 @@ impl ModeledSupervisor {
             motion_planning: base.motion_planning + plan.extra.motion_planning,
         };
         let pose = if plan.skip_localization { None } else { Some(Pose2::default()) };
-        self.core.settle(&faults, pose, &plan, reported.end_to_end(), MonitorFlags::default());
+        self.core.settle(
+            &faults,
+            pose,
+            &plan,
+            reported.end_to_end(),
+            MonitorFlags::default(),
+            0,
+        );
         reported
     }
 

@@ -9,6 +9,7 @@ use adsim_guard::{Digest, Hasher};
 use adsim_perception::metrics::{MotAccumulator, TruthBox};
 use adsim_planning::MotionPlan;
 use adsim_stats::Quantile;
+use adsim_telemetry::{FlightDump, MetricsRegistry};
 
 /// IoU threshold for the per-cell CLEAR-MOT association.
 const MOT_IOU: f32 = 0.3;
@@ -109,6 +110,12 @@ pub struct CellOutcome {
     pub sup_log: Vec<String>,
     /// Guard-event log, rendered.
     pub guard_log: Vec<String>,
+    /// Black-box flight-recorder dumps this cell captured (SafeStop and
+    /// monitor-trip escalations), in capture order.
+    pub dumps: Vec<FlightDump>,
+    /// The cell's drained telemetry registry (virtual-clock metrics
+    /// only — deterministic, merged fleet-wide in spec order).
+    pub telemetry: MetricsRegistry,
     /// FNV digest folded over every frame's deterministic outputs
     /// (detections, pose, tracks, plan, modes) — the byte-identity pin.
     pub output_digest: Digest,
@@ -136,7 +143,8 @@ impl CellOutcome {
         format!(
             "{} {:#x} frames={} injected={} detected={} recovered={} trips={} uncaught={} \
              episodes={} ttr={:.4}/{} degraded={:.6} safestops={} retries={} mota={:.6} \
-             vmiss={:.6} qswitch={} qframes={} govlog={} suplog={} guardlog={} digest={}",
+             vmiss={:.6} qswitch={} qframes={} govlog={} suplog={} guardlog={} dumps={} \
+             digest={}",
             self.label,
             self.seed,
             self.frames,
@@ -158,6 +166,7 @@ impl CellOutcome {
             self.gov_log.len(),
             self.sup_log.len(),
             self.guard_log.len(),
+            self.dumps.len(),
             self.output_digest,
         )
     }
@@ -220,6 +229,10 @@ pub fn run_cell(
     spec: &CellSpec,
     pipeline: &NativePipelineConfig,
 ) -> (CellOutcome, StageHistograms) {
+    // Push any telemetry a previous occupant of this worker thread left
+    // in the local shard out to the global sink, so the drain below
+    // returns exactly this cell's series.
+    adsim_telemetry::flush_thread();
     let mut sup =
         assets.supervisor(spec.seed, spec.faults.clone(), spec.supervisor.clone(), pipeline);
     let mut hists = StageHistograms::new();
@@ -261,6 +274,8 @@ pub fn run_cell(
     }
     let stats = sup.recovery_stats();
     let gs = *sup.guard_stats();
+    let mut telemetry = adsim_telemetry::drain_thread();
+    telemetry.sort();
     let outcome = CellOutcome {
         label: spec.label.clone(),
         seed: spec.seed,
@@ -283,6 +298,8 @@ pub fn run_cell(
         gov_log: sup.governor_events().iter().map(|e| e.to_string()).collect(),
         sup_log: sup.events().iter().map(|e| e.to_string()).collect(),
         guard_log: sup.guard_events().iter().map(|e| e.to_string()).collect(),
+        dumps: sup.take_flight_dumps(),
+        telemetry,
         output_digest: digest.finish(),
         miss_rate: stats.miss_rate(),
         p99_ms: e2e.quantile(Quantile::P99),

@@ -5,6 +5,7 @@ use crate::cell::{run_cell, CellOutcome, CellSpec};
 use crate::sink::FleetSink;
 use adsim_core::NativePipelineConfig;
 use adsim_runtime::Runtime;
+use adsim_telemetry::MetricsRegistry;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -49,6 +50,11 @@ pub struct CampaignResult {
     pub outcomes: Vec<CellOutcome>,
     /// Fleet-level aggregation (merged stage histograms, counters).
     pub sink: FleetSink,
+    /// Fleet-merged telemetry registry: per-cell registries folded in
+    /// **spec order** (histogram sums are f64 — order matters for byte
+    /// identity), so the merged snapshot is identical on any worker
+    /// count. Empty unless a `TelemetrySession` recorded the campaign.
+    pub telemetry: MetricsRegistry,
     /// Wall-clock seconds for the whole campaign.
     pub wall_s: f64,
     /// Fleet workers that ran it.
@@ -133,13 +139,18 @@ impl FleetEngine {
             specs.iter().map(|_| Mutex::new(None)).collect();
         let rt = Runtime::new(self.cfg.workers);
         rt.run(specs.len(), |i| {
-            let (outcome, hists) = run_cell(&self.assets, &specs[i], &self.cfg.pipeline);
+            // The spec index is the vehicle id: every metric and flight
+            // dump a cell emits is labeled with it, independent of
+            // which fleet worker ran the cell.
+            let mut spec = specs[i].clone();
+            spec.supervisor.vehicle = i as u32;
+            let (outcome, hists) = run_cell(&self.assets, &spec, &self.cfg.pipeline);
             // Stream the cell's tails into the fleet sink, then drop
             // them — only the fixed-size fleet histograms survive.
             sink.lock().expect("fleet sink poisoned").absorb(&outcome, &hists);
             *slots[i].lock().expect("cell slot poisoned") = Some(outcome);
         });
-        let outcomes = slots
+        let outcomes: Vec<CellOutcome> = slots
             .into_iter()
             .map(|s| {
                 s.into_inner()
@@ -148,11 +159,23 @@ impl FleetEngine {
             })
             .collect();
         CampaignResult {
+            telemetry: Self::merge_telemetry(&outcomes),
             outcomes,
             sink: sink.into_inner().expect("fleet sink poisoned"),
             wall_s: start.elapsed().as_secs_f64(),
             workers: self.cfg.workers,
         }
+    }
+
+    /// Folds per-cell registries in spec order — never completion order,
+    /// where steal timing would perturb f64 histogram sums.
+    fn merge_telemetry(outcomes: &[CellOutcome]) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        for outcome in outcomes {
+            merged.merge(&outcome.telemetry);
+        }
+        merged.sort();
+        merged
     }
 
     /// [`FleetEngine::run`] on a single in-place worker — the serial
@@ -161,11 +184,19 @@ impl FleetEngine {
         let start = Instant::now();
         let mut sink = FleetSink::new();
         let mut outcomes = Vec::with_capacity(specs.len());
-        for spec in specs {
-            let (outcome, hists) = run_cell(&self.assets, spec, &self.cfg.pipeline);
+        for (i, spec) in specs.iter().enumerate() {
+            let mut spec = spec.clone();
+            spec.supervisor.vehicle = i as u32;
+            let (outcome, hists) = run_cell(&self.assets, &spec, &self.cfg.pipeline);
             sink.absorb(&outcome, &hists);
             outcomes.push(outcome);
         }
-        CampaignResult { outcomes, sink, wall_s: start.elapsed().as_secs_f64(), workers: 1 }
+        CampaignResult {
+            telemetry: Self::merge_telemetry(&outcomes),
+            outcomes,
+            sink,
+            wall_s: start.elapsed().as_secs_f64(),
+            workers: 1,
+        }
     }
 }

@@ -56,3 +56,6 @@ pub use assets::FleetAssets;
 pub use cell::{run_cell, CellOutcome, CellSpec};
 pub use engine::{CampaignResult, FleetConfig, FleetEngine};
 pub use sink::{FleetSink, StageHistograms};
+// Telemetry types surface in the campaign API (per-cell registries and
+// flight dumps ride in CellOutcome; the fleet merge in CampaignResult).
+pub use adsim_telemetry::{prometheus_text, FlightDump, MetricsRegistry, TelemetrySession};

@@ -22,7 +22,8 @@ fn category(name: &str) -> &'static str {
         Some("dnn") | Some("tensor") => "compute",
         Some("orb") | Some("loc") => "vision",
         Some("runtime") => "runtime",
-        Some("degrade") => "supervisor",
+        Some("degrade") | Some("supervisor") | Some("anytime") | Some("guard") => "supervisor",
+        Some("telemetry") => "telemetry",
         _ => "adsim",
     }
 }
@@ -274,6 +275,22 @@ mod tests {
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"cat\":\"compute\""));
+    }
+
+    #[test]
+    fn governor_and_supervisor_counters_get_the_supervisor_track() {
+        // Perfetto groups counter tracks by category: the quality-rung
+        // and virtual-deadline-miss counters must land beside the
+        // degradation instants, not in the catch-all bucket.
+        let events = vec![
+            ev("anytime.quality-level", NO_INDEX, EventKind::Counter { value: 2.0 }),
+            ev("supervisor.virtual-miss", NO_INDEX, EventKind::Counter { value: 5.0 }),
+            ev("guard.data", 7, EventKind::Instant),
+        ];
+        let json = chrome_trace_json(&events);
+        validate_json(&json).unwrap();
+        assert_eq!(json.matches("\"cat\":\"supervisor\"").count(), 3, "{json}");
+        assert!(json.contains("\"name\":\"anytime.quality-level\",\"cat\":\"supervisor\""));
     }
 
     #[test]

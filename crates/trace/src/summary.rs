@@ -103,15 +103,53 @@ pub struct WorkerUtilization {
 /// per [`WORKER_SPAN`] index, plus the total [`REGION_SPAN`] wall time
 /// to divide by. Returns `(workers, total_region_ms)`; utilization of
 /// worker *w* is `busy_ms / total_region_ms`.
+///
+/// Runtimes nest (a worker task may build its own inner `Runtime`, as
+/// the pipeline's DET/LOC fork does for ORB and DNN fan-out), and the
+/// inner runtime emits its own region/worker spans. Counting those
+/// again would double-bill the same wall time — the outer worker span
+/// already covers it — so any runtime span that starts inside a
+/// still-open worker span *on the same thread* is dropped. Inner
+/// worker spans on freshly spawned threads still count: they are real
+/// parallelism no outer span covers.
 pub fn worker_utilization(events: &[Event]) -> (Vec<WorkerUtilization>, f64) {
+    let mut spans: Vec<(&Event, u64)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Span { dur_ns, .. }
+                if e.name == REGION_SPAN || e.name == WORKER_SPAN =>
+            {
+                Some((e, dur_ns))
+            }
+            _ => None,
+        })
+        .collect();
+    // Start ascending; longer span first at a tie so an outer span is
+    // seen before the spans it encloses.
+    spans.sort_by(|a, b| a.0.ts_ns.cmp(&b.0.ts_ns).then(b.1.cmp(&a.1)));
     let mut workers: Vec<WorkerUtilization> = Vec::new();
     let mut region_ms = 0.0;
-    for e in events {
-        let EventKind::Span { dur_ns, .. } = e.kind else { continue };
+    // Per-thread stack of open outermost worker-span end times.
+    let mut open: Vec<(u32, Vec<u64>)> = Vec::new();
+    for (e, dur_ns) in spans {
+        let stack = match open.iter_mut().position(|(tid, _)| *tid == e.tid) {
+            Some(i) => &mut open[i].1,
+            None => {
+                open.push((e.tid, Vec::new()));
+                &mut open.last_mut().expect("just pushed").1
+            }
+        };
+        while stack.last().is_some_and(|&end| end <= e.ts_ns) {
+            stack.pop();
+        }
+        let nested = !stack.is_empty();
+        if nested {
+            continue;
+        }
         let dur_ms = dur_ns as f64 / 1e6;
         if e.name == REGION_SPAN {
             region_ms += dur_ms;
-        } else if e.name == WORKER_SPAN {
+        } else {
             match workers.iter_mut().find(|w| w.worker == e.index) {
                 Some(w) => {
                     w.busy_ms += dur_ms;
@@ -123,6 +161,7 @@ pub fn worker_utilization(events: &[Event]) -> (Vec<WorkerUtilization>, f64) {
                     regions: 1,
                 }),
             }
+            stack.push(e.ts_ns + dur_ns);
         }
     }
     workers.sort_by_key(|w| w.worker);
@@ -135,10 +174,14 @@ mod tests {
     use crate::recorder::NO_INDEX;
 
     fn span_event(name: &'static str, index: u32, ts_ns: u64, dur_ns: u64) -> Event {
+        span_on(name, index, 0, ts_ns, dur_ns)
+    }
+
+    fn span_on(name: &'static str, index: u32, tid: u32, ts_ns: u64, dur_ns: u64) -> Event {
         Event {
             name,
             index,
-            tid: 0,
+            tid,
             ts_ns,
             kind: EventKind::Span { dur_ns, flops: 0, bytes: 0 },
         }
@@ -163,10 +206,10 @@ mod tests {
     fn worker_utilization_accumulates_per_index() {
         let events = vec![
             span_event(REGION_SPAN, NO_INDEX, 0, 10_000_000),
-            span_event(WORKER_SPAN, 0, 0, 9_000_000),
-            span_event(WORKER_SPAN, 1, 0, 5_000_000),
+            span_on(WORKER_SPAN, 0, 1, 0, 9_000_000),
+            span_on(WORKER_SPAN, 1, 2, 0, 5_000_000),
             span_event(REGION_SPAN, NO_INDEX, 20_000_000, 10_000_000),
-            span_event(WORKER_SPAN, 1, 20_000_000, 8_000_000),
+            span_on(WORKER_SPAN, 1, 2, 20_000_000, 8_000_000),
             span_event("other", 3, 0, 1_000_000),
         ];
         let (workers, region_ms) = worker_utilization(&events);
@@ -177,5 +220,52 @@ mod tests {
         assert_eq!(workers[0].regions, 1);
         assert_eq!(workers[1].busy_ms, 13.0);
         assert_eq!(workers[1].regions, 2);
+    }
+
+    #[test]
+    fn nested_runtime_spans_are_not_double_counted() {
+        let ms = 1_000_000u64;
+        // Outer region on tid 9; outer worker 0 runs in-place on tid 0,
+        // outer worker 1 on tid 1. The worker-0 task builds an inner
+        // runtime: its region and in-place worker 0 land on tid 0
+        // (inside the still-open outer worker span — covered time), its
+        // worker 1 on a freshly spawned tid 2 (uncovered parallelism).
+        let events = vec![
+            span_on(REGION_SPAN, NO_INDEX, 9, 0, 100 * ms),
+            span_on(WORKER_SPAN, 0, 0, 0, 98 * ms),
+            span_on(WORKER_SPAN, 1, 1, 0, 50 * ms),
+            span_on(REGION_SPAN, NO_INDEX, 0, 10 * ms, 40 * ms),
+            span_on(WORKER_SPAN, 0, 0, 10 * ms, 38 * ms),
+            span_on(WORKER_SPAN, 1, 2, 10 * ms, 30 * ms),
+        ];
+        let (workers, region_ms) = worker_utilization(&events);
+        // Pre-fix accounting was region=140, w0=136 (busy > region!).
+        assert_eq!(region_ms, 100.0);
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[0].busy_ms, 98.0);
+        assert_eq!(workers[0].regions, 1);
+        assert_eq!(workers[1].busy_ms, 80.0);
+        assert_eq!(workers[1].regions, 2);
+        for w in &workers {
+            assert!(w.busy_ms <= region_ms, "worker {} busier than wall", w.worker);
+        }
+    }
+
+    #[test]
+    fn sequential_regions_reset_the_nesting_stack() {
+        let ms = 1_000_000u64;
+        // Two back-to-back outer regions on the same threads: the
+        // second region's worker spans start after the first ones end,
+        // so they must count (the open-span stack pops stale entries).
+        let events = vec![
+            span_on(REGION_SPAN, NO_INDEX, 9, 0, 10 * ms),
+            span_on(WORKER_SPAN, 0, 0, 0, 9 * ms),
+            span_on(REGION_SPAN, NO_INDEX, 9, 20 * ms, 10 * ms),
+            span_on(WORKER_SPAN, 0, 0, 20 * ms, 8 * ms),
+        ];
+        let (workers, region_ms) = worker_utilization(&events);
+        assert_eq!(region_ms, 20.0);
+        assert_eq!(workers[0].busy_ms, 17.0);
+        assert_eq!(workers[0].regions, 2);
     }
 }

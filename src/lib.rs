@@ -21,6 +21,7 @@
 //! | [`trace`] | Span tracing, streaming tail-latency histograms, Chrome-trace export |
 //! | [`fleet`] | Work-stealing fleet campaign engine with Arc-shared weights |
 //! | [`anytime`] | Predictive deadline governor: anytime perception over the latency-accuracy frontier |
+//! | [`telemetry`] | Fleet metrics registry (Prometheus/JSON export) and the black-box flight recorder |
 //! | [`core`] | The end-to-end pipelines, supervisor, and design-constraint checker |
 //!
 //! # Quickstart
@@ -52,6 +53,7 @@ pub use adsim_platform as platform;
 pub use adsim_runtime as runtime;
 pub use adsim_slam as slam;
 pub use adsim_stats as stats;
+pub use adsim_telemetry as telemetry;
 pub use adsim_tensor as tensor;
 pub use adsim_trace as trace;
 pub use adsim_vehicle as vehicle;

@@ -129,6 +129,41 @@ fn runtime_workers_emit_utilization_spans() {
     assert!(data.iter().enumerate().all(|(i, &v)| v == (i as u64) * 3 + 1));
 }
 
+/// A worker task that builds its own inner runtime (the DET/LOC fork
+/// does this for ORB and DNN fan-out) emits nested region/worker
+/// spans. Utilization must bill each wall-clock interval once: no
+/// worker may appear busier than the total region time.
+#[test]
+fn nested_runtimes_keep_utilization_within_wall_clock() {
+    let session = TraceSession::begin();
+    let outer = Runtime::new(2);
+    outer.run(2, |_| {
+        let inner = Runtime::new(2);
+        let mut data = vec![0u64; 256];
+        inner.par_chunks_mut(&mut data, 8, |i, chunk| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (i * 8 + j) as u64;
+            }
+        });
+        std::hint::black_box(data);
+    });
+    let trace = session.finish();
+
+    let (workers, region_ms) = worker_utilization(&trace.events);
+    assert!(region_ms > 0.0);
+    assert!(!workers.is_empty());
+    for w in &workers {
+        assert!(
+            w.busy_ms <= region_ms * 1.001,
+            "worker {} billed {:.4} ms busy against {:.4} ms of region wall clock \
+             (nested spans double-counted)",
+            w.worker,
+            w.busy_ms,
+            region_ms
+        );
+    }
+}
+
 /// Supervisor degradation transitions appear as trace instants, one
 /// per logged event, so mode changes line up with stage spans on the
 /// timeline.
