@@ -38,7 +38,8 @@ pub fn is_wallclock_key(key: &str) -> bool {
     key.ends_with("_ms") || key.ends_with("_s") || key.ends_with("_pct") || key == "miss_rate"
         || key.contains("wall") || key.contains("overhead") || key.contains("p50")
         || key.contains("p95") || key.contains("p99") || key.contains("gflops")
-        || key.contains("throughput") || key.contains("util") || key.contains("fps")
+        || key.contains("gops") || key.contains("throughput") || key.contains("util")
+        || key.contains("fps") || key.contains("speedup")
 }
 
 /// Compares `fresh` against `baseline`. `tol` is the relative band for
@@ -141,8 +142,10 @@ mod tests {
 
     #[test]
     fn wallclock_keys_are_classified() {
-        for wall in ["p99_ms", "wall_s", "overhead_pct", "miss_rate", "guards_off_p50_ms", "util"]
-        {
+        for wall in [
+            "p99_ms", "wall_s", "overhead_pct", "miss_rate", "guards_off_p50_ms", "util",
+            "int8_gops", "kernel_speedup",
+        ] {
             assert!(is_wallclock_key(wall), "{wall} should be wall-clock");
         }
         for det in

@@ -47,7 +47,8 @@ pub use native::{
 pub use simulation::{ClosedLoopSim, SimReport, SimStep};
 pub use supervisor::{
     ActiveModes, DegradationCause, DegradationEvent, DegradationEventKind, DegradedMode,
-    ModeledSupervisor, RecoveryStats, SupervisedFrameResult, Supervisor, SupervisorConfig,
+    ModeledSupervisor, RecoveryStats, StagedFrame, SupervisedFrameResult, Supervisor,
+    SupervisorConfig,
 };
 // Guard types surface in the supervisor API (config, causes, logs);
 // re-export them so `adsim_core` alone is enough to drive it.

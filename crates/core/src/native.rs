@@ -2,8 +2,8 @@ use crate::modeled::FrameLatency;
 use adsim_anytime::{ModelVariant, QualityKnobs};
 use adsim_dnn::detection::Detection;
 use adsim_perception::{
-    BlobDetector, Detector, DetectorVariant, GoturnTracker, TemplateTracker, TrackedObject,
-    Tracker, TrackerPool, TrackerPoolConfig, YoloDetector,
+    BatchRequest, BlobDetector, Detector, DetectorVariant, GoturnTracker, TemplateTracker,
+    TrackedObject, Tracker, TrackerPool, TrackerPoolConfig, YoloDetector,
 };
 use adsim_planning::{Environment, FusedFrame, FusionEngine, MotionPlan, MotionPlanner};
 use adsim_runtime::Runtime;
@@ -220,6 +220,43 @@ impl NativePipeline {
         self.process_with(image, time_s, &ProcessControl::default())
     }
 
+    /// Applies an anytime quality operating point before any stage
+    /// runs, so the whole frame executes at one operating point. Both
+    /// knob setters are O(1) no-ops when already at the commanded
+    /// value (the model-variant switch clones from a shared cache —
+    /// never a weight copy), so re-applying the same knobs is free.
+    pub fn apply_quality(&mut self, quality: Option<QualityKnobs>) {
+        if let Some(k) = quality {
+            let variant = match k.det_variant {
+                ModelVariant::Full => DetectorVariant::Full,
+                ModelVariant::Reduced => DetectorVariant::Reduced,
+            };
+            self.detector.set_quality(k.det_scale, variant);
+            if self.pool.capacity() != k.tracker_capacity {
+                self.pool.set_capacity(k.tracker_capacity);
+            }
+        }
+    }
+
+    /// Prepares this frame's detection stage for cross-vehicle batched
+    /// execution: applies the control's quality knobs (so the request
+    /// reflects the frame's actual operating point) and asks the
+    /// detector to package its DNN input. Returns `None` when the
+    /// frame skips detection or the detector has no batchable stage —
+    /// the caller then lets [`NativePipeline::process_with`] run
+    /// detection inline as usual.
+    pub fn det_batch_request(
+        &mut self,
+        image: &GrayImage,
+        ctrl: &ProcessControl,
+    ) -> Option<BatchRequest> {
+        self.apply_quality(ctrl.quality);
+        if ctrl.skip_detection {
+            return None;
+        }
+        self.detector.batch_request(image)
+    }
+
     /// [`NativePipeline::process`] with supervisor overrides. The
     /// default control is transparent; a skipped stage costs zero
     /// measured latency and produces its empty output (no detections /
@@ -230,25 +267,32 @@ impl NativePipeline {
         time_s: f64,
         ctrl: &ProcessControl,
     ) -> NativeFrameResult {
+        self.process_with_det(image, time_s, ctrl, None)
+    }
+
+    /// [`NativePipeline::process_with`] where the detection stage may
+    /// already have run externally (the cross-vehicle batched path).
+    ///
+    /// `det_override = Some(d)` means a batch runner executed this
+    /// frame's forward pass from an earlier
+    /// [`NativePipeline::det_batch_request`]; the detector is not
+    /// invoked, `d` feeds tracking/monitoring exactly as an inline
+    /// result would, and the stage's measured wall latency is zero
+    /// (the batched forward is accounted at the fleet level). All
+    /// virtual-clock outputs — detections, tracks, plan, telemetry
+    /// counts — are bit-identical to the inline path by construction.
+    pub fn process_with_det(
+        &mut self,
+        image: &GrayImage,
+        time_s: f64,
+        ctrl: &ProcessControl,
+        det_override: Option<Vec<Detection>>,
+    ) -> NativeFrameResult {
         let _frame_sp = adsim_trace::span("pipeline.frame");
-        // Anytime quality knobs are applied before any stage runs, so
-        // the whole frame executes at one operating point. Both knob
-        // setters are O(1) no-ops when already at the commanded value
-        // (the model-variant switch clones from a shared cache — never
-        // a weight copy).
-        if let Some(k) = ctrl.quality {
-            let variant = match k.det_variant {
-                ModelVariant::Full => DetectorVariant::Full,
-                ModelVariant::Reduced => DetectorVariant::Reduced,
-            };
-            self.detector.set_quality(k.det_scale, variant);
-            if self.pool.capacity() != k.tracker_capacity {
-                self.pool.set_capacity(k.tracker_capacity);
-            }
-        }
+        self.apply_quality(ctrl.quality);
         // Steps 1a/1b: detection and localization in parallel (serial
         // in order on a single-worker runtime). When a stage is
-        // skipped there is no fork to run concurrently.
+        // skipped or pre-computed there is no fork to run concurrently.
         let localizer = &mut self.localizer;
         let detector = &mut self.detector;
         let run_loc = |localizer: &mut Localizer| {
@@ -263,8 +307,9 @@ impl NativePipeline {
             let d = detector.detect(image);
             (d, t.elapsed().as_secs_f64() * 1e3)
         };
+        let det_done = det_override.is_some();
         let ((loc_result, loc_ms), (detections, det_ms)) =
-            if ctrl.skip_detection || ctrl.skip_localization {
+            if ctrl.skip_detection || ctrl.skip_localization || det_done {
                 let loc = if ctrl.skip_localization {
                     let lost = LocalizeResult {
                         pose: None,
@@ -277,6 +322,8 @@ impl NativePipeline {
                 };
                 let det = if ctrl.skip_detection {
                     (Vec::new(), 0.0)
+                } else if let Some(d) = det_override {
+                    (d, 0.0)
                 } else {
                     run_det(detector)
                 };

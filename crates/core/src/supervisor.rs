@@ -37,8 +37,10 @@ use adsim_anytime::{
     AnytimeConfig, Governor, GovernorEvent, QualityKnobs, STAGE_DET, STAGE_FUS, STAGE_LOC,
     STAGE_MOT, STAGE_TRA,
 };
+use adsim_dnn::detection::Detection;
 use adsim_faults::{blackout_frame, corrupt_pixels, FaultInjector, FaultStage, FrameFaults};
 use adsim_guard::{digest_image, GuardConfig, GuardEvent, GuardStats, Monitor, PipelineGuard};
+use adsim_perception::BatchRequest;
 use adsim_planning::MotionPlan;
 use adsim_stats::LatencyRecorder;
 use adsim_telemetry::{DumpTrigger, FlightDump, FlightRecorder, FrameRecord, VehicleScope};
@@ -1072,6 +1074,37 @@ impl SupervisorCore {
     }
 }
 
+/// A frame paused at the cross-vehicle batching hand-off point.
+///
+/// Produced by [`Supervisor::stage_frame`]: fault injection, data
+/// -plane verification and frame planning have run; the pipeline
+/// stages have not. The supervisor's mutable state has already
+/// advanced (the injector's schedule, guard counters, stuck-frame
+/// replay buffer), so every staged frame **must** be completed with
+/// [`Supervisor::finish_frame`] before the next frame is staged.
+#[derive(Debug)]
+pub struct StagedFrame {
+    faults: FrameFaults,
+    plan: StagePlan,
+    ctrl: ProcessControl,
+    delivered_time_s: f64,
+    /// The delivered (possibly fault-perturbed, possibly recovered)
+    /// sensor payload the pipeline will consume.
+    img: GrayImage,
+    payload_digest: u64,
+    data_bad: bool,
+    request: Option<BatchRequest>,
+}
+
+impl StagedFrame {
+    /// The detector's prepared DNN input, if this frame's detection
+    /// stage is batchable (not skipped, DNN detector). `None` means
+    /// [`Supervisor::finish_frame`] will run detection inline.
+    pub fn request(&self) -> Option<&BatchRequest> {
+        self.request.as_ref()
+    }
+}
+
 /// Output of one supervised frame.
 #[derive(Debug)]
 pub struct SupervisedFrameResult {
@@ -1196,6 +1229,32 @@ impl Supervisor {
     /// degraded-mode state machine, and adjusts the motion plan for
     /// the active modes.
     pub fn process(&mut self, image: &GrayImage, time_s: f64) -> SupervisedFrameResult {
+        // Single source of truth with the batched path: the inline
+        // path is exactly stage + finish, minus the batch-request
+        // packaging (no resize/tensor work is wasted — `detect` does
+        // its own).
+        let staged = self.stage_frame_inner(image, time_s, false);
+        self.finish_frame(staged, None)
+    }
+
+    /// First half of [`Supervisor::process`], up to the cross-vehicle
+    /// batching hand-off point: injects the frame's faults, verifies
+    /// the delivered payload against its capture digest, plans the
+    /// frame, and packages the detector's prepared DNN input (if any)
+    /// into the returned [`StagedFrame`]. A fleet batch runner
+    /// collects requests from many vehicles' staged frames, executes
+    /// one batched forward pass per model, and hands each vehicle's
+    /// detections back through [`Supervisor::finish_frame`].
+    pub fn stage_frame(&mut self, image: &GrayImage, time_s: f64) -> StagedFrame {
+        self.stage_frame_inner(image, time_s, true)
+    }
+
+    fn stage_frame_inner(
+        &mut self,
+        image: &GrayImage,
+        time_s: f64,
+        want_request: bool,
+    ) -> StagedFrame {
         // Every metric recorded during this frame — by the guard, the
         // governor, the pipeline or the supervisor itself — carries
         // this vehicle's id without any of them knowing about fleets.
@@ -1206,23 +1265,20 @@ impl Supervisor {
         // The sensor clock the pipeline sees, skew included.
         let delivered_time_s = time_s + faults.time_skew_s.unwrap_or(0.0);
 
-        // Sensor faults perturb the frame before the pipeline sees it;
-        // a clean frame is passed through untouched (no copy). `last`
-        // is the previously delivered payload — a stuck sensor
-        // re-delivers it verbatim.
+        // Sensor faults perturb the frame before the pipeline sees it.
+        // `last` is the previously delivered payload — a stuck sensor
+        // re-delivers it verbatim. The staged frame owns its payload
+        // so it can outlive the caller's borrow until `finish_frame`.
         let last = self.last_delivered.take();
-        let storage;
-        let img: &GrayImage = if faults.blackout {
-            storage = blackout_frame(image);
-            &storage
+        let mut img: GrayImage = if faults.blackout {
+            blackout_frame(image)
         } else if faults.stuck {
             // Wedged on the very first frame: nothing older to repeat.
-            last.as_ref().unwrap_or(image)
+            last.clone().unwrap_or_else(|| image.clone())
         } else if let Some(pc) = faults.pixel_corruption {
-            storage = corrupt_pixels(image, pc.fraction, pc.salt);
-            &storage
+            corrupt_pixels(image, pc.fraction, pc.salt)
         } else {
-            image
+            image.clone()
         };
 
         // Checksummed data plane: the digest travels with the capture;
@@ -1230,13 +1286,12 @@ impl Supervisor {
         // The optional dual-execution vote asks the sensor once more —
         // persistent faults (blackout, stuck) reproduce on the second
         // delivery, transient transport corruption does not.
-        let mut recovered = None;
         let mut data_bad = false;
         let mut payload_digest = 0u64;
         if self.core.cfg.guard.enabled && self.core.cfg.guard.data_plane {
             let expected = digest_image(image);
             payload_digest = expected.0;
-            let (dv, replacement) = self.guard.check_delivery(frame, expected, img, || {
+            let (dv, replacement) = self.guard.check_delivery(frame, expected, &img, || {
                 if faults.blackout {
                     blackout_frame(image)
                 } else if faults.stuck {
@@ -1245,10 +1300,11 @@ impl Supervisor {
                     image.clone()
                 }
             });
-            recovered = replacement;
+            if let Some(r) = replacement {
+                img = r;
+            }
             data_bad = dv.is_bad();
         }
-        let img: &GrayImage = recovered.as_ref().unwrap_or(img);
 
         // A payload the guard distrusts must not feed the detector:
         // force tracker-only perception for the frame.
@@ -1272,7 +1328,44 @@ impl Supervisor {
             track_shift: faults.tracker_shift,
             quality: plan.quality,
         };
-        let mut out = self.pipeline.process_with(img, delivered_time_s, &ctrl);
+        let request =
+            if want_request { self.pipeline.det_batch_request(&img, &ctrl) } else { None };
+        StagedFrame {
+            faults,
+            plan,
+            ctrl,
+            delivered_time_s,
+            img,
+            payload_digest,
+            data_bad,
+            request,
+        }
+    }
+
+    /// Second half of [`Supervisor::process`]: runs the pipeline on
+    /// the staged payload (skipping detection when `det_override`
+    /// carries the batched result), applies the stage-boundary
+    /// monitors, settles the degraded-mode state machine and adjusts
+    /// the motion plan. `det_override = None` runs any un-batched
+    /// detection inline — bit-identical to [`Supervisor::process`].
+    pub fn finish_frame(
+        &mut self,
+        staged: StagedFrame,
+        det_override: Option<Vec<Detection>>,
+    ) -> SupervisedFrameResult {
+        let _vehicle = VehicleScope::enter(self.core.cfg.vehicle);
+        let StagedFrame {
+            faults,
+            plan,
+            ctrl,
+            delivered_time_s,
+            img,
+            payload_digest,
+            data_bad,
+            request: _,
+        } = staged;
+        let frame = faults.frame;
+        let mut out = self.pipeline.process_with_det(&img, delivered_time_s, &ctrl, det_override);
 
         let reported = FrameLatency {
             detection: out.latency.detection + plan.extra.detection,

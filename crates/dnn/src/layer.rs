@@ -20,7 +20,7 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply_with(self, rt: &Runtime, t: &Tensor) -> Tensor {
+    pub(crate) fn apply_with(self, rt: &Runtime, t: &Tensor) -> Tensor {
         match self {
             Activation::None => t.clone(),
             Activation::Relu => ops::relu_with(rt, t),

@@ -119,13 +119,48 @@ impl Network {
                 rhs: self.input_shape.clone(),
             });
         }
+        self.run_layers(rt, input)
+    }
+
+    /// Runs the network on a `[n, ...]` batch whose per-image dims
+    /// match the declared input shape, with any `n ≥ 1`.
+    ///
+    /// Every layer kind is batch-agnostic, so the whole batch flows
+    /// through each kernel as one call — a batch of `n` detector
+    /// frames shares one GEMM per conv layer instead of re-streaming
+    /// the weights `n` times. Thanks to the tensor crate's
+    /// column-position-invariant GEMM tails, the output for image `b`
+    /// is **bit-identical** to running that image alone through
+    /// [`Network::forward_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `input`'s rank or
+    /// per-image dims differ from the declared input shape, or
+    /// propagates kernel errors.
+    pub fn forward_batched(&self, rt: &Runtime, input: &Tensor) -> Result<Tensor> {
+        let want = self.input_shape.dims();
+        let got = input.shape().dims();
+        if got.len() != want.len() || got[1..] != want[1..] {
+            return Err(TensorError::ShapeMismatch {
+                op: "network_forward_batched",
+                lhs: input.shape().clone(),
+                rhs: self.input_shape.clone(),
+            });
+        }
+        self.run_layers(rt, input)
+    }
+
+    /// Shared layer loop for [`Network::forward_with`] and
+    /// [`Network::forward_batched`]; assumes `input` already validated.
+    fn run_layers(&self, rt: &Runtime, input: &Tensor) -> Result<Tensor> {
         let mut x = input.clone();
         if adsim_trace::enabled() {
             // The traced path propagates the shape alongside the data so
             // each layer span carries its exact FLOP/byte cost from
             // `Layer::cost` (DESIGN.md §8). Compute is unchanged.
             let _net = adsim_trace::span("dnn.forward");
-            let mut shape = self.input_shape.clone();
+            let mut shape = input.shape().clone();
             for (i, layer) in self.layers.iter().enumerate() {
                 let cost = layer.cost(&shape)?;
                 shape = layer.output_shape(&shape)?;
@@ -386,6 +421,57 @@ mod tests {
             let par = net.forward_with(&Runtime::new(threads), &input).unwrap();
             assert_eq!(par, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn forward_batched_matches_per_image_forward_bitwise() {
+        let net = NetworkBuilder::new("t", [1, 2, 12, 12], 7)
+            .conv(6, 3, 1, 1, Activation::LeakyRelu(0.1))
+            .max_pool(2, 2)
+            .conv(8, 3, 1, 1, Activation::Relu)
+            .flatten()
+            .linear(10, Activation::Sigmoid)
+            .build()
+            .unwrap();
+        let batch = Tensor::from_fn([5, 2, 12, 12], |i| {
+            ((i[0] * 31 + i[1] * 17 + i[2] * 5 + i[3]) % 19) as f32 / 19.0 - 0.4
+        });
+        let per_img = 2 * 12 * 12;
+        for threads in [1, 2, 8] {
+            let rt = Runtime::new(threads);
+            let batched = net.forward_batched(&rt, &batch).unwrap();
+            assert_eq!(batched.shape().dims(), &[5, 10]);
+            for img in 0..5 {
+                let single = Tensor::from_vec(
+                    [1, 2, 12, 12],
+                    batch.as_slice()[img * per_img..(img + 1) * per_img].to_vec(),
+                )
+                .unwrap();
+                let one = net.forward_with(&rt, &single).unwrap();
+                for (j, (x, y)) in
+                    batched.as_slice()[img * 10..(img + 1) * 10].iter().zip(one.iter()).enumerate()
+                {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "img={img} out={j} t={threads}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batched_validates_per_image_dims() {
+        let net = NetworkBuilder::new("t", [1, 1, 4, 4], 1)
+            .flatten()
+            .linear(2, Activation::None)
+            .build()
+            .unwrap();
+        let rt = Runtime::serial();
+        assert!(net.forward_batched(&rt, &Tensor::zeros([3, 1, 4, 4])).is_ok());
+        assert!(net.forward_batched(&rt, &Tensor::zeros([3, 1, 5, 5])).is_err());
+        assert!(net.forward_batched(&rt, &Tensor::zeros([1, 4, 4])).is_err());
     }
 
     #[test]

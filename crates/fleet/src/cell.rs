@@ -3,13 +3,18 @@
 
 use crate::assets::FleetAssets;
 use crate::sink::StageHistograms;
-use adsim_core::{GuardConfig, NativePipelineConfig, SupervisedFrameResult, SupervisorConfig};
+use adsim_core::{
+    GuardConfig, NativePipelineConfig, StagedFrame, SupervisedFrameResult, Supervisor,
+    SupervisorConfig,
+};
+use adsim_dnn::detection::Detection;
 use adsim_faults::FaultConfig;
-use adsim_guard::{Digest, Hasher};
+use adsim_guard::{Digest, GuardStats, Hasher};
 use adsim_perception::metrics::{MotAccumulator, TruthBox};
 use adsim_planning::MotionPlan;
 use adsim_stats::Quantile;
 use adsim_telemetry::{FlightDump, MetricsRegistry};
+use adsim_workload::Frame;
 
 /// IoU threshold for the per-cell CLEAR-MOT association.
 const MOT_IOU: f32 = 0.3;
@@ -220,6 +225,156 @@ fn fold_frame(h: &mut Hasher, out: &SupervisedFrameResult) {
     );
 }
 
+/// One cell's in-flight streaming state: the supervisor plus every
+/// per-frame accumulator (`run_cell`'s loop variables, reified).
+///
+/// The split into [`CellRun::stage`] / [`CellRun::complete`] exists
+/// for the lockstep batched engine: it pauses every cell at the
+/// detection hand-off point of the *same* frame index, runs one
+/// cross-vehicle batched forward pass, and resumes each cell with its
+/// detections. [`CellRun::step`] is the unbatched equivalent (stage +
+/// inline detection + complete in one call) used by [`run_cell`].
+pub(crate) struct CellRun {
+    spec: CellSpec,
+    sup: Supervisor,
+    hists: StageHistograms,
+    e2e: adsim_stats::LatencyRecorder,
+    digest: Hasher,
+    mot: MotAccumulator,
+    injected: u64,
+    uncaught: u64,
+}
+
+impl CellRun {
+    /// Builds the cell's supervisor and zeroed accumulators. The
+    /// caller has already stamped `spec.supervisor.vehicle`.
+    pub(crate) fn new(
+        assets: &FleetAssets,
+        spec: CellSpec,
+        pipeline: &NativePipelineConfig,
+    ) -> Self {
+        let sup =
+            assets.supervisor(spec.seed, spec.faults.clone(), spec.supervisor.clone(), pipeline);
+        let e2e = adsim_stats::LatencyRecorder::with_capacity(spec.frames);
+        Self {
+            spec,
+            sup,
+            hists: StageHistograms::new(),
+            e2e,
+            digest: Hasher::new(),
+            mot: MotAccumulator::new(MOT_IOU),
+            injected: 0,
+            uncaught: 0,
+        }
+    }
+
+    /// Frames this cell's spec asks for.
+    pub(crate) fn frames(&self) -> usize {
+        self.spec.frames
+    }
+
+    /// Processes one frame inline (no batching hand-off).
+    pub(crate) fn step(&mut self, frame: &Frame) {
+        let before = *self.sup.guard_stats();
+        let out = self.sup.process(&frame.image, frame.time_s);
+        self.observe(frame, out, before);
+    }
+
+    /// Pauses this frame at the detection hand-off point. Guard
+    /// counters are snapshotted *before* staging (data-plane checks
+    /// run during the stage), so [`CellRun::complete`] sees the same
+    /// before/after window [`CellRun::step`] would.
+    pub(crate) fn stage(&mut self, frame: &Frame) -> (StagedFrame, GuardStats) {
+        let before = *self.sup.guard_stats();
+        (self.sup.stage_frame(&frame.image, frame.time_s), before)
+    }
+
+    /// Resumes a staged frame, feeding it the batched detection result
+    /// (`None` runs any un-batched detection inline).
+    pub(crate) fn complete(
+        &mut self,
+        frame: &Frame,
+        staged: StagedFrame,
+        before: GuardStats,
+        det: Option<Vec<Detection>>,
+    ) {
+        let out = self.sup.finish_frame(staged, det);
+        self.observe(frame, out, before);
+    }
+
+    /// Folds one finished frame into every accumulator — identical
+    /// bookkeeping for the inline and batched paths.
+    fn observe(&mut self, frame: &Frame, out: SupervisedFrameResult, before: GuardStats) {
+        self.hists.record(&out.reported);
+        self.e2e.record(out.reported.end_to_end());
+        fold_frame(&mut self.digest, &out);
+        let truth: Vec<TruthBox> = frame
+            .truth_objects
+            .iter()
+            .map(|t| TruthBox { id: t.id, bbox: t.bbox })
+            .collect();
+        self.mot.observe(&truth, &out.result.tracks);
+        let after = *self.sup.guard_stats();
+
+        // Ground truth: did the injector touch the sensor payload?
+        let data_fault =
+            out.faults.blackout || out.faults.stuck || out.faults.pixel_corruption.is_some();
+        self.injected += data_fault as u64;
+
+        // Escalation contract: a confirmed-bad payload or a tripped
+        // monitor must leave a degraded mode active this frame. A
+        // dual-execution *recovery* is the one benign detection — the
+        // vote repaired the payload, nothing to escalate.
+        let detected = (after.digest_mismatches + after.stuck_detected)
+            > (before.digest_mismatches + before.stuck_detected);
+        let recovered = after.dual_recovered > before.dual_recovered;
+        let tripped = after.monitor_trips() > before.monitor_trips();
+        if ((detected && !recovered) || tripped) && !out.modes.any() {
+            self.uncaught += 1;
+        }
+    }
+
+    /// Closes the run, attaching the cell's drained telemetry (the
+    /// caller controls draining: per worker thread in the unbatched
+    /// engines, split from one lockstep thread in the batched one).
+    pub(crate) fn into_outcome(
+        mut self,
+        telemetry: MetricsRegistry,
+    ) -> (CellOutcome, StageHistograms) {
+        let stats = self.sup.recovery_stats();
+        let gs = *self.sup.guard_stats();
+        let outcome = CellOutcome {
+            label: self.spec.label.clone(),
+            seed: self.spec.seed,
+            frames: stats.frames,
+            injected_data_faults: self.injected,
+            detected_data_faults: gs.digest_mismatches + gs.stuck_detected,
+            dual_recovered: gs.dual_recovered,
+            monitor_trips: gs.monitor_trips(),
+            uncaught: self.uncaught,
+            episodes: stats.episodes,
+            mean_ttr_frames: stats.mean_time_to_recover(),
+            max_ttr_frames: stats.max_recover_frames,
+            degraded_rate: stats.degraded_rate(),
+            safe_stops: stats.safe_stops,
+            retries: stats.retries,
+            mota: self.mot.mota(),
+            virtual_miss_rate: stats.virtual_miss_rate(),
+            quality_switches: stats.quality_switches,
+            quality_reduced_frames: stats.quality_reduced_frames,
+            gov_log: self.sup.governor_events().iter().map(|e| e.to_string()).collect(),
+            sup_log: self.sup.events().iter().map(|e| e.to_string()).collect(),
+            guard_log: self.sup.guard_events().iter().map(|e| e.to_string()).collect(),
+            dumps: self.sup.take_flight_dumps(),
+            telemetry,
+            output_digest: self.digest.finish(),
+            miss_rate: stats.miss_rate(),
+            p99_ms: self.e2e.quantile(Quantile::P99),
+        };
+        (outcome, self.hists)
+    }
+}
+
 /// Runs one cell to completion: shared-nothing supervisor state over
 /// the campaign's shared map and weights. Returns the deterministic
 /// outcome plus this cell's wall-clock stage histograms (streamed into
@@ -233,76 +388,11 @@ pub fn run_cell(
     // in the local shard out to the global sink, so the drain below
     // returns exactly this cell's series.
     adsim_telemetry::flush_thread();
-    let mut sup =
-        assets.supervisor(spec.seed, spec.faults.clone(), spec.supervisor.clone(), pipeline);
-    let mut hists = StageHistograms::new();
-    let mut e2e = adsim_stats::LatencyRecorder::with_capacity(spec.frames);
-    let mut digest = Hasher::new();
-    let mut mot = MotAccumulator::new(MOT_IOU);
-    let mut injected = 0u64;
-    let mut uncaught = 0u64;
+    let mut run = CellRun::new(assets, spec.clone(), pipeline);
     for frame in assets.scenario().stream(assets.resolution()).take(spec.frames) {
-        let before = *sup.guard_stats();
-        let out = sup.process(&frame.image, frame.time_s);
-        hists.record(&out.reported);
-        e2e.record(out.reported.end_to_end());
-        fold_frame(&mut digest, &out);
-        let truth: Vec<TruthBox> = frame
-            .truth_objects
-            .iter()
-            .map(|t| TruthBox { id: t.id, bbox: t.bbox })
-            .collect();
-        mot.observe(&truth, &out.result.tracks);
-        let after = *sup.guard_stats();
-
-        // Ground truth: did the injector touch the sensor payload?
-        let data_fault =
-            out.faults.blackout || out.faults.stuck || out.faults.pixel_corruption.is_some();
-        injected += data_fault as u64;
-
-        // Escalation contract: a confirmed-bad payload or a tripped
-        // monitor must leave a degraded mode active this frame. A
-        // dual-execution *recovery* is the one benign detection — the
-        // vote repaired the payload, nothing to escalate.
-        let detected = (after.digest_mismatches + after.stuck_detected)
-            > (before.digest_mismatches + before.stuck_detected);
-        let recovered = after.dual_recovered > before.dual_recovered;
-        let tripped = after.monitor_trips() > before.monitor_trips();
-        if ((detected && !recovered) || tripped) && !out.modes.any() {
-            uncaught += 1;
-        }
+        run.step(&frame);
     }
-    let stats = sup.recovery_stats();
-    let gs = *sup.guard_stats();
     let mut telemetry = adsim_telemetry::drain_thread();
     telemetry.sort();
-    let outcome = CellOutcome {
-        label: spec.label.clone(),
-        seed: spec.seed,
-        frames: stats.frames,
-        injected_data_faults: injected,
-        detected_data_faults: gs.digest_mismatches + gs.stuck_detected,
-        dual_recovered: gs.dual_recovered,
-        monitor_trips: gs.monitor_trips(),
-        uncaught,
-        episodes: stats.episodes,
-        mean_ttr_frames: stats.mean_time_to_recover(),
-        max_ttr_frames: stats.max_recover_frames,
-        degraded_rate: stats.degraded_rate(),
-        safe_stops: stats.safe_stops,
-        retries: stats.retries,
-        mota: mot.mota(),
-        virtual_miss_rate: stats.virtual_miss_rate(),
-        quality_switches: stats.quality_switches,
-        quality_reduced_frames: stats.quality_reduced_frames,
-        gov_log: sup.governor_events().iter().map(|e| e.to_string()).collect(),
-        sup_log: sup.events().iter().map(|e| e.to_string()).collect(),
-        guard_log: sup.guard_events().iter().map(|e| e.to_string()).collect(),
-        dumps: sup.take_flight_dumps(),
-        telemetry,
-        output_digest: digest.finish(),
-        miss_rate: stats.miss_rate(),
-        p99_ms: e2e.quantile(Quantile::P99),
-    };
-    (outcome, hists)
+    run.into_outcome(telemetry)
 }

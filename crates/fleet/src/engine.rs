@@ -1,7 +1,8 @@
 //! The work-stealing campaign scheduler.
 
 use crate::assets::FleetAssets;
-use crate::cell::{run_cell, CellOutcome, CellSpec};
+use crate::batch::{BatchStats, BatchedInference};
+use crate::cell::{run_cell, CellOutcome, CellRun, CellSpec};
 use crate::sink::FleetSink;
 use adsim_core::NativePipelineConfig;
 use adsim_runtime::Runtime;
@@ -176,6 +177,101 @@ impl FleetEngine {
         }
         merged.sort();
         merged
+    }
+
+    /// [`FleetEngine::run`] with cross-vehicle batched DNN inference.
+    ///
+    /// Cells advance in **lockstep**: every cell stages frame *k* at
+    /// the detection hand-off point, one [`BatchedInference`] pass
+    /// serves all staged detector inputs (one `[n, c, h, w]` forward
+    /// per model variant on `workers` threads), and each cell then
+    /// finishes its frame with its scattered detections. Because the
+    /// batched forward is bit-identical to the per-vehicle pass and
+    /// the supervisors' control flow is untouched, outcomes are byte
+    /// -identical to [`FleetEngine::run`] / [`FleetEngine::run_serial`]
+    /// on any worker count (the fleet parity tests pin this).
+    ///
+    /// The shared scenario is rendered **once per frame index** for
+    /// the whole fleet instead of once per cell — same frames, same
+    /// outputs, strictly less render work.
+    ///
+    /// Telemetry: the campaign runs on one thread, so the single
+    /// drained shard is split back into per-vehicle registries by
+    /// series key, reproducing what each cell would have drained on
+    /// its own worker. Returns the campaign result plus the batching
+    /// counters.
+    pub fn run_batched(&self, specs: &[CellSpec]) -> (CampaignResult, BatchStats) {
+        let start = Instant::now();
+        // Same shard discipline as `run_cell`: push any previous
+        // occupant's series out so the drain below is ours alone.
+        adsim_telemetry::flush_thread();
+        let mut cells: Vec<CellRun> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut spec = s.clone();
+                spec.supervisor.vehicle = i as u32;
+                CellRun::new(&self.assets, spec, &self.cfg.pipeline)
+            })
+            .collect();
+        let mut service = BatchedInference::new(Runtime::new(self.cfg.workers));
+        let max_frames = specs.iter().map(|s| s.frames).max().unwrap_or(0);
+        let mut stream = self.assets.scenario().stream(self.assets.resolution());
+        for fidx in 0..max_frames {
+            let frame = stream.next().expect("frame streams are endless");
+            // Stage every cell still inside its frame budget.
+            let mut staged = Vec::new();
+            for (i, cell) in cells.iter_mut().enumerate() {
+                if fidx < cell.frames() {
+                    let (sf, before) = cell.stage(&frame);
+                    staged.push((i, sf, before));
+                }
+            }
+            // One batched pass over every staged detector input.
+            let requests: Vec<_> =
+                staged.iter().filter_map(|(_, sf, _)| sf.request()).collect();
+            let mut served = service.infer(&requests).into_iter();
+            // Scatter and finish, in vehicle order.
+            for (i, sf, before) in staged {
+                let det = if sf.request().is_some() {
+                    Some(served.next().expect("one result per request"))
+                } else {
+                    None
+                };
+                cells[i].complete(&frame, sf, before, det);
+            }
+        }
+        let mut drained = adsim_telemetry::drain_thread();
+        drained.sort();
+        let mut sink = FleetSink::new();
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for (i, cell) in cells.into_iter().enumerate() {
+            // The vehicle scope labeled every series this cell
+            // recorded with its id; filtering recovers the registry
+            // the cell would have drained on a dedicated thread.
+            let mut telemetry = drained.filtered(|k| k.vehicle == i as u32);
+            telemetry.sort();
+            let (outcome, hists) = cell.into_outcome(telemetry);
+            sink.absorb(&outcome, &hists);
+            outcomes.push(outcome);
+        }
+        let mut telemetry = Self::merge_telemetry(&outcomes);
+        // Series recorded outside any vehicle scope (none today) must
+        // not be dropped silently: fold them in after the per-cell
+        // merge.
+        let leftovers = drained.filtered(|k| k.vehicle as usize >= specs.len());
+        if !leftovers.is_empty() {
+            telemetry.merge(&leftovers);
+            telemetry.sort();
+        }
+        let result = CampaignResult {
+            telemetry,
+            outcomes,
+            sink,
+            wall_s: start.elapsed().as_secs_f64(),
+            workers: self.cfg.workers,
+        };
+        (result, service.stats())
     }
 
     /// [`FleetEngine::run`] on a single in-place worker — the serial

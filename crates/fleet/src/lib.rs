@@ -48,11 +48,13 @@
 //! ```
 
 mod assets;
+mod batch;
 mod cell;
 mod engine;
 mod sink;
 
 pub use assets::FleetAssets;
+pub use batch::{BatchStats, BatchedInference};
 pub use cell::{run_cell, CellOutcome, CellSpec};
 pub use engine::{CampaignResult, FleetConfig, FleetEngine};
 pub use sink::{FleetSink, StageHistograms};

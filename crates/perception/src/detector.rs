@@ -2,7 +2,33 @@ use adsim_dnn::detection::{decode_grid, nms, BBox, Detection, ObjectClass};
 use adsim_dnn::models::{yolo_tiny_shared, yolo_v2_tiny_shared};
 use adsim_dnn::Network;
 use adsim_runtime::Runtime;
+use adsim_tensor::Tensor;
 use adsim_vision::GrayImage;
+
+/// A detector's prepared DNN input, handed to a cross-vehicle batching
+/// service instead of being run inline.
+///
+/// Produced by [`Detector::batch_request`]: the detector does its
+/// pre-processing (resize, tensor conversion) and packages everything a
+/// batch runner needs to reproduce [`Detector::detect`] bit-exactly —
+/// the input tensor plus the decode parameters. The runner stacks
+/// same-shaped requests into one `[n, c, h, w]` batch, executes a
+/// single forward pass, and decodes each image's output slice with the
+/// recorded `threshold`/`iou` exactly as the inline path would.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The pre-processed network input, shape `[1, c, side, side]`.
+    pub input: Tensor,
+    /// Which model family the forward pass must use.
+    pub variant: DetectorVariant,
+    /// The model's output grid (identifies the shared-cache network
+    /// together with `variant`).
+    pub grid: usize,
+    /// Confidence threshold for grid decoding.
+    pub threshold: f32,
+    /// IoU threshold for non-maximum suppression.
+    pub iou: f32,
+}
 
 /// Which detection model family a [`Detector`] should run — the
 /// anytime governor's model-variant knob, kept independent of the
@@ -44,6 +70,17 @@ pub trait Detector {
     /// caches, never by rebuilding weights. The default implementation
     /// ignores the request (a detector without quality knobs).
     fn set_quality(&mut self, _scale: f32, _variant: DetectorVariant) {}
+
+    /// Prepares this frame for cross-vehicle batched execution instead
+    /// of running [`Detector::detect`] inline.
+    ///
+    /// Returns `None` when the detector has no batchable DNN stage
+    /// (the default); the caller must then fall back to `detect`. A
+    /// `Some` request carries everything needed to reproduce `detect`'s
+    /// output bit-exactly from a batched forward pass.
+    fn batch_request(&mut self, _frame: &GrayImage) -> Option<BatchRequest> {
+        None
+    }
 }
 
 /// The DNN path: a YOLO-style grid detector (paper §3.1.1).
@@ -157,6 +194,27 @@ impl Detector for YoloDetector {
         self.grid = grid;
         self.side = 8 * grid;
         self.variant = variant;
+    }
+
+    /// The batched hand-off: same resize + tensor conversion as
+    /// [`YoloDetector::detect`], but the forward pass is deferred to
+    /// the batch runner. `raw_detections` is not yet known (decode
+    /// happens in the runner), so the cost record reports zero.
+    fn batch_request(&mut self, frame: &GrayImage) -> Option<BatchRequest> {
+        let resized = frame.resize(self.side, self.side);
+        let input = resized.to_tensor();
+        self.last_cost = DetCost {
+            dnn_flops: self.net.cost().expect("built network").total.flops,
+            pixels: frame.pixels(),
+            raw_detections: 0,
+        };
+        Some(BatchRequest {
+            input,
+            variant: self.variant,
+            grid: self.grid,
+            threshold: self.threshold,
+            iou: self.iou_threshold,
+        })
     }
 }
 
@@ -456,6 +514,32 @@ mod tests {
         // The parallel runtime must not perturb the detections.
         let mut b = YoloDetector::new(4, 0.0).with_runtime(Runtime::new(4));
         assert_eq!(a.detect(&img), b.detect(&img));
+    }
+
+    #[test]
+    fn batch_request_reproduces_detect_bitwise() {
+        let img = GrayImage::from_fn(90, 70, |x, y| ((3 * x + y) % 255) as u8);
+        let mut inline = YoloDetector::new(4, 0.0);
+        let mut staged = YoloDetector::new(4, 0.0);
+        let want = inline.detect(&img);
+        let req = staged.batch_request(&img).expect("yolo is batchable");
+        assert_eq!(req.grid, 4);
+        assert_eq!(req.variant, DetectorVariant::Reduced);
+        assert_eq!(req.input.shape().dims(), &[1, 1, 32, 32]);
+        // Replay the deferred stages exactly as a batch runner would.
+        let net = yolo_tiny_shared(req.grid);
+        let out = net.forward_with(&Runtime::serial(), &req.input).unwrap();
+        let got = nms(decode_grid(&out, req.threshold), req.iou);
+        assert_eq!(got, want);
+        // Staged cost matches inline except the not-yet-known raw count.
+        assert_eq!(staged.last_cost().dnn_flops, inline.last_cost().dnn_flops);
+        assert_eq!(staged.last_cost().pixels, inline.last_cost().pixels);
+    }
+
+    #[test]
+    fn blob_detector_declines_batch_requests() {
+        let img = GrayImage::new(32, 32);
+        assert!(BlobDetector::new().batch_request(&img).is_none());
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod metrics;
 mod pool;
 mod tracker;
 
-pub use detector::{BlobDetector, DetCost, Detector, DetectorVariant, YoloDetector};
+pub use detector::{BatchRequest, BlobDetector, DetCost, Detector, DetectorVariant, YoloDetector};
 pub use pool::{TrackedObject, TrackerPool, TrackerPoolConfig};
 pub use tracker::{GoturnTracker, TemplateTracker, Tracker};

@@ -76,6 +76,17 @@ impl MetricsRegistry {
         self.series.len()
     }
 
+    /// A new registry holding clones of the series whose key passes
+    /// `keep`, in this registry's order. The lockstep fleet engine
+    /// uses it to split one thread-local drain back into per-vehicle
+    /// registries (`keep = |k| k.vehicle == i`), reproducing what each
+    /// cell would have drained on its own worker thread.
+    pub fn filtered(&self, keep: impl Fn(&SeriesKey) -> bool) -> MetricsRegistry {
+        MetricsRegistry {
+            series: self.series.iter().filter(|(k, _)| keep(k)).cloned().collect(),
+        }
+    }
+
     fn slot(&mut self, key: SeriesKey, init: impl FnOnce() -> SeriesValue) -> &mut SeriesValue {
         if let Some(i) = self.series.iter().position(|(k, _)| *k == key) {
             &mut self.series[i].1

@@ -1,10 +1,30 @@
 use super::linear::matmul_into;
 use super::out_extent;
 use adsim_runtime::Runtime;
-use std::sync::Mutex;
+use std::cell::RefCell;
 
 use crate::simd::{self, Isa};
 use crate::{Result, Tensor, TensorError};
+
+thread_local! {
+    /// Reusable im2col / GEMM-output scratch for [`conv2d_isa`].
+    ///
+    /// Batched convolutions need `k·n·cols_n`-sized staging buffers that
+    /// exceed the allocator's mmap threshold, so allocating them fresh
+    /// per layer costs a page-fault sweep over tens of megabytes —
+    /// which is what used to make per-image latency *rise* with batch
+    /// size. Keeping one warm buffer pair per thread turns that into a
+    /// plain memset over already-mapped pages. Contents never survive a
+    /// call (both buffers are re-zeroed), so results are unaffected.
+    static CONV_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Zeroes and returns the first `len` elements of `buf`.
+fn zeroed(buf: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    buf.clear();
+    buf.resize(len, 0.0);
+    &mut buf[..]
+}
 
 /// 2-D convolution (really cross-correlation, as in every DNN framework)
 /// of an NCHW `input` with an OIHW `weight`, implemented as im2col
@@ -60,13 +80,23 @@ pub fn conv2d_with(
 }
 
 /// [`conv2d`] on a worker pool and an explicit SIMD backend.
-/// Multi-image batches partition across images, each worker reusing
-/// one im2col scratch buffer for every image it unrolls (no per-image
-/// allocation); the inference-common `n = 1` case runs a serial im2col
-/// and parallelizes the `[c_out, k] × [k, h_out·w_out]` matmul across
-/// output-channel row blocks instead. The GEMM runs on the `simd` lane
-/// microkernels (im2col itself stays scalar — it is a pure memory
-/// permutation). Results are identical on every thread count.
+///
+/// Batches are **column-appended**: every image's im2col columns land
+/// in one `[k, n·h_out·w_out]` matrix (image `b` owning the column
+/// band `b·cols_n..(b+1)·cols_n`) and a single
+/// `[c_out, k] × [k, n·cols_n]` GEMM covers the whole batch, so the
+/// weight matrix streams through the cache **once per batch** instead
+/// of once per image — the weight-traffic amortization the fleet's
+/// cross-vehicle batched inference is built on. The GEMM runs on the
+/// `simd` lane microkernels (im2col itself stays scalar — it is a pure
+/// memory permutation) and parallelizes over output-row blocks of the
+/// combined matrix, so wider batches also mean better core utilization
+/// at small `c_out`.
+///
+/// Because an output element's k-accumulation order is fixed and the
+/// lane kernels are column-position-invariant (see `simd`), the result
+/// for image `b` in a batch of any size is **bit-identical** to
+/// running that image alone — and identical on every thread count.
 ///
 /// # Errors
 ///
@@ -96,49 +126,33 @@ pub fn conv2d_isa(
     );
     let mut out = Tensor::zeros([n, c_out, h_out, w_out]);
     let rt = rt.for_work(2 * n * c_out * k * cols_n);
-    if n > 1 && rt.threads() > 1 && plane > 0 {
-        // Batch-parallel: one task per image. Scratch buffers are
-        // recycled through a pool, so at most `threads` im2col buffers
-        // are ever allocated regardless of batch size.
-        let scratch = Mutex::new(Vec::<Vec<f32>>::new());
-        rt.par_chunks_mut(out.as_mut_slice(), plane, |b, out_plane| {
-            let mut cols = scratch
-                .lock()
-                .expect("scratch pool")
-                .pop()
-                .unwrap_or_else(|| vec![0.0; k * cols_n]);
-            cols.fill(0.0);
-            im2col_into(input, b, kh, kw, stride, pad, h_out, w_out, &mut cols);
-            matmul_into(
-                Runtime::serial(),
-                isa,
-                weight.as_slice(),
-                &cols,
-                out_plane,
-                c_out,
-                k,
-                cols_n,
-            );
-            scratch.lock().expect("scratch pool").push(cols);
-        });
-    } else {
-        let mut cols = vec![0.0; k * cols_n];
-        let dst = out.as_mut_slice();
+    let total_cols = n * cols_n;
+    CONV_SCRATCH.with_borrow_mut(|(cols_buf, gemm_buf)| {
+        let cols = zeroed(cols_buf, k * total_cols);
         for b in 0..n {
-            cols.fill(0.0);
-            im2col_into(input, b, kh, kw, stride, pad, h_out, w_out, &mut cols);
-            matmul_into(
-                rt,
-                isa,
-                weight.as_slice(),
-                &cols,
-                &mut dst[b * plane..(b + 1) * plane],
-                c_out,
-                k,
-                cols_n,
+            im2col_into(
+                input, b, kh, kw, stride, pad, h_out, w_out, b * cols_n, total_cols, cols,
             );
         }
-    }
+        if n == 1 {
+            // Single image: the GEMM output layout already is the NCHW
+            // plane, so no scatter pass is needed.
+            matmul_into(rt, isa, weight.as_slice(), cols, out.as_mut_slice(), c_out, k, cols_n);
+        } else {
+            // One GEMM over the appended columns, then scatter the
+            // [c_out, n·cols_n] product into [n, c_out, cols_n] planes (a
+            // pure copy — the arithmetic all happened in the GEMM).
+            let gemm_out = zeroed(gemm_buf, c_out * total_cols);
+            matmul_into(rt, isa, weight.as_slice(), cols, gemm_out, c_out, k, total_cols);
+            let dst = out.as_mut_slice();
+            for b in 0..n {
+                for oc in 0..c_out {
+                    let src = &gemm_out[oc * total_cols + b * cols_n..][..cols_n];
+                    dst[(b * c_out + oc) * cols_n..][..cols_n].copy_from_slice(src);
+                }
+            }
+        }
+    });
     if let Some(bias) = bias {
         add_channel_bias(&mut out, bias, isa);
     }
@@ -209,14 +223,44 @@ pub fn im2col(
 ) -> Result<Tensor> {
     let (_, c_in, h, w) = input.shape().as_nchw()?;
     let (h_out, w_out) = conv_output_hw(h, w, kh, kw, stride, pad)?;
-    let mut cols = Tensor::zeros([c_in * kh * kw, h_out * w_out]);
-    im2col_into(input, 0, kh, kw, stride, pad, h_out, w_out, cols.as_mut_slice());
+    let cols_n = h_out * w_out;
+    let mut cols = Tensor::zeros([c_in * kh * kw, cols_n]);
+    im2col_into(input, 0, kh, kw, stride, pad, h_out, w_out, 0, cols_n, cols.as_mut_slice());
     Ok(cols)
 }
 
-/// Unrolls image `batch` of `input` into `out` (a zeroed
-/// `[c_in*kh*kw, h_out*w_out]` buffer) — the allocation-free core of
-/// [`im2col`] that lets conv2d workers recycle scratch buffers.
+/// [`im2col`] over a whole `[n, c, h, w]` batch with column appending:
+/// the result is `[c·kh·kw, n·h_out·w_out]` where image `b` owns the
+/// column band `b·h_out·w_out..(b+1)·h_out·w_out` — the layout the
+/// batched conv GEMM consumes, exposed for the quantized conv path.
+///
+/// # Errors
+///
+/// Returns an error if `input` is not rank 4 or the kernel does not fit.
+pub fn im2col_batched(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (h_out, w_out) = conv_output_hw(h, w, kh, kw, stride, pad)?;
+    let cols_n = h_out * w_out;
+    let total_cols = n * cols_n;
+    let mut cols = Tensor::zeros([c_in * kh * kw, total_cols]);
+    let dst = cols.as_mut_slice();
+    for b in 0..n {
+        im2col_into(input, b, kh, kw, stride, pad, h_out, w_out, b * cols_n, total_cols, dst);
+    }
+    Ok(cols)
+}
+
+/// Unrolls image `batch` of `input` into the column band starting at
+/// `col_base` of `out`, a zeroed `[c_in*kh*kw, row_stride]` matrix —
+/// the allocation-free core of [`im2col`]. With `col_base = b·cols_n`
+/// and `row_stride = n·cols_n` the bands of a whole batch append into
+/// one matrix for the batched GEMM; a single image passes `0, cols_n`.
 #[allow(clippy::too_many_arguments)]
 fn im2col_into(
     input: &Tensor,
@@ -227,6 +271,8 @@ fn im2col_into(
     pad: usize,
     h_out: usize,
     w_out: usize,
+    col_base: usize,
+    row_stride: usize,
     out: &mut [f32],
 ) {
     let (_, c_in, h, w) = input
@@ -234,7 +280,8 @@ fn im2col_into(
         .as_nchw()
         .expect("caller validated rank");
     let cols_n = h_out * w_out;
-    debug_assert_eq!(out.len(), c_in * kh * kw * cols_n);
+    debug_assert!(col_base + cols_n <= row_stride);
+    debug_assert_eq!(out.len(), c_in * kh * kw * row_stride);
     let data = input.as_slice();
     let in_plane = h * w;
     let in_base = batch * c_in * in_plane;
@@ -242,7 +289,7 @@ fn im2col_into(
         for ky in 0..kh {
             for kx in 0..kw {
                 let row = (ic * kh + ky) * kw + kx;
-                let row_base = row * cols_n;
+                let row_base = row * row_stride + col_base;
                 for oy in 0..h_out {
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {

@@ -1,3 +1,5 @@
+use std::cell::RefCell;
+
 use adsim_runtime::Runtime;
 
 use crate::simd::{self, Isa};
@@ -9,6 +11,18 @@ const MR: usize = 4;
 /// k-panel extent: one panel of B rows (`KC × n` values) is streamed
 /// per output block while it is still cache-resident.
 const KC: usize = 256;
+/// Target byte size of one single-thread B column panel (`KC`-rows ×
+/// `NC`-columns): comfortably inside a per-core L2 so the panel stays
+/// resident while *every* output-row block consumes it.
+const COL_PANEL_BYTES: usize = 768 * 1024;
+
+/// Column-panel width for a `[k, n]` B operand with `elem`-byte
+/// elements: the widest multiple of 16 columns (so vector tiles align
+/// exactly as in an unpanelled run) whose `k × nc` panel fits the
+/// [`COL_PANEL_BYTES`] budget, floored at 64.
+fn col_panel(k: usize, elem: usize) -> usize {
+    (COL_PANEL_BYTES / (k * elem).max(1) / 16).max(4) * 16
+}
 
 /// Matrix multiply of a `[m, k]` tensor by a `[k, n]` tensor.
 ///
@@ -119,6 +133,49 @@ pub(crate) fn matmul_into(
     if n == 0 {
         return;
     }
+    let nc = col_panel(k, 4);
+    if rt.threads() == 1 && n > nc {
+        // Single-thread wide GEMM — the batched-inference shape, where
+        // B is an appended-columns im2col matrix much larger than L2.
+        // Walk column panels outermost so one `KC × NC` slab of B is
+        // fetched once and stays cache-resident while *every* row
+        // block consumes it, instead of re-streaming all of B per row
+        // block. Per output element the k-panel order and lane
+        // position are unchanged (`NC` is a multiple of the 16-column
+        // tile), so results are bit-identical to the unpanelled
+        // schedule.
+        for c0 in (0..n).step_by(nc) {
+            let c1 = (c0 + nc).min(n);
+            for k0 in (0..k).step_by(KC) {
+                let k1 = (k0 + KC).min(k);
+                let mut i0 = 0;
+                while i0 + MR <= m {
+                    let (o0, rest) = ov[i0 * n..].split_at_mut(n);
+                    let (o1, rest) = rest.split_at_mut(n);
+                    let (o2, rest) = rest.split_at_mut(n);
+                    simd::gemm4(
+                        isa,
+                        &av[i0 * k..],
+                        k,
+                        k0,
+                        k1,
+                        &bv[c0..],
+                        n,
+                        &mut o0[c0..c1],
+                        &mut o1[c0..c1],
+                        &mut o2[c0..c1],
+                        &mut rest[c0..c1],
+                    );
+                    i0 += MR;
+                }
+                for r in i0..m {
+                    let orow = &mut ov[r * n + c0..r * n + c1];
+                    simd::gemm1(isa, &av[r * k..], k0, k1, &bv[c0..], n, orow);
+                }
+            }
+        }
+        return;
+    }
     rt.par_chunks_mut(ov, MR * n, |blk, orows| {
         let i0 = blk * MR;
         let rows = orows.len() / n;
@@ -149,6 +206,231 @@ pub(crate) fn matmul_into(
                 }
             }
         }
+    });
+}
+
+/// Upper bound on the shared dimension of [`matmul_i8_into`]: with
+/// |a|,|b| ≤ 128 every per-element product is ≤ 2¹⁴, so any `k` up to
+/// `i32::MAX / 2¹⁴` accumulates without wrapping. Real networks sit
+/// orders of magnitude below this (YOLO's largest im2col `k` is 9·512).
+pub const MATMUL_I8_MAX_K: usize = (i32::MAX / (128 * 128)) as usize;
+
+/// Element length of the pair-packed form of a `[k, n]` int8 B
+/// operand: `⌈k/2⌉` pair rows of `2·n` i16s (an odd trailing row is
+/// zero-padded to a full pair).
+pub fn packed_i8_len(k: usize, n: usize) -> usize {
+    k.div_ceil(2) * 2 * n
+}
+
+/// Pack a row-major `[k, n]` int8 matrix into the widened
+/// pair-interleaved layout the i8 lane kernels consume: source rows
+/// `2p` and `2p+1` merge into one `2·n`-element i16 pair row
+/// `[b₂ₚ[0], b₂ₚ₊₁[0], b₂ₚ[1], b₂ₚ₊₁[1], …]`; when `k` is odd the
+/// last pair row carries zeros in its odd elements. This is exactly
+/// the lane order `vpmaddwd`/`vmlal` consume, and the i8→i16 widening
+/// happens *here*, once per operand — the kernels' inner loop is then
+/// a single full-width vector load per eight columns with no shuffle
+/// or sign-extension at all, at half the memory traffic of the f32
+/// path. Because integer accumulation is exact, the packed and
+/// unpacked operand orders produce bit-identical results by
+/// construction.
+///
+/// `out` is cleared and resized to [`packed_i8_len`]; quantized layer
+/// caches pack their weights once and reuse the buffer across every
+/// forward pass, which is why this is exposed rather than kept inside
+/// [`matmul_i8_into`].
+///
+/// # Panics
+///
+/// Panics if `bv.len() != k * n`.
+pub fn pack_i8_b(bv: &[i8], k: usize, n: usize, out: &mut Vec<i16>) {
+    assert_eq!(bv.len(), k * n, "pack_i8_b: B length");
+    out.clear();
+    out.resize(packed_i8_len(k, n), 0);
+    for p in 0..k / 2 {
+        let (r0, r1) = bv[2 * p * n..].split_at(n);
+        for (d, (&x0, &x1)) in out[p * 2 * n..(p + 1) * 2 * n]
+            .chunks_exact_mut(2)
+            .zip(r0.iter().zip(&r1[..n]))
+        {
+            d[0] = x0 as i16;
+            d[1] = x1 as i16;
+        }
+    }
+    if k % 2 == 1 {
+        for (d, &x0) in out[(k / 2) * 2 * n..]
+            .chunks_exact_mut(2)
+            .zip(&bv[(k - 1) * n..])
+        {
+            d[0] = x0 as i16;
+        }
+    }
+}
+
+thread_local! {
+    /// Reused pair-packing buffer for [`matmul_i8_into`] — activations
+    /// repack every call and fresh multi-hundred-KB allocations would
+    /// hit the allocator's mmap path per GEMM.
+    static PACK_SCRATCH: RefCell<Vec<i16>> = const { RefCell::new(Vec::new()) };
+    /// Reused A-widening buffer for [`matmul_i8_packed_into`].
+    static A_SCRATCH: RefCell<Vec<i16>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Raw-slice **int8** matmul: `ov[m × n] += av[m × k] · bv[k × n]`
+/// with i8×i8→i32 widening arithmetic (callers pass zeroed output).
+/// Pair-packs `bv` into thread-local scratch and runs
+/// [`matmul_i8_packed_into`]; callers that reuse one B across many
+/// GEMMs (cached quantized weights) should pack once with
+/// [`pack_i8_b`] and call the packed entry point directly.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`/`k`/`n` or if
+/// `k > MATMUL_I8_MAX_K` (the no-overflow bound).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_i8_into(
+    rt: &Runtime,
+    isa: Isa,
+    av: &[i8],
+    bv: &[i8],
+    ov: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(bv.len(), k * n, "matmul_i8: B length");
+    PACK_SCRATCH.with_borrow_mut(|buf| {
+        pack_i8_b(bv, k, n, buf);
+        matmul_i8_packed_into(rt, isa, av, buf, ov, m, k, n);
+    });
+}
+
+/// [`matmul_i8_into`] over a B operand already pair-packed by
+/// [`pack_i8_b`].
+///
+/// Same blocking as the f32 path (`MR = 4` row blocks over the pool's
+/// workers, `KC`-row cache panels of B, serial column panels for wide
+/// single-thread GEMMs), but exact: integer accumulation has no
+/// rounding, so the result is bit-identical across SIMD backends,
+/// thread counts, column layouts and packing by construction — the
+/// property the quantized batched-inference path leans on. This is
+/// the fixed-point GEMM of the paper's ASIC exploration (§4.2.3) as a
+/// CPU lane kernel.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`/`k`/`n`
+/// (`bp.len()` must equal [`packed_i8_len`]) or if
+/// `k > MATMUL_I8_MAX_K` (the no-overflow bound).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_i8_packed_into(
+    rt: &Runtime,
+    isa: Isa,
+    av: &[i8],
+    bp: &[i16],
+    ov: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(av.len(), m * k, "matmul_i8: A length");
+    assert_eq!(bp.len(), packed_i8_len(k, n), "matmul_i8: packed B length");
+    assert_eq!(ov.len(), m * n, "matmul_i8: output length");
+    assert!(
+        k <= MATMUL_I8_MAX_K,
+        "matmul_i8: k = {k} exceeds the i32 accumulation bound {MATMUL_I8_MAX_K}"
+    );
+    if n == 0 {
+        return;
+    }
+    let _sp = adsim_trace::span("tensor.matmul_i8")
+        .with_cost(2 * (m * n * k) as u64, (m * k + k * n + 4 * m * n) as u64);
+    let rt = rt.for_work(2 * m * n * k);
+    A_SCRATCH.with_borrow_mut(|pa_buf| {
+        // Widen A to i16 rows with an even padded stride, so the
+        // kernels broadcast each `(a_k, a_{k+1})` coefficient pair as
+        // one 32-bit load instead of assembling it from i8 scalars —
+        // the assembly work dominated the frontend-bound inner loop.
+        // O(m·k), negligible against the 2·m·n·k multiply work.
+        let kp = k.div_ceil(2) * 2;
+        pa_buf.clear();
+        pa_buf.resize(m * kp, 0);
+        for (row, arow) in pa_buf.chunks_exact_mut(kp).zip(av.chunks_exact(k)) {
+            for (d, &x) in row.iter_mut().zip(arow) {
+                *d = x as i16;
+            }
+        }
+        let pa = &pa_buf[..];
+        // A column panel spans `⌈k/2⌉` pair rows × `2·nc` i16s ≈
+        // `2·k·nc` bytes — half the f32 panel footprint.
+        let nc = col_panel(k, 2);
+        if rt.threads() == 1 && n > nc {
+            // Same column-panel schedule as the f32 path (see
+            // `matmul_into`); for int8 the result is exact, so any
+            // schedule is bitwise-equivalent by construction. Column
+            // `c0` starts `2·c0` elements into each pair row, hence
+            // the doubled base offset.
+            for c0 in (0..n).step_by(nc) {
+                let c1 = (c0 + nc).min(n);
+                for k0 in (0..k).step_by(KC) {
+                    let k1 = (k0 + KC).min(k);
+                    let mut i0 = 0;
+                    while i0 + MR <= m {
+                        let (o0, rest) = ov[i0 * n..].split_at_mut(n);
+                        let (o1, rest) = rest.split_at_mut(n);
+                        let (o2, rest) = rest.split_at_mut(n);
+                        simd::gemm4_i8(
+                            isa,
+                            &pa[i0 * kp..],
+                            kp,
+                            k0,
+                            k1,
+                            &bp[2 * c0..],
+                            n,
+                            &mut o0[c0..c1],
+                            &mut o1[c0..c1],
+                            &mut o2[c0..c1],
+                            &mut rest[c0..c1],
+                        );
+                        i0 += MR;
+                    }
+                    for r in i0..m {
+                        let orow = &mut ov[r * n + c0..r * n + c1];
+                        simd::gemm1_i8(isa, &pa[r * kp..], k0, k1, &bp[2 * c0..], n, orow);
+                    }
+                }
+            }
+            return;
+        }
+        rt.par_chunks_mut(ov, MR * n, |blk, orows| {
+            let i0 = blk * MR;
+            let rows = orows.len() / n;
+            for k0 in (0..k).step_by(KC) {
+                let k1 = (k0 + KC).min(k);
+                if rows == MR {
+                    let (o0, rest) = orows.split_at_mut(n);
+                    let (o1, rest) = rest.split_at_mut(n);
+                    let (o2, o3) = rest.split_at_mut(n);
+                    simd::gemm4_i8(
+                        isa,
+                        &pa[i0 * kp..],
+                        kp,
+                        k0,
+                        k1,
+                        bp,
+                        n,
+                        o0,
+                        o1,
+                        o2,
+                        o3,
+                    );
+                } else {
+                    for (r, orow) in orows.chunks_mut(n).enumerate() {
+                        simd::gemm1_i8(isa, &pa[(i0 + r) * kp..], k0, k1, bp, n, orow);
+                    }
+                }
+            }
+        });
     });
 }
 

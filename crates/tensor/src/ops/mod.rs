@@ -15,8 +15,11 @@ pub use activation::{
     leaky_relu, leaky_relu_isa, leaky_relu_with, relu, relu_isa, relu_with, sigmoid, sigmoid_with,
     softmax, softmax_with, tanh, tanh_with,
 };
-pub use conv::{conv2d, conv2d_direct, conv2d_isa, conv2d_with, im2col};
-pub use linear::{linear, linear_isa, linear_with, matmul, matmul_isa, matmul_with};
+pub use conv::{conv2d, conv2d_direct, conv2d_isa, conv2d_with, im2col, im2col_batched};
+pub use linear::{
+    linear, linear_isa, linear_with, matmul, matmul_i8_into, matmul_i8_packed_into, matmul_isa,
+    matmul_with, pack_i8_b, packed_i8_len, MATMUL_I8_MAX_K,
+};
 pub use norm::{batch_norm, batch_norm_isa, batch_norm_with};
 pub use pool::{
     avg_pool2d, avg_pool2d_isa, avg_pool2d_with, max_pool2d, max_pool2d_isa, max_pool2d_with,

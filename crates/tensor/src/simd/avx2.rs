@@ -76,7 +76,90 @@ impl Lanes {
     }
 }
 
+/// Scalar-tail contraction used by the GEMM kernels: fused like
+/// [`Lanes::mul_add`] (single rounding), so a column's result never
+/// depends on whether it fell in a vector tile or the tail.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+pub(super) fn mul_add_s(a: f32, b: f32, acc: f32) -> f32 {
+    a.mul_add(b, acc)
+}
+
 lane_kernels!(#[target_feature(enable = "avx2,fma")]);
+lane_kernels_i8!(#[target_feature(enable = "avx2")]);
+
+/// Eight 32-bit integer accumulators (one 256-bit register).
+#[derive(Clone, Copy)]
+pub(super) struct I8Acc(__m256i);
+
+impl I8Acc {
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn load(src: &[i32], i: usize) -> Self {
+        let s = &src[i..i + 8];
+        // SAFETY: the bounds check above proves `s` spans 8 readable
+        // i32s; `loadu` has no alignment requirement.
+        I8Acc(unsafe { _mm256_loadu_si256(s.as_ptr() as *const __m256i) })
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn store(self, dst: &mut [i32], i: usize) {
+        let d = &mut dst[i..i + 8];
+        // SAFETY: the bounds check above proves `d` spans 8 writable
+        // i32s; `storeu` has no alignment requirement.
+        unsafe { _mm256_storeu_si256(d.as_mut_ptr() as *mut __m256i, self.0) }
+    }
+
+    /// `acc[l] += a0·b0[l] + a1·b1[l]` via `vpmaddwd`: each i16×i16
+    /// product pair sums exactly into one i32 lane (|a·b| ≤ 127², no
+    /// saturation possible), so the result is bit-identical to scalar.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn madd(self, a: I8PairA, b: I8PairB) -> Self {
+        I8Acc(_mm256_add_epi32(self.0, _mm256_madd_epi16(a.0, b.0)))
+    }
+}
+
+/// `(a_k, a_{k+1})` widened to i16 and broadcast as interleaved pairs:
+/// `[a0, a1, a0, a1, …]` across 16 lanes.
+#[derive(Clone, Copy)]
+pub(super) struct I8PairA(__m256i);
+
+impl I8PairA {
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn load(pa: &[i16], i: usize) -> Self {
+        let s = &pa[i..i + 2];
+        // The pre-widened A row already stores adjacent i16
+        // coefficients, so the whole pair is one 32-bit broadcast —
+        // low i16 of each i32 lane is a_k, high i16 is a_{k+1}, the
+        // layout `vpmaddwd` pairs with the packed B load below.
+        // SAFETY: the bounds check above proves 4 readable bytes;
+        // `read_unaligned` has no alignment requirement.
+        let packed = unsafe { (s.as_ptr() as *const i32).read_unaligned() };
+        I8PairA(_mm256_set1_epi32(packed))
+    }
+}
+
+/// Eight columns of a widened pair-packed B row. The packed layout
+/// already interleaves the two source rows as i16 —
+/// `[b0[j], b1[j], b0[j+1], b1[j+1], …]` — which is exactly the lane
+/// order `vpmaddwd` pairs with [`I8PairA`], so the load is a single
+/// full-width read with no shuffle or sign-extension in the hot loop.
+#[derive(Clone, Copy)]
+pub(super) struct I8PairB(__m256i);
+
+impl I8PairB {
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn load_packed(prow: &[i16], j: usize) -> Self {
+        let s = &prow[2 * j..2 * j + 16];
+        // SAFETY: the bounds check above proves 16 readable i16s;
+        // `loadu` has no alignment requirement.
+        I8PairB(unsafe { _mm256_loadu_si256(s.as_ptr() as *const __m256i) })
+    }
+}
 
 /// Two 8-lane FMA accumulators, horizontally summed once, then a
 /// sequential scalar tail.

@@ -11,15 +11,24 @@
 //! accumulation order, the scalar tails, and which operations may be
 //! FMA-contracted (`mul_add` in the GEMM kernels only — everything
 //! else is plain multiply/add and therefore bit-identical across
-//! backends for finite inputs).
+//! backends for finite inputs). The GEMM scalar tails contract through
+//! the backend's own `mul_add_s` (fused where `mul_add` fuses), so an
+//! output element's rounding depends only on its k-order — never on
+//! which column tile it happened to land in. That position-invariance
+//! is what pins the batched conv path (which appends images as extra
+//! columns of one GEMM) bit-identical to the per-image path.
 
 macro_rules! lane_kernels {
     ($(#[$attr:meta])*) => {
         /// 4-row GEMM panel: `o_r[j] += Σ_k a[r·lda+k]·b[k·n+j]`.
         ///
-        /// Tiles 16 columns (two vectors) so the eight accumulators
-        /// live in registers across the whole k-panel; an 8-column
-        /// then scalar tail covers the remainder in the same k-order.
+        /// `n` is B's row stride; the column count is `o0.len()`, which
+        /// may be narrower than `n` when the caller works a column
+        /// panel of a wider matrix (B then points at the panel's first
+        /// column). Tiles 16 columns (two vectors) so the eight
+        /// accumulators live in registers across the whole k-panel; an
+        /// 8-column then scalar tail covers the remainder in the same
+        /// k-order.
         $(#[$attr])*
         #[allow(clippy::too_many_arguments)]
         pub(super) fn gemm4(
@@ -34,8 +43,9 @@ macro_rules! lane_kernels {
             o2: &mut [f32],
             o3: &mut [f32],
         ) {
+            let w = o0.len();
             let mut j = 0;
-            while j + 16 <= n {
+            while j + 16 <= w {
                 let mut c00 = Lanes::load(o0, j);
                 let mut c01 = Lanes::load(o0, j + 8);
                 let mut c10 = Lanes::load(o1, j);
@@ -71,7 +81,7 @@ macro_rules! lane_kernels {
                 c31.store(o3, j + 8);
                 j += 16;
             }
-            while j + 8 <= n {
+            while j + 8 <= w {
                 let mut c0 = Lanes::load(o0, j);
                 let mut c1 = Lanes::load(o1, j);
                 let mut c2 = Lanes::load(o2, j);
@@ -89,26 +99,27 @@ macro_rules! lane_kernels {
                 c3.store(o3, j);
                 j += 8;
             }
-            if j < n {
+            if j < w {
                 for kk in k0..k1 {
                     let a0 = a[kk];
                     let a1 = a[lda + kk];
                     let a2 = a[2 * lda + kk];
                     let a3 = a[3 * lda + kk];
-                    let brow = &b[kk * n..kk * n + n];
-                    for jj in j..n {
+                    let brow = &b[kk * n..kk * n + w];
+                    for jj in j..w {
                         let bj = brow[jj];
-                        o0[jj] += a0 * bj;
-                        o1[jj] += a1 * bj;
-                        o2[jj] += a2 * bj;
-                        o3[jj] += a3 * bj;
+                        o0[jj] = mul_add_s(a0, bj, o0[jj]);
+                        o1[jj] = mul_add_s(a1, bj, o1[jj]);
+                        o2[jj] = mul_add_s(a2, bj, o2[jj]);
+                        o3[jj] = mul_add_s(a3, bj, o3[jj]);
                     }
                 }
             }
         }
 
         /// Single-row GEMM panel (remainder rows of the blocked
-        /// matmul): `o[j] += Σ_k a[k]·b[k·n+j]`.
+        /// matmul): `o[j] += Σ_k a[k]·b[k·n+j]`. As in [`gemm4`], `n`
+        /// is B's row stride and `o.len()` the column count.
         $(#[$attr])*
         pub(super) fn gemm1(
             a: &[f32],
@@ -118,8 +129,9 @@ macro_rules! lane_kernels {
             n: usize,
             o: &mut [f32],
         ) {
+            let w = o.len();
             let mut j = 0;
-            while j + 16 <= n {
+            while j + 16 <= w {
                 let mut c0 = Lanes::load(o, j);
                 let mut c1 = Lanes::load(o, j + 8);
                 for kk in k0..k1 {
@@ -132,7 +144,7 @@ macro_rules! lane_kernels {
                 c1.store(o, j + 8);
                 j += 16;
             }
-            while j + 8 <= n {
+            while j + 8 <= w {
                 let mut c0 = Lanes::load(o, j);
                 for kk in k0..k1 {
                     c0 = Lanes::splat(a[kk]).mul_add(Lanes::load(b, kk * n + j), c0);
@@ -140,12 +152,12 @@ macro_rules! lane_kernels {
                 c0.store(o, j);
                 j += 8;
             }
-            if j < n {
+            if j < w {
                 for kk in k0..k1 {
                     let aik = a[kk];
-                    let brow = &b[kk * n..kk * n + n];
-                    for jj in j..n {
-                        o[jj] += aik * brow[jj];
+                    let brow = &b[kk * n..kk * n + w];
+                    for jj in j..w {
+                        o[jj] = mul_add_s(aik, brow[jj], o[jj]);
                     }
                 }
             }

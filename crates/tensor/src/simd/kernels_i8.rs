@@ -1,0 +1,195 @@
+//! Shared int8 lane-kernel bodies, instantiated once per backend —
+//! the fixed-point GEMM the paper's ASIC/FPGA exploration (§4.2.3)
+//! rests on, brought up as a CPU lane path.
+//!
+//! Each backend defines three types with the same API and then invokes
+//! [`lane_kernels_i8!`]:
+//!
+//! * `I8Acc` — eight `i32` accumulators (`load`, `store`, `madd`);
+//! * `I8PairA` — a broadcast `(a_k, a_{k+1})` coefficient pair, loaded
+//!   as one 32-bit broadcast from the pre-widened i16 A row;
+//! * `I8PairB` — eight columns of one **pair-packed** B row.
+//!
+//! `k` is consumed **in pairs** so AVX2 can use `vpmaddwd` (i16×i16
+//! pairwise multiply-add into i32) and NEON its widening `vmlal`. The
+//! B operand arrives **pair-packed and pre-widened** (`ops::pack_i8_b`):
+//! rows `2p` and `2p+1` interleaved as i16 elements
+//! `[b₂ₚ[0], b₂ₚ₊₁[0], b₂ₚ[1], …]`, an odd trailing row padded with
+//! zeros — exactly the lane order the multiply instructions consume.
+//! Packing happens once per operand — for weights, once per *network*
+//! — so the inner loop is a single full-width vector load per eight
+//! columns with no shuffle or sign-extension, at half the f32 path's
+//! memory traffic. The A operand is likewise pre-widened to i16 rows
+//! with an even zero-padded stride by the ops layer, making each
+//! coefficient pair a single 32-bit broadcast. An odd trailing `k`
+//! runs with the coefficient pair `(a_k, 0)` (the A pad), which
+//! contributes exactly `a_k·b_k[j]` regardless of the B pad. Every
+//! product is
+//! |x| ≤ 127², far inside `i32`, so the arithmetic is *exact*: unlike
+//! the f32 kernels there is no rounding anywhere, and the result is
+//! bit-identical across backends, tilings, thread counts and batch
+//! layouts by construction. Callers must keep `k ≤ i32::MAX / (2·127²)`
+//! (≈ 66 million) so accumulators cannot wrap; the ops layer asserts
+//! this.
+
+macro_rules! lane_kernels_i8 {
+    ($(#[$attr:meta])*) => {
+        /// 4-row int8 GEMM panel over pair-packed B:
+        /// `o_r[j] += Σ_{kk∈k0..k1} a[r·lda+kk]·b[kk·n+j]` in i32.
+        ///
+        /// `bp` is the packed operand (pair-row element stride `2·n`,
+        /// possibly offset to a column panel's first column); the
+        /// column count is `o0.len()`. `k0` must be even (the ops
+        /// layer steps panels by an even `KC`). Tiles 16 columns (two
+        /// accumulator vectors per row) with an 8-column then scalar
+        /// tail, mirroring the f32 `gemm4`.
+        $(#[$attr])*
+        #[allow(clippy::too_many_arguments)]
+        pub(super) fn gemm4_i8(
+            pa: &[i16],
+            lda: usize,
+            k0: usize,
+            k1: usize,
+            bp: &[i16],
+            n: usize,
+            o0: &mut [i32],
+            o1: &mut [i32],
+            o2: &mut [i32],
+            o3: &mut [i32],
+        ) {
+            debug_assert_eq!(k0 % 2, 0, "k-panels must start on a row pair");
+            let w = o0.len();
+            let mut j = 0;
+            while j + 16 <= w {
+                let mut c00 = I8Acc::load(o0, j);
+                let mut c01 = I8Acc::load(o0, j + 8);
+                let mut c10 = I8Acc::load(o1, j);
+                let mut c11 = I8Acc::load(o1, j + 8);
+                let mut c20 = I8Acc::load(o2, j);
+                let mut c21 = I8Acc::load(o2, j + 8);
+                let mut c30 = I8Acc::load(o3, j);
+                let mut c31 = I8Acc::load(o3, j + 8);
+                let mut kk = k0;
+                while kk < k1 {
+                    let prow = &bp[kk * n..kk * n + 2 * w];
+                    let bp0 = I8PairB::load_packed(prow, j);
+                    let bp1 = I8PairB::load_packed(prow, j + 8);
+                    let a0 = I8PairA::load(pa, kk);
+                    c00 = c00.madd(a0, bp0);
+                    c01 = c01.madd(a0, bp1);
+                    let a1 = I8PairA::load(pa, lda + kk);
+                    c10 = c10.madd(a1, bp0);
+                    c11 = c11.madd(a1, bp1);
+                    let a2 = I8PairA::load(pa, 2 * lda + kk);
+                    c20 = c20.madd(a2, bp0);
+                    c21 = c21.madd(a2, bp1);
+                    let a3 = I8PairA::load(pa, 3 * lda + kk);
+                    c30 = c30.madd(a3, bp0);
+                    c31 = c31.madd(a3, bp1);
+                    kk += 2;
+                }
+                c00.store(o0, j);
+                c01.store(o0, j + 8);
+                c10.store(o1, j);
+                c11.store(o1, j + 8);
+                c20.store(o2, j);
+                c21.store(o2, j + 8);
+                c30.store(o3, j);
+                c31.store(o3, j + 8);
+                j += 16;
+            }
+            while j + 8 <= w {
+                let mut c0 = I8Acc::load(o0, j);
+                let mut c1 = I8Acc::load(o1, j);
+                let mut c2 = I8Acc::load(o2, j);
+                let mut c3 = I8Acc::load(o3, j);
+                let mut kk = k0;
+                while kk < k1 {
+                    let prow = &bp[kk * n..kk * n + 2 * w];
+                    let b = I8PairB::load_packed(prow, j);
+                    c0 = c0.madd(I8PairA::load(pa, kk), b);
+                    c1 = c1.madd(I8PairA::load(pa, lda + kk), b);
+                    c2 = c2.madd(I8PairA::load(pa, 2 * lda + kk), b);
+                    c3 = c3.madd(I8PairA::load(pa, 3 * lda + kk), b);
+                    kk += 2;
+                }
+                c0.store(o0, j);
+                c1.store(o1, j);
+                c2.store(o2, j);
+                c3.store(o3, j);
+                j += 8;
+            }
+            if j < w {
+                for kk in k0..k1 {
+                    let a0 = pa[kk] as i32;
+                    let a1 = pa[lda + kk] as i32;
+                    let a2 = pa[2 * lda + kk] as i32;
+                    let a3 = pa[3 * lda + kk] as i32;
+                    // Row kk of the unpacked operand lives at the
+                    // element parity `kk & 1` of packed pair-row `kk/2`.
+                    let brow = &bp[(kk / 2) * 2 * n + (kk & 1)..];
+                    for jj in j..w {
+                        let bj = brow[2 * jj] as i32;
+                        o0[jj] += a0 * bj;
+                        o1[jj] += a1 * bj;
+                        o2[jj] += a2 * bj;
+                        o3[jj] += a3 * bj;
+                    }
+                }
+            }
+        }
+
+        /// Single-row int8 GEMM panel (remainder rows of the blocked
+        /// matmul) over pair-packed B: `o[j] += Σ_k a[kk]·b[kk·n+j]`
+        /// in i32. Same operand contract as [`gemm4_i8`].
+        $(#[$attr])*
+        pub(super) fn gemm1_i8(
+            pa: &[i16],
+            k0: usize,
+            k1: usize,
+            bp: &[i16],
+            n: usize,
+            o: &mut [i32],
+        ) {
+            debug_assert_eq!(k0 % 2, 0, "k-panels must start on a row pair");
+            let w = o.len();
+            let mut j = 0;
+            while j + 16 <= w {
+                let mut c0 = I8Acc::load(o, j);
+                let mut c1 = I8Acc::load(o, j + 8);
+                let mut kk = k0;
+                while kk < k1 {
+                    let prow = &bp[kk * n..kk * n + 2 * w];
+                    let ap = I8PairA::load(pa, kk);
+                    c0 = c0.madd(ap, I8PairB::load_packed(prow, j));
+                    c1 = c1.madd(ap, I8PairB::load_packed(prow, j + 8));
+                    kk += 2;
+                }
+                c0.store(o, j);
+                c1.store(o, j + 8);
+                j += 16;
+            }
+            while j + 8 <= w {
+                let mut c0 = I8Acc::load(o, j);
+                let mut kk = k0;
+                while kk < k1 {
+                    let prow = &bp[kk * n..kk * n + 2 * w];
+                    let ap = I8PairA::load(pa, kk);
+                    c0 = c0.madd(ap, I8PairB::load_packed(prow, j));
+                    kk += 2;
+                }
+                c0.store(o, j);
+                j += 8;
+            }
+            if j < w {
+                for kk in k0..k1 {
+                    let aik = pa[kk] as i32;
+                    let brow = &bp[(kk / 2) * 2 * n + (kk & 1)..];
+                    for jj in j..w {
+                        o[jj] += aik * brow[2 * jj] as i32;
+                    }
+                }
+            }
+        }
+    };
+}

@@ -25,9 +25,18 @@
 //!   **bit-identical** across backends for finite inputs: every lane
 //!   performs the same operation in the same per-element order.
 //! * The GEMM kernels contract multiply-add pairs into FMAs on the
-//!   vector backends; per-element accumulation order over `k` is
-//!   unchanged, so results agree with the scalar backend to ≤1e-5
-//!   relative error (pinned by `tests/simd_dispatch.rs`).
+//!   vector backends — including the scalar tails, which go through
+//!   the backend's own `mul_add_s`, so an element's rounding depends
+//!   only on its position in the `k` accumulation order and never on
+//!   which column tile it fell in. Per-element accumulation order over
+//!   `k` is unchanged, so results agree with the scalar backend to
+//!   ≤1e-5 relative error (pinned by `tests/simd_dispatch.rs`), and a
+//!   given backend produces bit-identical values for an output element
+//!   regardless of its column position — the property the batched conv
+//!   path (images appended as extra GEMM columns) relies on.
+//! * The int8 GEMM kernels ([`gemm4_i8`] / [`gemm1_i8`]) accumulate
+//!   i8×i8 products exactly in `i32`: **bit-identical** across
+//!   backends, tilings and batch layouts by construction.
 //! * [`dot`] splits the accumulation across lanes on vector backends
 //!   (scalar stays strictly sequential), also within ≤1e-5 relative.
 //!
@@ -39,6 +48,9 @@ use std::sync::OnceLock;
 
 #[macro_use]
 mod kernels;
+
+#[macro_use]
+mod kernels_i8;
 
 mod scalar;
 
@@ -182,6 +194,49 @@ pub(crate) fn gemm1(
     o: &mut [f32],
 ) {
     dispatch!(isa, gemm1(a, k0, k1, b, n, o))
+}
+
+/// 4-row **int8** GEMM register microkernel over one k-panel:
+/// `o_r[j] += Σ_{kk∈k0..k1} a[r·lda + kk] · b[kk·n + j]` with
+/// i8×i8→i32 widening arithmetic. `pa` is A pre-widened to i16 with an
+/// even (zero-padded) row stride `lda`, so a coefficient pair is one
+/// 32-bit broadcast; `bp` is the **widened pair-packed** form of B
+/// (`ops::pack_i8_b`: pair rows of `2·n` i16 elements, even element =
+/// row `2p`, odd element = row `2p+1`). `k0` must be even so panels
+/// start on a pair row. Exact (no rounding), so the result is
+/// bit-identical
+/// on every backend. Callers bound `k1` so `k` accumulations cannot
+/// wrap `i32` (see `ops::matmul_i8_packed_into`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm4_i8(
+    isa: Isa,
+    pa: &[i16],
+    lda: usize,
+    k0: usize,
+    k1: usize,
+    bp: &[i16],
+    n: usize,
+    o0: &mut [i32],
+    o1: &mut [i32],
+    o2: &mut [i32],
+    o3: &mut [i32],
+) {
+    dispatch!(isa, gemm4_i8(pa, lda, k0, k1, bp, n, o0, o1, o2, o3))
+}
+
+/// Single-row **int8** GEMM microkernel (the remainder path of
+/// [`gemm4_i8`]): `o[j] += Σ_{kk∈k0..k1} a[kk] · b[kk·n + j]` in i32,
+/// over the same pair-packed B operand.
+pub(crate) fn gemm1_i8(
+    isa: Isa,
+    pa: &[i16],
+    k0: usize,
+    k1: usize,
+    bp: &[i16],
+    n: usize,
+    o: &mut [i32],
+) {
+    dispatch!(isa, gemm1_i8(pa, k0, k1, bp, n, o))
 }
 
 /// Dot product `Σ x[i]·y[i]` over equal-length slices. The scalar

@@ -70,7 +70,84 @@ impl Lanes {
     }
 }
 
+/// Scalar-tail contraction used by the GEMM kernels: fused like
+/// [`Lanes::mul_add`] (single rounding), so a column's result never
+/// depends on whether it fell in a vector tile or the tail.
+#[inline(always)]
+pub(super) fn mul_add_s(a: f32, b: f32, acc: f32) -> f32 {
+    a.mul_add(b, acc)
+}
+
 lane_kernels!();
+lane_kernels_i8!();
+
+/// Eight 32-bit integer accumulators (a 128-bit register pair).
+#[derive(Clone, Copy)]
+pub(super) struct I8Acc(int32x4_t, int32x4_t);
+
+impl I8Acc {
+    #[inline(always)]
+    fn load(src: &[i32], i: usize) -> Self {
+        let s = &src[i..i + 8];
+        // SAFETY: the bounds check above proves `s` spans 8 readable
+        // i32s; vld1q has no alignment requirement.
+        unsafe { I8Acc(vld1q_s32(s.as_ptr()), vld1q_s32(s.as_ptr().add(4))) }
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i32], i: usize) {
+        let d = &mut dst[i..i + 8];
+        // SAFETY: the bounds check above proves `d` spans 8 writable
+        // i32s; vst1q has no alignment requirement.
+        unsafe {
+            vst1q_s32(d.as_mut_ptr(), self.0);
+            vst1q_s32(d.as_mut_ptr().add(4), self.1);
+        }
+    }
+
+    /// `acc[l] += a0·b0[l] + a1·b1[l]` via widening multiply-accumulate
+    /// (`vmlal`) — exact integer arithmetic, bit-identical to scalar.
+    #[inline(always)]
+    fn madd(self, a: I8PairA, b: I8PairB) -> Self {
+        let mut lo = vmlal_s16(self.0, vget_low_s16(b.0), a.0);
+        lo = vmlal_s16(lo, vget_low_s16(b.1), a.1);
+        let mut hi = vmlal_s16(self.1, vget_high_s16(b.0), a.0);
+        hi = vmlal_s16(hi, vget_high_s16(b.1), a.1);
+        I8Acc(lo, hi)
+    }
+}
+
+/// `(a_k, a_{k+1})` widened to i16 and broadcast (4 lanes each, reused
+/// for both register halves).
+#[derive(Clone, Copy)]
+pub(super) struct I8PairA(int16x4_t, int16x4_t);
+
+impl I8PairA {
+    #[inline(always)]
+    fn load(pa: &[i16], i: usize) -> Self {
+        I8PairA(vdup_n_s16(pa[i]), vdup_n_s16(pa[i + 1]))
+    }
+}
+
+/// Eight columns of a widened pair-packed B row: `vld2q`
+/// de-interleaves the packed even/odd i16 elements back into the two
+/// source rows in one structured load, with no widening in the hot
+/// loop.
+#[derive(Clone, Copy)]
+pub(super) struct I8PairB(int16x8_t, int16x8_t);
+
+impl I8PairB {
+    #[inline(always)]
+    fn load_packed(prow: &[i16], j: usize) -> Self {
+        let s = &prow[2 * j..2 * j + 16];
+        // SAFETY: the bounds check above proves 16 readable i16s;
+        // vld2q has no alignment requirement.
+        unsafe {
+            let rows = vld2q_s16(s.as_ptr());
+            I8PairB(rows.0, rows.1)
+        }
+    }
+}
 
 /// One 8-lane FMA accumulator chain, horizontally summed once, then a
 /// sequential scalar tail.

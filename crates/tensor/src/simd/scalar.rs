@@ -60,7 +60,65 @@ impl Lanes {
     }
 }
 
+/// Scalar-tail contraction used by the GEMM kernels: plain multiply
+/// then add (two roundings), matching [`Lanes::mul_add`] on this
+/// backend — so a column's result never depends on whether it fell in
+/// a vector tile or the tail.
+#[inline(always)]
+pub(super) fn mul_add_s(a: f32, b: f32, acc: f32) -> f32 {
+    acc + a * b
+}
+
 lane_kernels!();
+lane_kernels_i8!();
+
+#[derive(Clone, Copy)]
+pub(super) struct I8Acc([i32; 8]);
+
+impl I8Acc {
+    #[inline(always)]
+    fn load(src: &[i32], i: usize) -> Self {
+        I8Acc(src[i..i + 8].try_into().expect("8 lanes"))
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i32], i: usize) {
+        dst[i..i + 8].copy_from_slice(&self.0);
+    }
+
+    /// `acc[l] += a0·b0[l] + a1·b1[l]` — exact integer arithmetic, so
+    /// grouping is irrelevant and every backend agrees bit-for-bit.
+    #[inline(always)]
+    fn madd(self, a: I8PairA, b: I8PairB) -> Self {
+        I8Acc(std::array::from_fn(|l| self.0[l] + a.0 * b.0[l] + a.1 * b.1[l]))
+    }
+}
+
+/// A widened `(a_k, a_{k+1})` coefficient pair.
+#[derive(Clone, Copy)]
+pub(super) struct I8PairA(i32, i32);
+
+impl I8PairA {
+    #[inline(always)]
+    fn load(pa: &[i16], i: usize) -> Self {
+        I8PairA(pa[i] as i32, pa[i + 1] as i32)
+    }
+}
+
+/// Eight columns of a widened pair-packed B row (even elements are
+/// the first source row, odd elements the second).
+#[derive(Clone, Copy)]
+pub(super) struct I8PairB([i32; 8], [i32; 8]);
+
+impl I8PairB {
+    #[inline(always)]
+    fn load_packed(prow: &[i16], j: usize) -> Self {
+        I8PairB(
+            std::array::from_fn(|l| prow[2 * (j + l)] as i32),
+            std::array::from_fn(|l| prow[2 * (j + l) + 1] as i32),
+        )
+    }
+}
 
 /// Strictly sequential dot product — bit-identical to the historical
 /// `linear` inner loop.

@@ -199,6 +199,105 @@ fn batch_norm_is_bit_identical_across_backends() {
     }
 }
 
+/// Deterministic int8 fill covering the full quantized range.
+fn fill_i8(n: usize) -> Vec<i8> {
+    (0..n)
+        .map(|i| ((i * 2_654_435_761 % 255) as i32 - 127) as i8)
+        .collect()
+}
+
+#[test]
+fn matmul_i8_is_bit_identical_across_backends_and_threads() {
+    // Integer accumulation is exact, so unlike the f32 GEMM the
+    // contract here is bit-identity — across backends, thread counts
+    // and tilings alike. Shapes cover the 16/8/scalar column tails,
+    // odd k (the (a_k, 0) trailing pair), and k > one 256-row panel.
+    for (m, k, n) in [(1, 1, 1), (4, 8, 16), (7, 301, 23), (33, 65, 40)] {
+        let a = fill_i8(m * k);
+        let b = fill_i8(k * n);
+        let mut scalar = vec![0i32; m * n];
+        ops::matmul_i8_into(&Runtime::serial(), Isa::SCALAR, &a, &b, &mut scalar, m, k, n);
+        for t in THREADS {
+            let rt = Runtime::new(t);
+            let mut vec_out = vec![0i32; m * n];
+            ops::matmul_i8_into(&rt, simd::active(), &a, &b, &mut vec_out, m, k, n);
+            assert_eq!(vec_out, scalar, "matmul_i8 {m}x{k}x{n} t={t}");
+            let mut sc = vec![0i32; m * n];
+            ops::matmul_i8_into(&rt, Isa::SCALAR, &a, &b, &mut sc, m, k, n);
+            assert_eq!(sc, scalar, "scalar matmul_i8 {m}x{k}x{n} t={t}");
+        }
+    }
+}
+
+#[test]
+fn conv2d_batch_of_n_matches_n_single_image_convs_bitwise() {
+    // The batched conv appends each image's im2col columns to one GEMM;
+    // with the mul_add_s tail policy an output element's value depends
+    // only on its k-order, never its column position, so batch-N must
+    // be bit-identical to N separate batch-1 calls — on every backend
+    // and thread count.
+    let n_imgs = 3;
+    let input = fill([n_imgs, 3, 13, 17]);
+    let weight = fill([5, 3, 3, 3]);
+    let bias = fill([5]);
+    let per_image_len = 3 * 13 * 17;
+    for isa in [simd::active(), Isa::SCALAR] {
+        for (stride, pad) in [(1, 1), (2, 0)] {
+            for t in THREADS {
+                let rt = Runtime::new(t);
+                let batched =
+                    ops::conv2d_isa(&rt, &input, &weight, Some(&bias), stride, pad, isa).unwrap();
+                let (_, c_out, h_out, w_out) = batched.shape().as_nchw().unwrap();
+                let out_len = c_out * h_out * w_out;
+                for img in 0..n_imgs {
+                    let single = Tensor::from_vec(
+                        [1, 3, 13, 17],
+                        input.as_slice()[img * per_image_len..][..per_image_len].to_vec(),
+                    )
+                    .unwrap();
+                    let one =
+                        ops::conv2d_isa(&rt, &single, &weight, Some(&bias), stride, pad, isa)
+                            .unwrap();
+                    let got = &batched.as_slice()[img * out_len..][..out_len];
+                    for (i, (x, y)) in got.iter().zip(one.iter()).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "conv batch-parity img={img} elem={i} s={stride} p={pad} t={t} \
+                             isa={}: {x} vs {y}",
+                            isa.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn im2col_batched_stacks_per_image_columns() {
+    let input = fill([2, 2, 6, 7]);
+    let cols = ops::im2col_batched(&input, 3, 3, 1, 1).unwrap();
+    let per_image_len = 2 * 6 * 7;
+    let (h_out, w_out) = (6, 7);
+    let cols_n = h_out * w_out;
+    let k = 2 * 3 * 3;
+    assert_eq!(cols.shape().dims(), &[k, 2 * cols_n]);
+    for img in 0..2 {
+        let single = Tensor::from_vec(
+            [1, 2, 6, 7],
+            input.as_slice()[img * per_image_len..][..per_image_len].to_vec(),
+        )
+        .unwrap();
+        let one = ops::im2col(&single, 3, 3, 1, 1).unwrap();
+        for row in 0..k {
+            let got = &cols.as_slice()[row * 2 * cols_n + img * cols_n..][..cols_n];
+            let want = &one.as_slice()[row * cols_n..][..cols_n];
+            assert_eq!(got, want, "im2col_batched img={img} row={row}");
+        }
+    }
+}
+
 #[test]
 fn hamming_is_exact_on_both_backends() {
     let mut a = [0u8; 32];

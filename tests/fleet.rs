@@ -85,6 +85,68 @@ fn fleet_outputs_byte_identical_across_worker_counts() {
     }
 }
 
+/// The tentpole guarantee: a campaign served by cross-vehicle batched
+/// DNN inference reproduces the unbatched campaign byte for byte —
+/// signatures, logs, output digests, per-cell telemetry and the fleet
+/// merge — on any batch-runtime worker count, while actually sharing
+/// forward passes across vehicles.
+#[test]
+fn batched_campaign_matches_unbatched_byte_for_byte() {
+    let assets = FleetAssets::urban(RES);
+    let fleet_cfg = |workers| FleetConfig {
+        pipeline: NativePipelineConfig {
+            detector: DetectorKind::Yolo { grid: 4, threshold: 0.5 },
+            ..FleetConfig::default().pipeline
+        },
+        ..FleetConfig::with_workers(workers)
+    };
+    let grid = specs();
+    let reference = FleetEngine::new(assets.clone(), fleet_cfg(1)).run_serial(&grid);
+
+    for workers in [1usize, 2, 8] {
+        let engine = FleetEngine::new(assets.clone(), fleet_cfg(workers));
+        let (run, stats) = engine.run_batched(&grid);
+        assert!(stats.batches > 0, "no batched forward pass ran");
+        assert!(
+            stats.largest_batch >= 2,
+            "same-variant cells never shared a forward pass: {stats:?}"
+        );
+        assert_eq!(
+            run.signatures(),
+            reference.signatures(),
+            "batched signatures diverged at {workers} workers"
+        );
+        for (got, want) in run.outcomes.iter().zip(&reference.outcomes) {
+            assert_eq!(got.sup_log, want.sup_log, "degradation log diverged: {}", got.label);
+            assert_eq!(got.guard_log, want.guard_log, "guard log diverged: {}", got.label);
+            assert_eq!(got.gov_log, want.gov_log, "governor log diverged: {}", got.label);
+            assert_eq!(
+                got.output_digest, want.output_digest,
+                "frame outputs diverged: {}",
+                got.label
+            );
+            assert_eq!(
+                got.telemetry.snapshot_json(),
+                want.telemetry.snapshot_json(),
+                "per-cell telemetry diverged: {}",
+                got.label
+            );
+        }
+        assert_eq!(
+            run.telemetry.snapshot_json(),
+            reference.telemetry.snapshot_json(),
+            "fleet-merged telemetry diverged at {workers} workers"
+        );
+        assert_eq!(run.sink.cells, reference.sink.cells);
+        assert_eq!(run.sink.frames, reference.sink.frames);
+        assert_eq!(run.sink.injected_data_faults, reference.sink.injected_data_faults);
+        assert_eq!(run.sink.detected_data_faults, reference.sink.detected_data_faults);
+        assert_eq!(run.sink.uncaught, reference.sink.uncaught);
+        assert_eq!(run.sink.safe_stops, reference.sink.safe_stops);
+        assert_eq!(run.sink.episodes, reference.sink.episodes);
+    }
+}
+
 #[test]
 fn campaign_cells_share_prior_map_and_weights() {
     let assets = FleetAssets::urban(RES);
