@@ -28,6 +28,29 @@ fn load(path: &str) -> Value {
     parse(&text).unwrap_or_else(|e| panic!("bench_check: {path} is not valid JSON: {e}"))
 }
 
+/// Top-level keys each known artifact must carry beyond the universal
+/// `bench`/`seed`/`mode` trio. A bench whose writer drops one of these
+/// regressed its schema even if the JSON still parses.
+fn required_keys(bench: &str) -> &'static [&'static str] {
+    match bench {
+        "bench_recovery" => &[
+            "seed",
+            "mode",
+            "frames",
+            "parity",
+            "containment",
+            "crash_free_transparency",
+            "exhaustion",
+            "sweep",
+        ],
+        "bench_fleet" => &["seed", "mode", "parity", "memory", "campaigns", "full", "fleet_tails_ms"],
+        "bench_telemetry" => {
+            &["seed", "mode", "parity", "rerun_byte_identical", "dump_causality", "overhead"]
+        }
+        _ => &[],
+    }
+}
+
 fn check_all() {
     let mut names: Vec<String> = std::fs::read_dir(".")
         .expect("bench_check: cannot list working directory")
@@ -46,6 +69,12 @@ fn check_all() {
             .get("bench")
             .and_then(Value::as_str)
             .unwrap_or_else(|| panic!("bench_check: {name} has no \"bench\" field"));
+        for key in required_keys(bench) {
+            assert!(
+                doc.get(key).is_some(),
+                "bench_check: {name} ({bench}) is missing required key \"{key}\""
+            );
+        }
         println!("  {name}: ok ({bench})");
     }
     println!("bench_check: {} artifact(s) parse clean", names.len());

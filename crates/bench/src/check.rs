@@ -148,9 +148,20 @@ mod tests {
         ] {
             assert!(is_wallclock_key(wall), "{wall} should be wall-clock");
         }
-        for det in
-            ["virtual_miss_rate", "e2e_virtual_ms", "frames", "seed", "mota", "safe_stops"]
-        {
+        for det in [
+            "virtual_miss_rate",
+            "e2e_virtual_ms",
+            "frames",
+            "seed",
+            "mota",
+            "safe_stops",
+            // Recovery metrics count virtual frames and bytes — pure
+            // functions of the seeds, never of the host clock.
+            "mttr_frames",
+            "replay_ratio",
+            "peak_checkpoint_bytes",
+            "replayed_frames",
+        ] {
             assert!(!is_wallclock_key(det), "{det} should be deterministic");
         }
     }

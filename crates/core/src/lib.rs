@@ -42,13 +42,13 @@ pub use deadline::{replay_stream, DeadlineStats};
 pub use modeled::{FrameLatency, ModeledPipeline, PipelineStats};
 pub use native::{
     build_prior_map, DetectorKind, NativeFrameResult, NativePipeline, NativePipelineConfig,
-    ProcessControl, TrackerKind,
+    PipelineSnapshot, ProcessControl, TrackerKind,
 };
 pub use simulation::{ClosedLoopSim, SimReport, SimStep};
 pub use supervisor::{
     ActiveModes, DegradationCause, DegradationEvent, DegradationEventKind, DegradedMode,
     ModeledSupervisor, RecoveryStats, StagedFrame, SupervisedFrameResult, Supervisor,
-    SupervisorConfig,
+    SupervisorCheckpoint, SupervisorConfig,
 };
 // Guard types surface in the supervisor API (config, causes, logs);
 // re-export them so `adsim_core` alone is enough to drive it.

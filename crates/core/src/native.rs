@@ -215,6 +215,35 @@ impl NativePipeline {
         &self.localizer
     }
 
+    /// A deep snapshot of everything mutable across frames: the
+    /// localizer (pose/motion model, private map overlay, stats), the
+    /// tracker pool, fusion histories, the motion planner and the frame
+    /// counter. The detector is deliberately *not* captured: its only
+    /// mutable state is the anytime quality operating point, and
+    /// [`NativePipeline::apply_quality`] re-commands those knobs from
+    /// the frame's control before any stage runs, so restored frames
+    /// re-establish it deterministically.
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            localizer: self.localizer.clone(),
+            pool: self.pool.snapshot(),
+            fusion: self.fusion.clone(),
+            motion: self.motion.clone(),
+            frames: self.frames,
+        }
+    }
+
+    /// Restores a [`NativePipeline::snapshot`]; the pipeline resumes
+    /// bit-identically from the captured frame. Snapshots are reusable
+    /// (restoring clones out of them).
+    pub fn restore(&mut self, snap: &PipelineSnapshot) {
+        self.localizer = snap.localizer.clone();
+        self.pool.restore(&snap.pool);
+        self.fusion = snap.fusion.clone();
+        self.motion = snap.motion.clone();
+        self.frames = snap.frames;
+    }
+
     /// Processes one camera frame through the full Fig. 1 dataflow.
     pub fn process(&mut self, image: &GrayImage, time_s: f64) -> NativeFrameResult {
         self.process_with(image, time_s, &ProcessControl::default())
@@ -391,6 +420,40 @@ impl NativePipeline {
             fused,
             plan,
         }
+    }
+}
+
+/// A deep copy of a [`NativePipeline`]'s cross-frame mutable state,
+/// captured by [`NativePipeline::snapshot`]. The recovery layer wraps
+/// it (with the supervisor's own state) into a pipeline checkpoint.
+#[derive(Clone)]
+pub struct PipelineSnapshot {
+    localizer: Localizer,
+    pool: adsim_perception::TrackerPoolSnapshot,
+    fusion: FusionEngine,
+    motion: MotionPlanner,
+    frames: u64,
+}
+
+impl PipelineSnapshot {
+    /// Rough size of the snapshot's dynamic state in bytes: map-overlay
+    /// landmarks plus live trackers. Deterministic (counts only — no
+    /// allocator introspection), so benches can report it exactly.
+    pub fn approx_bytes(&self) -> usize {
+        const LANDMARK_BYTES: usize = 48; // world point + 256-bit descriptor
+        const TRACKER_BYTES: usize = 1_200; // crop/template + box + row
+        std::mem::size_of::<Self>()
+            + self.localizer.map().overlay().len() * LANDMARK_BYTES
+            + self.pool.len() * TRACKER_BYTES
+    }
+}
+
+impl std::fmt::Debug for PipelineSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineSnapshot")
+            .field("frames", &self.frames)
+            .field("tracks", &self.pool.len())
+            .finish()
     }
 }
 

@@ -32,13 +32,15 @@
 //! *reported* latency for deadline accounting.
 
 use crate::modeled::{FrameLatency, ModeledPipeline, PipelineStats};
-use crate::native::{NativeFrameResult, NativePipeline, ProcessControl};
+use crate::native::{NativeFrameResult, NativePipeline, PipelineSnapshot, ProcessControl};
 use adsim_anytime::{
     AnytimeConfig, Governor, GovernorEvent, QualityKnobs, STAGE_DET, STAGE_FUS, STAGE_LOC,
     STAGE_MOT, STAGE_TRA,
 };
 use adsim_dnn::detection::Detection;
-use adsim_faults::{blackout_frame, corrupt_pixels, FaultInjector, FaultStage, FrameFaults};
+use adsim_faults::{
+    blackout_frame, corrupt_pixels, FaultInjector, FaultStage, FrameFaults, InjectedCrash,
+};
 use adsim_guard::{digest_image, GuardConfig, GuardEvent, GuardStats, Monitor, PipelineGuard};
 use adsim_perception::BatchRequest;
 use adsim_planning::MotionPlan;
@@ -121,6 +123,13 @@ pub enum DegradationCause {
         /// (ms, at the quality level in force when it was made).
         predicted_ms: f64,
     },
+    /// The recovery layer's restart budget ran out: the vehicle keeps
+    /// crashing faster than checkpoints can carry it forward, so the
+    /// only safe terminal state is a parked vehicle.
+    RestartsExhausted {
+        /// Restarts attempted before giving up.
+        restarts: u64,
+    },
 }
 
 impl std::fmt::Display for DegradationCause {
@@ -144,6 +153,9 @@ impl std::fmt::Display for DegradationCause {
             }
             DegradationCause::PredictedMiss { predicted_ms } => {
                 write!(f, "predicted deadline miss ({predicted_ms:.1} ms forecast)")
+            }
+            DegradationCause::RestartsExhausted { restarts } => {
+                write!(f, "restart budget exhausted ({restarts} restarts)")
             }
         }
     }
@@ -184,6 +196,17 @@ pub enum DegradationEventKind {
         /// Backoff charged before this attempt (ms).
         backoff_ms: f64,
     },
+    /// The recovery layer restored the last checkpoint and replayed
+    /// the gap after an injected stage crash — the restart escalation
+    /// rung above retry and below safe stop.
+    Restart {
+        /// Stage whose crash triggered the restart.
+        stage: FaultStage,
+        /// Frame index the restored checkpoint resumes from.
+        checkpoint_frame: u64,
+        /// Frames deterministically replayed to reach the crash frame.
+        replayed: u64,
+    },
 }
 
 impl std::fmt::Display for DegradationEvent {
@@ -198,6 +221,13 @@ impl std::fmt::Display for DegradationEvent {
             }
             DegradationEventKind::Retry { stage, attempt, backoff_ms } => {
                 write!(f, "retry {attempt} on {stage} (backoff {backoff_ms:.1} ms)")
+            }
+            DegradationEventKind::Restart { stage, checkpoint_frame, replayed } => {
+                write!(
+                    f,
+                    "restart after {stage} crash (checkpoint {checkpoint_frame}, \
+                     replayed {replayed} frame(s))"
+                )
             }
         }
     }
@@ -290,6 +320,16 @@ pub struct RecoveryStats {
     pub quality_switches: u64,
     /// Frames spent below full quality.
     pub quality_reduced_frames: u64,
+    /// Injected stage crashes the recovery layer contained (counted
+    /// when the crash is recorded post-restore, so the count survives
+    /// later checkpoint restores).
+    pub crashes: u64,
+    /// Checkpoint restarts performed after crashes.
+    pub restarts: u64,
+    /// Frames deterministically replayed across all restarts. Replayed
+    /// frames settle again, so `frames` also counts the re-execution —
+    /// the honest cost of recovery.
+    pub replayed_frames: u64,
     /// Whether a degradation episode was still open at the end.
     pub degraded_at_end: bool,
 }
@@ -429,7 +469,7 @@ impl MonitorFlags {
 /// The shared watchdog + degraded-mode state machine. Both the native
 /// [`Supervisor`] and the [`ModeledSupervisor`] mirror drive this one
 /// policy, so their transition semantics cannot drift apart.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SupervisorCore {
     cfg: SupervisorConfig,
     governor: Governor,
@@ -442,6 +482,9 @@ struct SupervisorCore {
     consecutive_blackout: u32,
     healthy_streak: u32,
     episode_start: Option<u64>,
+    /// Terminal latch set when the crash-restart budget is exhausted:
+    /// the vehicle parks (SafeStop) and never recovers out of it.
+    terminal_safe_stop: bool,
     events: Vec<DegradationEvent>,
     stats: RecoveryStats,
     // Odometry for dead-reckoning: last observed pose, last observed
@@ -518,6 +561,9 @@ fn fault_bits(faults: &FrameFaults) -> u16 {
     if !faults.drift.is_empty() {
         bits |= t::FAULT_DRIFT;
     }
+    if faults.crash.is_some() {
+        bits |= t::FAULT_CRASH;
+    }
     bits
 }
 
@@ -584,6 +630,7 @@ impl SupervisorCore {
             consecutive_blackout: 0,
             healthy_streak: 0,
             episode_start: None,
+            terminal_safe_stop: false,
             events: Vec::new(),
             stats: RecoveryStats::default(),
             last_pose: None,
@@ -793,6 +840,11 @@ impl SupervisorCore {
         if collapse || monitors.planner {
             want_safe = true;
         }
+        // An exhausted crash-restart budget parks the vehicle for good:
+        // no healthy streak can undo it.
+        if self.terminal_safe_stop {
+            want_safe = true;
+        }
         let want_speed_red =
             (want_tracker_only || want_dead_reck || monitors.soft()) && !want_safe;
 
@@ -832,7 +884,9 @@ impl SupervisorCore {
             speed_red_cause,
             frame,
         );
-        let safe_cause = if monitors.planner && !collapse {
+        let safe_cause = if self.terminal_safe_stop {
+            DegradationCause::RestartsExhausted { restarts: self.stats.restarts }
+        } else if monitors.planner && !collapse {
             DegradationCause::MonitorTripped { monitor: Monitor::Planner }
         } else {
             DegradationCause::ConfidenceCollapse {
@@ -965,6 +1019,8 @@ impl SupervisorCore {
             fault_bits: fault_bits(faults),
             payload_digest,
             forecast_e2e_ms: self.governor.last_forecast_e2e(),
+            crashed: false,
+            panic_msg: String::new(),
         });
 
         // Dump triggers, in severity order: entering SafeStop always
@@ -1135,6 +1191,13 @@ pub struct Supervisor {
     /// The sensor payload delivered last frame, kept only while
     /// stuck-at faults are enabled (a wedged sensor re-delivers it).
     last_delivered: Option<GrayImage>,
+    /// Whether scheduled crash faults actually panic. The recovery
+    /// layer disarms this while replaying the post-checkpoint gap
+    /// (crashes are transient: a restarted process does not re-crash
+    /// on the same frame) and re-arms it once the replay catches up.
+    /// Deliberately *not* part of [`SupervisorCheckpoint`]: arming is
+    /// execution policy, not pipeline state.
+    crash_armed: bool,
 }
 
 impl Supervisor {
@@ -1147,6 +1210,7 @@ impl Supervisor {
             core: SupervisorCore::new(cfg),
             guard,
             last_delivered: None,
+            crash_armed: true,
         }
     }
 
@@ -1260,6 +1324,17 @@ impl Supervisor {
         // this vehicle's id without any of them knowing about fleets.
         let _vehicle = VehicleScope::enter(self.core.cfg.vehicle);
         let faults = self.injector.next_frame();
+        // A scheduled crash takes down the whole frame before any
+        // pipeline state mutates: the injector has advanced (so the
+        // schedule is burned, exactly like a real crash losing the
+        // frame) but the pipeline, guard and mode machine have not.
+        // The panic payload is typed so containment layers can tell
+        // injected crashes from genuine bugs.
+        if self.crash_armed {
+            if let Some(stage) = faults.crash {
+                std::panic::panic_any(InjectedCrash { frame: faults.frame, stage });
+            }
+        }
         let mut plan = self.core.plan(&faults);
         let frame = faults.frame;
         // The sensor clock the pipeline sees, skew included.
@@ -1418,12 +1493,168 @@ impl Supervisor {
             modes: self.core.active_modes(),
         }
     }
+
+    /// Arms or disarms scheduled crash faults. The recovery layer
+    /// disarms crashes while deterministically replaying the frames
+    /// between the restored checkpoint and the crash (transient-crash
+    /// semantics: a restarted process does not re-crash on the frames
+    /// it is re-executing) and re-arms them afterwards.
+    pub fn set_crash_armed(&mut self, armed: bool) {
+        self.crash_armed = armed;
+    }
+
+    /// Whether scheduled crash faults currently panic.
+    pub fn crash_armed(&self) -> bool {
+        self.crash_armed
+    }
+
+    /// Snapshots every piece of mutable per-frame state into a
+    /// checkpoint: the pipeline (trackers, localizer pose + map
+    /// overlay, fusion history, planner), the fault injector's
+    /// schedule position, the degradation state machine (governor
+    /// forecaster included), the safety guard and the stuck-sensor
+    /// replay payload. Restoring it resumes the run bit-identically
+    /// from the checkpointed frame. `crash_armed` is deliberately
+    /// excluded — arming is the recovery layer's execution policy.
+    pub fn checkpoint(&self) -> SupervisorCheckpoint {
+        SupervisorCheckpoint {
+            pipeline: self.pipeline.snapshot(),
+            injector: self.injector.clone(),
+            core: self.core.clone(),
+            guard: self.guard.clone(),
+            last_delivered: self.last_delivered.clone(),
+        }
+    }
+
+    /// Rewinds the supervisor to a checkpoint taken earlier on this
+    /// same supervisor. The inverse of [`Supervisor::checkpoint`].
+    pub fn restore(&mut self, ck: &SupervisorCheckpoint) {
+        self.pipeline.restore(&ck.pipeline);
+        self.injector = ck.injector.clone();
+        self.core = ck.core.clone();
+        self.guard = ck.guard.clone();
+        self.last_delivered = ck.last_delivered.clone();
+    }
+
+    /// Records a contained stage crash at `frame`, after the restore:
+    /// bumps the crash counter, pushes a synthetic crash record into
+    /// the black box (the crashed frame itself never settled, so no
+    /// organic record exists for it) and dumps the flight ring with
+    /// the panic payload attached. Call *after* [`Supervisor::restore`]
+    /// so the audit trail survives any later restore.
+    pub fn record_cell_crash(&mut self, frame: u64, stage: FaultStage, panic_msg: &str) {
+        let _vehicle = VehicleScope::enter(self.core.cfg.vehicle);
+        use adsim_telemetry as t;
+        self.core.stats.crashes += 1;
+        t::counter_add("sup_crash_total", stage.label(), 1);
+        self.core.recorder.push(FrameRecord {
+            frame,
+            fault_bits: t::FAULT_CRASH,
+            crashed: true,
+            panic_msg: t::truncate_panic_msg(panic_msg),
+            ..FrameRecord::default()
+        });
+        self.core.dump(DumpTrigger::CellCrash, frame);
+    }
+
+    /// Records a completed crash restart: checkpoint restored at
+    /// `checkpoint_frame`, `replayed` frames re-executed to catch up
+    /// to the crash at `frame`. Pushes a [`DegradationEventKind::Restart`]
+    /// audit event and bumps the restart counters.
+    pub fn record_restart(
+        &mut self,
+        frame: u64,
+        stage: FaultStage,
+        checkpoint_frame: u64,
+        replayed: u64,
+    ) {
+        let _vehicle = VehicleScope::enter(self.core.cfg.vehicle);
+        use adsim_telemetry as t;
+        self.core.stats.restarts += 1;
+        self.core.stats.replayed_frames += replayed;
+        t::counter_add("sup_restart_total", stage.label(), 1);
+        self.core.events.push(DegradationEvent {
+            frame,
+            kind: DegradationEventKind::Restart { stage, checkpoint_frame, replayed },
+        });
+    }
+
+    /// Latches the terminal safe stop after the restart budget is
+    /// exhausted: every frame from here on settles into SafeStop with
+    /// [`DegradationCause::RestartsExhausted`], and no healthy streak
+    /// recovers out of it.
+    pub fn record_crash_exhausted(&mut self) {
+        self.core.terminal_safe_stop = true;
+    }
+}
+
+/// Everything [`Supervisor::restore`] needs to resume a run
+/// bit-identically from a checkpointed frame boundary: the pipeline
+/// snapshot, the fault injector (schedule position and RNG streams),
+/// the degradation state machine (stats, events, governor, black-box
+/// ring, flight dumps), the safety guard (previous-frame monitors,
+/// trip log) and the stuck-sensor replay payload.
+///
+/// Produced by [`Supervisor::checkpoint`]. The checkpoint is a deep
+/// value: holding one does not alias the live supervisor (the SLAM
+/// map shares its immutable prior via `Arc`; the mutable overlay is
+/// deep-copied).
+#[derive(Clone)]
+pub struct SupervisorCheckpoint {
+    pipeline: PipelineSnapshot,
+    injector: FaultInjector,
+    core: SupervisorCore,
+    guard: PipelineGuard,
+    last_delivered: Option<GrayImage>,
+}
+
+impl std::fmt::Debug for SupervisorCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisorCheckpoint")
+            .field("frames", &self.core.stats.frames)
+            .field("approx_bytes", &self.approx_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SupervisorCheckpoint {
+    /// Frames the checkpointed supervisor had settled — the frame
+    /// index execution resumes from after a restore.
+    pub fn frames_done(&self) -> u64 {
+        self.core.stats.frames
+    }
+
+    /// Rough in-memory footprint of the checkpoint: the pipeline
+    /// snapshot estimate plus the event log, black-box ring, captured
+    /// dumps and the optional retained sensor payload. Deterministic
+    /// (no allocator introspection) so benches can report it.
+    pub fn approx_bytes(&self) -> usize {
+        let events = self.core.events.len() * std::mem::size_of::<DegradationEvent>();
+        let ring = self.core.recorder.len() * std::mem::size_of::<FrameRecord>();
+        let dumps: usize = self
+            .core
+            .dumps
+            .iter()
+            .map(|d| d.records.len() * std::mem::size_of::<FrameRecord>())
+            .sum();
+        let payload = self
+            .last_delivered
+            .as_ref()
+            .map(|img| img.width() * img.height())
+            .unwrap_or(0);
+        self.pipeline.approx_bytes() + events + ring + dumps + payload
+    }
 }
 
 /// The supervisor mirrored over [`ModeledPipeline`]: stage latencies
 /// come from the calibrated distributions, faults perturb them, and
 /// the same [`SupervisorCore`] policy reacts — cheap large-frame
 /// campaigns with the identical transition semantics.
+///
+/// Crash faults are *not* executed here: the modeled pipeline has no
+/// per-frame state worth checkpointing, so a scheduled crash is a
+/// no-op beyond its fault-bit in the flight record. Crash containment
+/// and restart-replay recovery are native-pipeline features.
 #[derive(Debug)]
 pub struct ModeledSupervisor {
     pipeline: ModeledPipeline,
@@ -1662,6 +1893,95 @@ mod tests {
                 assert!(backoff_ms <= sup_cfg.stage_budget_ms, "backoff {backoff_ms}");
             }
         }
+    }
+
+    fn native_supervisor(seed: u64, faults: FaultConfig) -> Supervisor {
+        use adsim_workload::{Resolution, Scenario, ScenarioKind};
+        let scenario = Scenario::new(ScenarioKind::UrbanDrive, 11);
+        let camera = scenario.camera(Resolution::Hhd);
+        let poses = (0..10).map(|i| scenario.pose_at(i * 10)).collect::<Vec<_>>();
+        let map = crate::native::build_prior_map(scenario.world(), &camera, poses, 200, 25);
+        let pipe = NativePipeline::new(camera, map, crate::native::NativePipelineConfig::default());
+        let mut sup = Supervisor::new(pipe, FaultInjector::new(seed, faults), SupervisorConfig::default());
+        sup.seed_pose(scenario.pose_at(0));
+        sup
+    }
+
+    #[test]
+    fn armed_crash_fault_panics_with_typed_payload() {
+        use adsim_workload::{Resolution, Scenario, ScenarioKind};
+        let scenario = Scenario::new(ScenarioKind::UrbanDrive, 11);
+        let crashy = FaultConfig { crash_rate: 1.0, ..FaultConfig::off() };
+        let mut sup = native_supervisor(7, crashy.clone());
+        let frame = scenario.stream(Resolution::Hhd).next().unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sup.process(&frame.image, frame.time_s)
+        }))
+        .expect_err("crash_rate=1 must panic on the first frame");
+        let crash = err.downcast_ref::<InjectedCrash>().expect("typed payload");
+        assert_eq!(crash.frame, 0);
+        // The schedule is burned: the injector advanced before the
+        // panic, exactly like a real crash losing the frame.
+        assert_eq!(sup.injector().events().len(), 1);
+
+        // Disarmed, the same schedule completes the frame normally.
+        let mut sup = native_supervisor(7, crashy);
+        sup.set_crash_armed(false);
+        let out = sup.process(&frame.image, frame.time_s);
+        assert!(out.faults.crash.is_some(), "fault still scheduled, just not executed");
+        assert_eq!(sup.recovery_stats().frames, 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_bit_identically() {
+        use adsim_workload::{Resolution, Scenario, ScenarioKind};
+        let scenario = Scenario::new(ScenarioKind::UrbanDrive, 11);
+        let faults = FaultConfig::stress();
+        let mut sup = native_supervisor(21, faults);
+        let frames: Vec<_> = scenario.stream(Resolution::Hhd).take(6).collect();
+        let mut first = Vec::new();
+        let mut ck = None;
+        for (i, frame) in frames.iter().enumerate() {
+            if i == 3 {
+                ck = Some(sup.checkpoint());
+            }
+            let out = sup.process(&frame.image, frame.time_s);
+            first.push((out.result.pose, format!("{:?}", out.result.plan)));
+        }
+        let end_events = format!("{:?}", sup.events());
+        let end_stats = format!("{:?}", sup.recovery_stats());
+
+        let ck = ck.expect("checkpoint taken at frame 3");
+        assert_eq!(ck.frames_done(), 3);
+        assert!(ck.approx_bytes() > 0);
+        sup.restore(&ck);
+        assert_eq!(sup.recovery_stats().frames, 3, "restore rewinds the frame count");
+        let mut second = Vec::new();
+        for frame in &frames[3..] {
+            let out = sup.process(&frame.image, frame.time_s);
+            second.push((out.result.pose, format!("{:?}", out.result.plan)));
+        }
+        assert_eq!(second, first[3..], "replay from the checkpoint is bit-identical");
+        assert_eq!(format!("{:?}", sup.events()), end_events);
+        assert_eq!(format!("{:?}", sup.recovery_stats()), end_stats);
+    }
+
+    #[test]
+    fn exhausted_restarts_latch_a_terminal_safe_stop() {
+        let mut sup = modeled(0, FaultConfig::off());
+        sup.core.terminal_safe_stop = true;
+        let (_, rec) = sup.simulate(50, 1.0);
+        assert_eq!(rec.safe_stop_frames, 50, "no healthy streak recovers a terminal stop");
+        let entered = sup.events().iter().any(|e| {
+            matches!(
+                e.kind,
+                DegradationEventKind::Entered {
+                    mode: DegradedMode::SafeStop,
+                    cause: DegradationCause::RestartsExhausted { .. },
+                }
+            )
+        });
+        assert!(entered, "safe stop must cite the exhausted restart budget");
     }
 
     #[test]

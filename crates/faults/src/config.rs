@@ -23,18 +23,23 @@ impl FaultStage {
         FaultStage::Fusion,
         FaultStage::MotionPlanning,
     ];
-}
 
-impl std::fmt::Display for FaultStage {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+    /// Short static label (also the `Display` rendering) — usable as a
+    /// telemetry stage label, which requires `&'static str`.
+    pub fn label(self) -> &'static str {
+        match self {
             FaultStage::Detection => "DET",
             FaultStage::Tracking => "TRA",
             FaultStage::Localization => "LOC",
             FaultStage::Fusion => "FUSION",
             FaultStage::MotionPlanning => "MOTPLAN",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for FaultStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -98,6 +103,14 @@ pub struct FaultConfig {
     /// Per-frame load growth range, inclusive, as a fraction of the
     /// stage's nominal cost (0.02 = +2% of nominal per frame).
     pub drift_per_frame: (f64, f64),
+    /// Probability per frame of a transient software crash: one stage
+    /// (drawn per frame) panics while processing the frame. A crash is
+    /// the paper's worst tail — the stage produces *nothing* — and is
+    /// executed as a real `panic_any(InjectedCrash)` by the supervisor
+    /// so the containment and checkpoint/restore layers are exercised
+    /// for real, not simulated. Transient semantics: a restarted
+    /// replay of the same frame does not re-crash.
+    pub crash_rate: f64,
 }
 
 impl FaultConfig {
@@ -124,12 +137,18 @@ impl FaultConfig {
             drift_rate: 0.0,
             drift_frames: (20, 60),
             drift_per_frame: (0.02, 0.08),
+            crash_rate: 0.0,
         }
     }
 
-    /// A stress preset with every fault class active — the
-    /// determinism tests and the fault campaign's hostile cells use
-    /// this shape.
+    /// A stress preset with every *recoverable-in-place* fault class
+    /// active — the determinism tests and the fault campaign's hostile
+    /// cells use this shape. Crashes stay opt-in
+    /// ([`FaultConfig::crash_rate`] `= 0`): executing one tears down
+    /// the frame loop unless the caller runs inside a containment
+    /// boundary (`adsim-fleet` / `adsim-recovery`), and keeping them
+    /// out of `stress()` leaves every pre-existing seeded schedule
+    /// bit-identical.
     pub fn stress() -> Self {
         Self {
             blackout_rate: 0.08,
@@ -156,6 +175,7 @@ impl FaultConfig {
             && self.stuck_rate == 0.0
             && self.timestamp_skew_rate == 0.0
             && self.drift_rate == 0.0
+            && self.crash_rate == 0.0
     }
 }
 
@@ -173,6 +193,16 @@ mod tests {
     fn default_is_off() {
         assert!(FaultConfig::default().is_off());
         assert!(!FaultConfig::stress().is_off());
+    }
+
+    #[test]
+    fn crash_rate_alone_is_not_off() {
+        let cfg = FaultConfig { crash_rate: 0.1, ..FaultConfig::off() };
+        assert!(!cfg.is_off());
+        // Crashes stay out of the stress preset: executing one needs a
+        // containment boundary, and adding the class there would change
+        // no schedule but would tear down uncontained stress callers.
+        assert_eq!(FaultConfig::stress().crash_rate, 0.0);
     }
 
     #[test]

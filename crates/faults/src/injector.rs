@@ -22,6 +22,25 @@ pub struct WorkerStall {
     pub stall_ms: f64,
 }
 
+/// The typed panic payload of an executed crash fault. The supervisor
+/// raises it with `std::panic::panic_any`, so containment layers
+/// (`adsim-fleet`, `adsim-recovery`) can downcast the payload back to
+/// the exact stage and frame that died instead of scraping a panic
+/// string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// Frame being processed when the stage panicked.
+    pub frame: u64,
+    /// Stage that panicked.
+    pub stage: FaultStage,
+}
+
+impl std::fmt::Display for InjectedCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected crash: {} stage panicked at frame {}", self.stage, self.frame)
+    }
+}
+
 /// Everything injected into one frame. `FrameFaults::default()` (all
 /// fields inert) is a clean frame.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -48,6 +67,10 @@ pub struct FrameFaults {
     /// for every stage currently inside a drift episode, in pipeline
     /// order. A stage at load `l` costs `l ×` its nominal this frame.
     pub drift: Vec<(FaultStage, f64)>,
+    /// The scheduled stage panic for this frame, if any (at most one
+    /// stage crashes per frame; the earliest pipeline stage whose
+    /// sub-stream fired wins).
+    pub crash: Option<FaultStage>,
 }
 
 impl FrameFaults {
@@ -62,6 +85,7 @@ impl FrameFaults {
             && self.stall.is_none()
             && self.time_skew_s.is_none()
             && self.drift.is_empty()
+            && self.crash.is_none()
     }
 
     /// Total injected latency across all stages (ms), spikes only.
@@ -146,6 +170,12 @@ pub enum FaultKind {
         /// Per-frame load growth (fraction of nominal).
         per_frame: f64,
     },
+    /// A transient software crash was scheduled: the stage panics
+    /// while processing the frame.
+    StageCrash {
+        /// Stage that panics.
+        stage: FaultStage,
+    },
 }
 
 impl std::fmt::Display for FaultEvent {
@@ -183,6 +213,9 @@ impl std::fmt::Display for FaultEvent {
                     per_frame * 100.0
                 )
             }
+            FaultKind::StageCrash { stage } => {
+                write!(f, "stage crash on {stage} (injected panic)")
+            }
         }
     }
 }
@@ -214,12 +247,14 @@ pub enum FaultClass {
     TimestampSkew,
     /// Sustained per-stage latency drift.
     LatencyDrift,
+    /// Transient software crash (injected stage panic).
+    Crash,
 }
 
 impl FaultClass {
     /// The canonical draw order (matches [`FaultInjector::next_frame`]).
     /// Any permutation of this slice produces the identical schedule.
-    pub const ALL: [FaultClass; 9] = [
+    pub const ALL: [FaultClass; 10] = [
         FaultClass::Blackout,
         FaultClass::StuckFrame,
         FaultClass::PixelCorruption,
@@ -229,6 +264,7 @@ impl FaultClass {
         FaultClass::WorkerStall,
         FaultClass::TimestampSkew,
         FaultClass::LatencyDrift,
+        FaultClass::Crash,
     ];
 
     /// Salt separating this class's per-frame RNG stream from the
@@ -245,6 +281,7 @@ impl FaultClass {
             FaultClass::WorkerStall => 0x07,
             FaultClass::TimestampSkew => 0x08,
             FaultClass::LatencyDrift => 0x09,
+            FaultClass::Crash => 0x0A,
         }
     }
 }
@@ -271,6 +308,7 @@ struct FrameDraws {
     stall: Option<WorkerStall>,
     skew_s: Option<f64>,
     drift: Vec<(FaultStage, u32, f64)>,
+    crash: Option<FaultStage>,
 }
 
 /// The seeded fault schedule generator.
@@ -427,6 +465,17 @@ impl FaultInjector {
                     }
                 }
             }
+            FaultClass::Crash => {
+                // One sub-stream per stage, like LatencySpikes; the
+                // earliest pipeline stage whose sub-stream fires is the
+                // frame's (single) crasher.
+                for (i, stage) in FaultStage::ALL.into_iter().enumerate() {
+                    let mut srng = Rng64::new(rng.next_u64() ^ mix(i as u64));
+                    if srng.chance(self.cfg.crash_rate) && draws.crash.is_none() {
+                        draws.crash = Some(stage);
+                    }
+                }
+            }
         }
     }
 
@@ -562,6 +611,13 @@ impl FaultInjector {
                 self.drift_load[i] = 1.0;
                 self.drift_step[i] = 0.0;
             }
+        }
+
+        // Transient stage crash: no gating (a stage can die while the
+        // sensor is dark) and no carry-over (restart clears it).
+        if let Some(stage) = draws.crash {
+            out.crash = Some(stage);
+            self.events.push(FaultEvent { frame, kind: FaultKind::StageCrash { stage } });
         }
 
         out
@@ -712,6 +768,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn crash_class_draws_per_frame_and_leaves_others_untouched() {
+        let crashy = FaultConfig { crash_rate: 0.10, ..FaultConfig::stress() };
+        let (frames, events) = run(42, crashy, 400);
+        let crashes = frames.iter().filter(|f| f.crash.is_some()).count();
+        assert!(crashes > 10, "10%/stage over 400 frames must crash: {crashes}");
+        assert_eq!(
+            events.iter().filter(|e| matches!(e.kind, FaultKind::StageCrash { .. })).count(),
+            crashes,
+            "one StageCrash event per scheduled crash"
+        );
+        // Private per-class streams: adding the crash class must not
+        // shift any pre-existing class's schedule.
+        let (base, _) = run(42, FaultConfig::stress(), 400);
+        for (f, b) in frames.iter().zip(&base) {
+            assert_eq!(f.blackout, b.blackout, "frame {}", f.frame);
+            assert_eq!(f.spikes, b.spikes, "frame {}", f.frame);
+            assert_eq!(f.stall, b.stall, "frame {}", f.frame);
+            assert_eq!(f.drift, b.drift, "frame {}", f.frame);
+        }
+    }
+
+    #[test]
+    fn crash_payload_renders_stage_and_frame() {
+        let c = InjectedCrash { frame: 42, stage: FaultStage::Detection };
+        assert_eq!(c.to_string(), "injected crash: DET stage panicked at frame 42");
     }
 
     #[test]

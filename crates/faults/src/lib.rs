@@ -33,5 +33,6 @@ mod injector;
 pub use config::{FaultConfig, FaultStage};
 pub use corrupt::{blackout_frame, corrupt_pixels};
 pub use injector::{
-    FaultClass, FaultEvent, FaultInjector, FaultKind, FrameFaults, PixelCorruption, WorkerStall,
+    FaultClass, FaultEvent, FaultInjector, FaultKind, FrameFaults, InjectedCrash, PixelCorruption,
+    WorkerStall,
 };

@@ -31,6 +31,7 @@ fn permutations() -> Vec<Vec<FaultClass>> {
     }
     // A swap-heavy shuffle (deterministic, hand-picked).
     perms.push(vec![
+        FaultClass::Crash,
         FaultClass::TimestampSkew,
         FaultClass::LatencyDrift,
         FaultClass::PixelCorruption,
@@ -78,6 +79,10 @@ fn configs() -> Vec<(&'static str, FaultConfig)> {
         (
             "timing-only",
             FaultConfig { latency_spike_rate: 0.2, stall_rate: 0.1, ..FaultConfig::off() },
+        ),
+        (
+            "crash-prone",
+            FaultConfig { crash_rate: 0.08, stall_rate: 0.1, ..FaultConfig::stress() },
         ),
     ]
 }

@@ -5,10 +5,11 @@ use crate::assets::FleetAssets;
 use crate::sink::StageHistograms;
 use adsim_core::{
     GuardConfig, NativePipelineConfig, StagedFrame, SupervisedFrameResult, Supervisor,
-    SupervisorConfig,
+    SupervisorCheckpoint, SupervisorConfig,
 };
 use adsim_dnn::detection::Detection;
-use adsim_faults::FaultConfig;
+use adsim_faults::{FaultConfig, InjectedCrash};
+use adsim_recovery::{describe_panic, CrashAction, CrashRecord, RecoveryCoordinator, RecoveryPolicy};
 use adsim_guard::{Digest, GuardStats, Hasher};
 use adsim_perception::metrics::{MotAccumulator, TruthBox};
 use adsim_planning::MotionPlan;
@@ -34,6 +35,10 @@ pub struct CellSpec {
     pub seed: u64,
     /// Frames to stream through the cell.
     pub frames: usize,
+    /// Crash recovery policy. `None` (the default) quarantines the
+    /// cell on the first injected crash; `Some` restores the newest
+    /// checkpoint and deterministically replays the gap instead.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl CellSpec {
@@ -45,7 +50,15 @@ impl CellSpec {
             supervisor: SupervisorConfig::default(),
             seed,
             frames,
+            recovery: None,
         }
+    }
+
+    /// Enables checkpoint/restore crash recovery.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = Some(recovery);
+        self
     }
 
     /// Replaces the guard policy.
@@ -109,6 +122,26 @@ pub struct CellOutcome {
     pub quality_switches: u64,
     /// Frames spent below full quality.
     pub quality_reduced_frames: u64,
+    /// Injected stage crashes contained (restart-recovered or
+    /// quarantined).
+    pub crashes: u64,
+    /// Checkpoint restarts performed.
+    pub restarts: u64,
+    /// Frames deterministically replayed across all restarts.
+    pub replayed_frames: u64,
+    /// Checkpoints taken (not part of the signature: checkpointing-on
+    /// must stay byte-identical to checkpointing-off on crash-free
+    /// runs, and the schedule is pure bookkeeping either way).
+    pub checkpoints: u64,
+    /// Peak approximate checkpoint footprint (bytes; deterministic
+    /// estimate, excluded from the signature like `checkpoints`).
+    pub checkpoint_bytes: u64,
+    /// Whether the cell was quarantined: a crash with no recovery
+    /// policy (or an uncontained panic the engine caught) froze it at
+    /// its last completed frame.
+    pub quarantined: bool,
+    /// Contained-crash audit ledger, rendered (one line per crash).
+    pub crash_log: Vec<String>,
     /// Anytime-governor quality-switch log, rendered.
     pub gov_log: Vec<String>,
     /// Degradation-event log, rendered.
@@ -141,6 +174,49 @@ impl CellOutcome {
         }
     }
 
+    /// The last-resort outcome for a cell whose worker caught a panic
+    /// that escaped every containment layer (a genuine bug, not an
+    /// injected crash). The campaign completes with the cell marked
+    /// quarantined and the contract-breach counter (`uncaught`) set so
+    /// no test or bench can mistake the run for healthy.
+    pub(crate) fn poisoned(spec: &CellSpec, msg: &str) -> Self {
+        Self {
+            label: spec.label.clone(),
+            seed: spec.seed,
+            frames: 0,
+            injected_data_faults: 0,
+            detected_data_faults: 0,
+            dual_recovered: 0,
+            monitor_trips: 0,
+            uncaught: 1,
+            episodes: 0,
+            mean_ttr_frames: 0.0,
+            max_ttr_frames: 0,
+            degraded_rate: 0.0,
+            safe_stops: 0,
+            retries: 0,
+            mota: 0.0,
+            virtual_miss_rate: 0.0,
+            quality_switches: 0,
+            quality_reduced_frames: 0,
+            crashes: 0,
+            restarts: 0,
+            replayed_frames: 0,
+            checkpoints: 0,
+            checkpoint_bytes: 0,
+            quarantined: true,
+            crash_log: vec![format!("cell poisoned by uncontained panic: {msg}")],
+            gov_log: Vec::new(),
+            sup_log: Vec::new(),
+            guard_log: Vec::new(),
+            dumps: Vec::new(),
+            telemetry: MetricsRegistry::new(),
+            output_digest: Hasher::new().finish(),
+            miss_rate: 0.0,
+            p99_ms: 0.0,
+        }
+    }
+
     /// Every deterministic field, rendered. Wall-clock-derived values
     /// (`p99_ms`, `miss_rate`) are the only exclusions; two runs of the
     /// same spec must compare equal on any worker count.
@@ -148,7 +224,8 @@ impl CellOutcome {
         format!(
             "{} {:#x} frames={} injected={} detected={} recovered={} trips={} uncaught={} \
              episodes={} ttr={:.4}/{} degraded={:.6} safestops={} retries={} mota={:.6} \
-             vmiss={:.6} qswitch={} qframes={} govlog={} suplog={} guardlog={} dumps={} \
+             vmiss={:.6} qswitch={} qframes={} crashes={} restarts={} replayed={} \
+             quarantined={} crashlog={} govlog={} suplog={} guardlog={} dumps={} \
              digest={}",
             self.label,
             self.seed,
@@ -168,6 +245,11 @@ impl CellOutcome {
             self.virtual_miss_rate,
             self.quality_switches,
             self.quality_reduced_frames,
+            self.crashes,
+            self.restarts,
+            self.replayed_frames,
+            self.quarantined,
+            self.crash_log.len(),
             self.gov_log.len(),
             self.sup_log.len(),
             self.guard_log.len(),
@@ -243,6 +325,42 @@ pub(crate) struct CellRun {
     mot: MotAccumulator,
     injected: u64,
     uncaught: u64,
+    // Crash-containment ledger. Deliberately *outside* CellCheckpoint:
+    // the audit trail of what recovery did must survive any restore.
+    quarantined: bool,
+    checkpoints: u64,
+    checkpoint_bytes: u64,
+    crash_log: Vec<String>,
+}
+
+/// Everything a restore rewinds: the supervisor checkpoint plus every
+/// fold accumulator `observe` mutates per frame. The containment
+/// ledger (`quarantined`, checkpoint counters, crash log) lives in
+/// [`CellRun`] outside this snapshot so it survives the restore.
+#[derive(Clone)]
+pub(crate) struct CellCheckpoint {
+    sup: SupervisorCheckpoint,
+    hists: StageHistograms,
+    e2e: adsim_stats::LatencyRecorder,
+    digest: Hasher,
+    mot: MotAccumulator,
+    injected: u64,
+    uncaught: u64,
+}
+
+impl CellCheckpoint {
+    /// Frames settled when this checkpoint was taken.
+    pub(crate) fn frames_done(&self) -> u64 {
+        self.sup.frames_done()
+    }
+
+    /// Rough deterministic footprint: the supervisor checkpoint's
+    /// estimate plus the fold accumulators' fixed-size state.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.sup.approx_bytes()
+            + std::mem::size_of::<StageHistograms>()
+            + self.e2e.len() * std::mem::size_of::<f64>()
+    }
 }
 
 impl CellRun {
@@ -265,7 +383,71 @@ impl CellRun {
             mot: MotAccumulator::new(MOT_IOU),
             injected: 0,
             uncaught: 0,
+            quarantined: false,
+            checkpoints: 0,
+            checkpoint_bytes: 0,
+            crash_log: Vec::new(),
         }
+    }
+
+    /// The cell's recovery policy, if any.
+    pub(crate) fn recovery(&self) -> Option<RecoveryPolicy> {
+        self.spec.recovery
+    }
+
+    /// Whether an injected crash has quarantined this cell.
+    pub(crate) fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Snapshots the supervisor and every fold accumulator.
+    pub(crate) fn checkpoint(&self) -> CellCheckpoint {
+        CellCheckpoint {
+            sup: self.sup.checkpoint(),
+            hists: self.hists.clone(),
+            e2e: self.e2e.clone(),
+            digest: self.digest,
+            mot: self.mot.clone(),
+            injected: self.injected,
+            uncaught: self.uncaught,
+        }
+    }
+
+    /// Rewinds to a checkpoint taken earlier on this same cell. The
+    /// containment ledger is untouched — crashes stay recorded.
+    pub(crate) fn restore(&mut self, ck: &CellCheckpoint) {
+        self.sup.restore(&ck.sup);
+        self.hists = ck.hists.clone();
+        self.e2e = ck.e2e.clone();
+        self.digest = ck.digest;
+        self.mot = ck.mot.clone();
+        self.injected = ck.injected;
+        self.uncaught = ck.uncaught;
+    }
+
+    /// Arms or disarms the supervisor's scheduled crash faults (the
+    /// replay window runs disarmed — transient-crash semantics).
+    pub(crate) fn set_crash_armed(&mut self, armed: bool) {
+        self.sup.set_crash_armed(armed);
+    }
+
+    /// Audits one contained crash: supervisor-side record (synthetic
+    /// flight-recorder entry, crash counter, `CellCrash` dump) plus
+    /// the cell's rendered ledger line.
+    pub(crate) fn record_crash(&mut self, record: &CrashRecord, msg: &str) {
+        self.sup.record_cell_crash(record.frame, record.stage, msg);
+        self.crash_log.push(record.to_string());
+    }
+
+    /// Quarantines the cell after a crash with no recovery path: the
+    /// crash is audited, the cell stops at its last completed frame.
+    pub(crate) fn quarantine(&mut self, crash: InjectedCrash, msg: &str) {
+        self.sup.record_cell_crash(crash.frame, crash.stage, msg);
+        self.crash_log.push(format!(
+            "frame {}: {} crashed ({msg}); quarantined — no restart path",
+            crash.frame, crash.stage,
+        ));
+        self.quarantined = true;
     }
 
     /// Frames this cell's spec asks for.
@@ -362,6 +544,13 @@ impl CellRun {
             virtual_miss_rate: stats.virtual_miss_rate(),
             quality_switches: stats.quality_switches,
             quality_reduced_frames: stats.quality_reduced_frames,
+            crashes: stats.crashes,
+            restarts: stats.restarts,
+            replayed_frames: stats.replayed_frames,
+            checkpoints: self.checkpoints,
+            checkpoint_bytes: self.checkpoint_bytes,
+            quarantined: self.quarantined,
+            crash_log: std::mem::take(&mut self.crash_log),
             gov_log: self.sup.governor_events().iter().map(|e| e.to_string()).collect(),
             sup_log: self.sup.events().iter().map(|e| e.to_string()).collect(),
             guard_log: self.sup.guard_events().iter().map(|e| e.to_string()).collect(),
@@ -379,6 +568,13 @@ impl CellRun {
 /// the campaign's shared map and weights. Returns the deterministic
 /// outcome plus this cell's wall-clock stage histograms (streamed into
 /// the fleet sink by the engine, never buffered per cell).
+///
+/// Injected stage crashes are contained here, at the cell boundary:
+/// with a [`RecoveryPolicy`] on the spec the cell restores its newest
+/// checkpoint and deterministically replays the gap; without one the
+/// cell is quarantined at its last completed frame. Panics that are
+/// *not* injected crashes are re-raised — containment must never mask
+/// a genuine bug.
 pub fn run_cell(
     assets: &FleetAssets,
     spec: &CellSpec,
@@ -389,10 +585,129 @@ pub fn run_cell(
     // returns exactly this cell's series.
     adsim_telemetry::flush_thread();
     let mut run = CellRun::new(assets, spec.clone(), pipeline);
-    for frame in assets.scenario().stream(assets.resolution()).take(spec.frames) {
-        run.step(&frame);
-    }
+    drive_cell(assets, &mut run);
     let mut telemetry = adsim_telemetry::drain_thread();
     telemetry.sort();
     run.into_outcome(telemetry)
+}
+
+/// Steps one frame through the cell, catching an injected-crash panic.
+/// Returns the typed crash (with its rendered message) when the frame
+/// died; re-raises any panic that is not an injected fault.
+fn step_contained(run: &mut CellRun, frame: &Frame) -> Result<(), (InjectedCrash, String)> {
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.step(frame)));
+    match res {
+        Ok(()) => Ok(()),
+        Err(payload) => {
+            let (msg, injected) = describe_panic(payload.as_ref());
+            match injected {
+                Some(crash) => Err((crash, msg)),
+                // A genuine bug: containment must not swallow it.
+                None => std::panic::resume_unwind(payload),
+            }
+        }
+    }
+}
+
+/// The cell's frame loop with crash containment.
+///
+/// Crash→restore→replay protocol (order is load-bearing):
+/// 1. catch the typed panic; ask the coordinator for budget;
+/// 2. restore the newest checkpoint (frames rewind to `C`);
+/// 3. audit the crash *after* the restore so the synthetic flight
+///    record, crash counter and `CellCrash` dump survive it;
+/// 4. disarm crashes and replay frames `C..=F` (the crashed frame `F`
+///    re-runs and completes — transient-crash semantics);
+/// 5. re-arm, record the restart, and take a *fresh* checkpoint at
+///    `F + 1` so the audit trail also survives any future restore;
+/// 6. continue at `F + 1`.
+///
+/// An exhausted budget restores once more, latches the terminal
+/// SafeStop, permanently disarms, and finishes every remaining frame
+/// parked — the cell still reports `spec.frames` frames.
+fn drive_cell(assets: &FleetAssets, run: &mut CellRun) {
+    let frames = run.frames() as u64;
+    let mut stream = assets.scenario().stream(assets.resolution());
+    let Some(policy) = run.recovery() else {
+        // No recovery: first injected crash quarantines the cell.
+        for _ in 0..frames {
+            let frame = stream.next().expect("frame streams are endless");
+            if let Err((crash, msg)) = step_contained(run, &frame) {
+                run.quarantine(crash, &msg);
+                return;
+            }
+        }
+        return;
+    };
+
+    let mut coord: RecoveryCoordinator<CellCheckpoint> = RecoveryCoordinator::new(policy);
+    // Unconditional frame-0 checkpoint: recovery always has somewhere
+    // to restore to, whatever the interval.
+    let ck = run.checkpoint();
+    let bytes = ck.approx_bytes();
+    let at = ck.frames_done();
+    coord.store(at, ck, bytes);
+    let mut idx: u64 = 0;
+    while idx < frames {
+        // Interval checkpoints (skipping a frame the post-restart
+        // refresh below already covered).
+        if coord.due(idx) && coord.last().map(|(f, _)| f) != Some(idx) {
+            let ck = run.checkpoint();
+            let bytes = ck.approx_bytes();
+            let at = ck.frames_done();
+            debug_assert_eq!(at, idx, "checkpoints land on frame boundaries");
+            coord.store(at, ck, bytes);
+        }
+        let frame = stream.next().expect("frame streams are endless");
+        match step_contained(run, &frame) {
+            Ok(()) => idx += 1,
+            Err((crash, msg)) => {
+                let action = coord.on_crash().expect("frame-0 checkpoint always stored");
+                let (ck_frame, ck) = coord.last().expect("frame-0 checkpoint always stored");
+                // MTTR in frames: everything between the checkpoint
+                // and the crashed frame, crashed frame included.
+                let replayed = idx - ck_frame + 1;
+                let exhausted = matches!(action, CrashAction::Exhausted { .. });
+                let record = CrashRecord {
+                    frame: crash.frame,
+                    stage: crash.stage,
+                    message: msg.clone(),
+                    resumed_from: ck_frame,
+                    replayed,
+                    exhausted,
+                };
+                run.restore(ck);
+                run.record_crash(&record, &msg);
+                coord.record(record);
+                run.set_crash_armed(false);
+                stream.seek(ck_frame);
+                if exhausted {
+                    // Budget gone: park the vehicle for every frame
+                    // left, crashes permanently disarmed.
+                    run.sup.record_crash_exhausted();
+                    for _ in ck_frame..frames {
+                        let frame = stream.next().expect("frame streams are endless");
+                        run.step(&frame);
+                    }
+                    idx = frames;
+                } else {
+                    for _ in ck_frame..=idx {
+                        let frame = stream.next().expect("frame streams are endless");
+                        run.step(&frame);
+                    }
+                    run.set_crash_armed(true);
+                    run.sup.record_restart(crash.frame, crash.stage, ck_frame, replayed);
+                    idx += 1;
+                    // Fresh checkpoint: the crash/restart audit above
+                    // must survive any future restore.
+                    let ck = run.checkpoint();
+                    let bytes = ck.approx_bytes();
+                    let at = ck.frames_done();
+                    coord.store(at, ck, bytes);
+                }
+            }
+        }
+    }
+    run.checkpoints = coord.checkpoints();
+    run.checkpoint_bytes = coord.checkpoint_bytes();
 }

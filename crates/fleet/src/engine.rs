@@ -145,7 +145,21 @@ impl FleetEngine {
             // which fleet worker ran the cell.
             let mut spec = specs[i].clone();
             spec.supervisor.vehicle = i as u32;
-            let (outcome, hists) = run_cell(&self.assets, &spec, &self.cfg.pipeline);
+            // Last-resort containment: `run_cell` already recovers or
+            // quarantines *injected* crashes and re-raises anything
+            // else; a panic reaching here is a genuine bug. Convert it
+            // to a poisoned outcome so the campaign still completes
+            // with every other cell's results intact — the poisoned
+            // cell's `uncaught = 1` keeps the breach visible.
+            let (outcome, hists) = match std::panic::catch_unwind(
+                std::panic::AssertUnwindSafe(|| run_cell(&self.assets, &spec, &self.cfg.pipeline)),
+            ) {
+                Ok(done) => done,
+                Err(payload) => {
+                    let (msg, _) = adsim_recovery::describe_panic(payload.as_ref());
+                    (CellOutcome::poisoned(&spec, &msg), crate::sink::StageHistograms::new())
+                }
+            };
             // Stream the cell's tails into the fleet sink, then drop
             // them — only the fixed-size fleet histograms survive.
             sink.lock().expect("fleet sink poisoned").absorb(&outcome, &hists);
@@ -219,12 +233,28 @@ impl FleetEngine {
         let mut stream = self.assets.scenario().stream(self.assets.resolution());
         for fidx in 0..max_frames {
             let frame = stream.next().expect("frame streams are endless");
-            // Stage every cell still inside its frame budget.
+            // Stage every cell still inside its frame budget. Injected
+            // crashes are contained per cell — the lockstep engine has
+            // no restart path (every cell must stage the *same* frame
+            // index), so a crashed cell is quarantined and skipped for
+            // the rest of the campaign while the others continue.
+            // Non-injected panics re-raise: they are genuine bugs.
             let mut staged = Vec::new();
             for (i, cell) in cells.iter_mut().enumerate() {
-                if fidx < cell.frames() {
-                    let (sf, before) = cell.stage(&frame);
-                    staged.push((i, sf, before));
+                if fidx < cell.frames() && !cell.is_quarantined() {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        cell.stage(&frame)
+                    })) {
+                        Ok((sf, before)) => staged.push((i, sf, before)),
+                        Err(payload) => {
+                            let (msg, injected) =
+                                adsim_recovery::describe_panic(payload.as_ref());
+                            match injected {
+                                Some(crash) => cell.quarantine(crash, &msg),
+                                None => std::panic::resume_unwind(payload),
+                            }
+                        }
+                    }
                 }
             }
             // One batched pass over every staged detector input.

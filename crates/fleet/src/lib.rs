@@ -61,3 +61,7 @@ pub use sink::{FleetSink, StageHistograms};
 // Telemetry types surface in the campaign API (per-cell registries and
 // flight dumps ride in CellOutcome; the fleet merge in CampaignResult).
 pub use adsim_telemetry::{prometheus_text, FlightDump, MetricsRegistry, TelemetrySession};
+// Recovery types surface in the cell API (CellSpec carries the policy;
+// the crash ledger rides in CellOutcome) — re-exported so campaigns
+// and benches need only `adsim_fleet`.
+pub use adsim_recovery::{CrashRecord, RecoveryPolicy};

@@ -90,6 +90,14 @@ pub struct FleetSink {
     pub episodes: u64,
     /// Anytime-governor quality switches across the fleet.
     pub quality_switches: u64,
+    /// Injected stage crashes contained across the fleet.
+    pub crashes: u64,
+    /// Checkpoint restarts performed across the fleet.
+    pub restarts: u64,
+    /// Frames deterministically replayed across the fleet.
+    pub replayed_frames: u64,
+    /// Cells quarantined (crashed with no restart path).
+    pub quarantined: u64,
 }
 
 impl FleetSink {
@@ -110,6 +118,10 @@ impl FleetSink {
         self.safe_stops += outcome.safe_stops;
         self.episodes += outcome.episodes;
         self.quality_switches += outcome.quality_switches;
+        self.crashes += outcome.crashes;
+        self.restarts += outcome.restarts;
+        self.replayed_frames += outcome.replayed_frames;
+        self.quarantined += outcome.quarantined as u64;
     }
 
     /// Fleet vehicles×frames/s throughput over a measured wall-clock

@@ -199,7 +199,7 @@ impl FrameVerdict {
 
 /// The stateful guard: owns inter-frame monitor state (previous pose,
 /// track table, commanded speed, delivered digest) and the trip log.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PipelineGuard {
     cfg: GuardConfig,
     prev_pose: Option<(Pose2, f64)>,

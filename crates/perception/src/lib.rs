@@ -36,5 +36,5 @@ mod pool;
 mod tracker;
 
 pub use detector::{BatchRequest, BlobDetector, DetCost, Detector, DetectorVariant, YoloDetector};
-pub use pool::{TrackedObject, TrackerPool, TrackerPoolConfig};
+pub use pool::{TrackedObject, TrackerPool, TrackerPoolConfig, TrackerPoolSnapshot};
 pub use tracker::{GoturnTracker, TemplateTracker, Tracker};

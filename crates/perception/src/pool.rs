@@ -42,6 +42,38 @@ impl Default for TrackerPoolConfig {
 /// Factory building a tracker anchored on a detection.
 type TrackerFactory = Box<dyn FnMut(&GrayImage, BBox) -> Box<dyn Tracker> + Send>;
 
+/// A deep copy of a [`TrackerPool`]'s mutable state, captured by
+/// [`TrackerPool::snapshot`] for the crash-recovery checkpoint layer.
+/// Rows are held sorted by track id so snapshot contents are a pure
+/// function of the table, never of hash-map iteration order.
+#[derive(Clone)]
+pub struct TrackerPoolSnapshot {
+    cfg: TrackerPoolConfig,
+    tracks: Vec<(u64, Box<dyn Tracker>, TrackedObject)>,
+    next_id: u64,
+}
+
+impl TrackerPoolSnapshot {
+    /// Live tracks captured in the snapshot.
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// True when no tracks were live at capture time.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+}
+
+impl std::fmt::Debug for TrackerPoolSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackerPoolSnapshot")
+            .field("tracks", &self.tracks.len())
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
 /// The paper's TRA engine: a pool of single-object trackers fed by the
 /// detector, with a tracked-object table and ten-frame expiry.
 ///
@@ -124,6 +156,33 @@ impl TrackerPool {
         let mut rows: Vec<TrackedObject> = self.tracks.values().map(|(_, t)| *t).collect();
         rows.sort_by_key(|t| t.track_id);
         rows
+    }
+
+    /// A deep snapshot of the pool's mutable state: every live tracker
+    /// (via [`Tracker::boxed_clone`]), its table row, the id counter
+    /// and the active capacity. The factory and runtime are
+    /// construction-time state and stay with the pool.
+    pub fn snapshot(&self) -> TrackerPoolSnapshot {
+        let mut tracks: Vec<(u64, Box<dyn Tracker>, TrackedObject)> = self
+            .tracks
+            .iter()
+            .map(|(id, (tracker, obj))| (*id, tracker.boxed_clone(), *obj))
+            .collect();
+        tracks.sort_by_key(|(id, _, _)| *id);
+        TrackerPoolSnapshot { cfg: self.cfg, tracks, next_id: self.next_id }
+    }
+
+    /// Restores a [`TrackerPool::snapshot`]: the pool resumes
+    /// bit-identically from the snapshot's state. The snapshot is
+    /// reusable (restoring clones out of it).
+    pub fn restore(&mut self, snap: &TrackerPoolSnapshot) {
+        self.cfg = snap.cfg;
+        self.next_id = snap.next_id;
+        self.tracks = snap
+            .tracks
+            .iter()
+            .map(|(id, tracker, obj)| (*id, (tracker.boxed_clone(), *obj)))
+            .collect();
     }
 
     /// Advances the pool by one frame.

@@ -29,6 +29,17 @@ pub trait Tracker: Send {
 
     /// Human-readable engine name.
     fn name(&self) -> &'static str;
+
+    /// A deep copy of this tracker's full state, boxed. The recovery
+    /// layer snapshots the tracker pool through this (trait objects
+    /// cannot derive `Clone`); the copy must resume bit-identically.
+    fn boxed_clone(&self) -> Box<dyn Tracker>;
+}
+
+impl Clone for Box<dyn Tracker> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
 }
 
 /// Side of the square crops fed to the GOTURN-style network.
@@ -42,6 +53,7 @@ const CROP_SIDE: usize = 32;
 /// paper's Fig. 4, with deterministic pseudo-random weights (see
 /// DESIGN.md; use [`TemplateTracker`] for functionally accurate
 /// tracking on the synthetic worlds).
+#[derive(Clone)]
 pub struct GoturnTracker {
     net: Network,
     bbox: BBox,
@@ -117,6 +129,12 @@ impl Tracker for GoturnTracker {
     fn name(&self) -> &'static str {
         "goturn-dnn"
     }
+
+    fn boxed_clone(&self) -> Box<dyn Tracker> {
+        // Network clones share the `Arc`-backed weights — a snapshot of
+        // a GOTURN pool costs crops and boxes, never weight copies.
+        Box::new(self.clone())
+    }
 }
 
 /// The classical path: sum-of-absolute-differences template matching.
@@ -126,7 +144,7 @@ impl Tracker for GoturnTracker {
 /// accurate on the synthetic worlds (rigid textured objects), so the
 /// tracker pool's association and expiry logic can be validated
 /// against scripted ground truth.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TemplateTracker {
     template: GrayImage,
     bbox: BBox,
@@ -189,6 +207,10 @@ impl Tracker for TemplateTracker {
 
     fn name(&self) -> &'static str {
         "template-classical"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Tracker> {
+        Box::new(self.clone())
     }
 }
 

@@ -78,7 +78,7 @@ pub struct FusedFrame {
 
 /// The fusion engine: combines tracker output with the localizer's
 /// vehicle pose and maintains per-track velocity estimates.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FusionEngine {
     history: HashMap<u64, (Point2, f64)>,
     ego_history: Option<(Point2, f64)>,

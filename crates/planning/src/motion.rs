@@ -54,7 +54,7 @@ impl MotionPlan {
 /// The motion-planning engine (paper step 3 of Fig. 1): consumes fused
 /// frames and produces path trajectories such as lane changes and
 /// velocity settings.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MotionPlanner {
     environment: Environment,
     conformal: ConformalPlanner,

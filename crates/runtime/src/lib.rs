@@ -42,8 +42,54 @@
 //! assert_eq!(data[517], 517);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A panic payload carried from a worker thread back to the caller.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// First-panic capture shared by a parallel region's workers.
+///
+/// A panic inside a spawned scoped thread would otherwise surface at
+/// the caller as `std::thread::scope`'s own opaque join panic, losing
+/// the payload. Workers instead catch their panic here; the region
+/// rethrows the *original* payload (first panic wins) on the calling
+/// thread after the scope closes, so a typed payload — e.g.
+/// `adsim_faults::InjectedCrash` raised through a pool worker — stays
+/// downcastable at the cell boundary. Once a panic is captured the
+/// region stops handing out new tasks; remaining tasks are skipped
+/// (the region is about to unwind — partial output must not look
+/// complete).
+struct PanicSlot {
+    poisoned: AtomicBool,
+    payload: Mutex<Option<PanicPayload>>,
+}
+
+impl PanicSlot {
+    fn new() -> Self {
+        Self { poisoned: AtomicBool::new(false), payload: Mutex::new(None) }
+    }
+
+    fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    fn capture(&self, p: PanicPayload) {
+        let mut slot = self.payload.lock().expect("panic slot lock");
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Rethrows the captured payload on the calling thread, if any.
+    fn rethrow(self) {
+        if let Some(p) = self.payload.into_inner().expect("panic slot lock") {
+            resume_unwind(p);
+        }
+    }
+}
 
 /// Minimum number of scalar operations below which parallel dispatch is
 /// not worth a scope spawn (see [`Runtime::for_work`]).
@@ -96,6 +142,14 @@ impl Runtime {
     /// tasks dynamically over the workers. Tasks are handed out in
     /// contiguous grains to keep cursor contention low; every index is
     /// executed exactly once. Returns after all tasks complete.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the region stops handing out tasks and
+    /// re-raises the **first** panic's original payload on the calling
+    /// thread (never `thread::scope`'s opaque join panic), so typed
+    /// payloads stay downcastable at the boundary. Tasks not yet
+    /// claimed when the panic hit are skipped.
     pub fn run(&self, n_tasks: usize, f: impl Fn(usize) + Sync) {
         self.run_with_state(n_tasks, || (), |(), task| f(task));
     }
@@ -129,16 +183,26 @@ impl Runtime {
         // fork-join wall time visible (DESIGN.md §8).
         let _region = adsim_trace::span(adsim_trace::REGION_SPAN);
         let cursor = AtomicUsize::new(0);
+        let panics = PanicSlot::new();
         let worker_loop = |worker: usize| {
             let _busy = adsim_trace::span_at(adsim_trace::WORKER_SPAN, worker);
             let mut state = init();
             loop {
+                if panics.poisoned() {
+                    break;
+                }
                 let start = cursor.fetch_add(grain, Ordering::Relaxed);
                 if start >= n_tasks {
                     break;
                 }
-                for task in start..(start + grain).min(n_tasks) {
-                    f(&mut state, task);
+                let grain_run = catch_unwind(AssertUnwindSafe(|| {
+                    for task in start..(start + grain).min(n_tasks) {
+                        f(&mut state, task);
+                    }
+                }));
+                if let Err(p) = grain_run {
+                    panics.capture(p);
+                    break;
                 }
             }
         };
@@ -156,6 +220,7 @@ impl Runtime {
             }
             worker_loop(0);
         });
+        panics.rethrow();
     }
 
     /// Splits `data` into consecutive chunks of `chunk_len` elements
@@ -190,12 +255,21 @@ impl Runtime {
         // chunk counts are small relative to per-chunk work.
         let _region = adsim_trace::span(adsim_trace::REGION_SPAN);
         let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+        let panics = PanicSlot::new();
         let worker_loop = |worker: usize| {
             let _busy = adsim_trace::span_at(adsim_trace::WORKER_SPAN, worker);
             loop {
+                if panics.poisoned() {
+                    break;
+                }
                 let next = queue.lock().expect("chunk queue lock").next();
                 match next {
-                    Some((i, chunk)) => f(i, chunk),
+                    Some((i, chunk)) => {
+                        if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(i, chunk))) {
+                            panics.capture(p);
+                            break;
+                        }
+                    }
                     None => break,
                 }
             }
@@ -210,6 +284,7 @@ impl Runtime {
             }
             worker_loop(0);
         });
+        panics.rethrow();
     }
 
     /// Runs two closures concurrently and returns both results — the
@@ -241,7 +316,13 @@ impl Runtime {
                 let _busy = adsim_trace::span_at(adsim_trace::WORKER_SPAN, 0);
                 fb()
             };
-            let a = ha.join().expect("joined task panicked");
+            // Re-raise the spawned task's original payload on the
+            // caller instead of a generic join panic, so typed
+            // payloads survive the pool boundary.
+            let a = match ha.join() {
+                Ok(a) => a,
+                Err(p) => resume_unwind(p),
+            };
             (a, b)
         })
     }
@@ -348,6 +429,91 @@ mod tests {
         );
         assert_eq!(a, 1);
         assert_eq!(b, 3);
+    }
+
+    /// A typed payload standing in for `adsim_faults::InjectedCrash`
+    /// (this crate cannot depend on the faults crate).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct TypedCrash {
+        frame: u64,
+    }
+
+    /// The worker-panic contract: a panic inside a pool task reaches
+    /// the caller as the *original* payload — typed payloads survive
+    /// downcast at the cell boundary instead of arriving as
+    /// `thread::scope`'s opaque join panic.
+    #[test]
+    fn run_surfaces_worker_panic_payload_typed() {
+        for threads in [1usize, 4] {
+            let rt = Runtime::new(threads);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                rt.run(64, |i| {
+                    if i == 17 {
+                        std::panic::panic_any(TypedCrash { frame: 17 });
+                    }
+                });
+            }));
+            let payload = caught.expect_err("the task panic must propagate");
+            let crash =
+                payload.downcast_ref::<TypedCrash>().expect("payload must stay downcastable");
+            assert_eq!(*crash, TypedCrash { frame: 17 }, "threads={threads}");
+        }
+    }
+
+    /// With several panicking tasks, exactly one payload (the first
+    /// captured) is re-raised and the pool still shuts down cleanly —
+    /// no worker is left wedged, no double panic.
+    #[test]
+    fn run_rethrows_exactly_one_payload_and_skips_after_poison() {
+        let rt = Runtime::new(4);
+        let executed = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            rt.run(1000, |i| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if i % 3 == 0 {
+                    panic!("task {i} died");
+                }
+            });
+        }));
+        let payload = caught.expect_err("panics must propagate");
+        let msg = payload.downcast_ref::<String>().expect("format payload is a String");
+        assert!(msg.contains("died"), "{msg}");
+        assert!(
+            executed.load(Ordering::Relaxed) < 1000,
+            "unclaimed tasks must be skipped once poisoned"
+        );
+    }
+
+    #[test]
+    fn par_chunks_mut_surfaces_worker_panic_payload_typed() {
+        for threads in [1usize, 4] {
+            let rt = Runtime::new(threads);
+            let mut data = vec![0u8; 256];
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                rt.par_chunks_mut(&mut data, 16, |ci, _| {
+                    if ci == 7 {
+                        std::panic::panic_any(TypedCrash { frame: 7 });
+                    }
+                });
+            }));
+            let payload = caught.expect_err("the chunk panic must propagate");
+            assert!(payload.downcast_ref::<TypedCrash>().is_some(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn join_surfaces_spawned_panic_payload_typed() {
+        for threads in [1usize, 4] {
+            let rt = Runtime::new(threads);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                rt.join(
+                    || -> u32 { std::panic::panic_any(TypedCrash { frame: 3 }) },
+                    std::thread::yield_now,
+                );
+            }));
+            let payload = caught.expect_err("the joined panic must propagate");
+            assert!(payload.downcast_ref::<TypedCrash>().is_some(), "threads={threads}");
+        }
     }
 
     #[test]

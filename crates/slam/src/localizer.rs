@@ -108,6 +108,11 @@ pub struct LocalizerStats {
 /// the prediction → solve the SE(2) pose by trimmed least squares →
 /// on failure, relocalize with a widened search → update the map with
 /// newly seen features → periodically run loop closing.
+///
+/// `Clone` deep-copies the mutable state (private map overlay, motion
+/// model, stats) while sharing the read-only prior map `Arc` — the
+/// recovery layer's checkpoint mechanism.
+#[derive(Clone)]
 pub struct Localizer {
     map: SharedMap,
     camera: OrthoCamera,

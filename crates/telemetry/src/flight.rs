@@ -25,8 +25,24 @@ pub const FAULT_STALL: u16 = 1 << 6;
 pub const FAULT_TIME_SKEW: u16 = 1 << 7;
 /// Sustained latency drift.
 pub const FAULT_DRIFT: u16 = 1 << 8;
+/// Transient software crash scheduled on some stage this frame.
+pub const FAULT_CRASH: u16 = 1 << 9;
 /// The data-plane fault classes (what the checksummed hand-off covers).
 pub const FAULT_DATA_MASK: u16 = FAULT_BLACKOUT | FAULT_STUCK | FAULT_CORRUPT;
+
+/// Longest panic message retained in a [`FrameRecord`] — the black box
+/// keeps a bounded excerpt, never the whole backtrace.
+pub const PANIC_MSG_MAX: usize = 96;
+
+/// Truncates a panic message to [`PANIC_MSG_MAX`] bytes on a char
+/// boundary, marking the cut with an ellipsis.
+pub fn truncate_panic_msg(msg: &str) -> String {
+    if msg.len() <= PANIC_MSG_MAX {
+        return msg.to_string();
+    }
+    let cut = (0..=PANIC_MSG_MAX).rev().find(|&i| msg.is_char_boundary(i)).unwrap_or(0);
+    format!("{}…", &msg[..cut])
+}
 
 /// Degraded-mode bits ([`FrameRecord::mode_bits`]); same packing as the
 /// fleet cell digest folds.
@@ -53,7 +69,10 @@ pub const MONITOR_PLANNER: u8 = 1 << 4;
 
 /// One frame's worth of black-box state: what the vehicle was doing,
 /// how degraded it was, and what was being injected at the time.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// `Clone` but not `Copy`: crash records carry a bounded panic-message
+/// excerpt ([`FrameRecord::panic_msg`]).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FrameRecord {
     /// Frame index within the cell.
     pub frame: u64,
@@ -74,6 +93,12 @@ pub struct FrameRecord {
     /// The governor's end-to-end forecast for this frame, ms (0 before
     /// the predictor warms up).
     pub forecast_e2e_ms: f64,
+    /// True when the cell crashed processing this frame (the record is
+    /// the synthetic crash marker the supervisor pushes on restart).
+    pub crashed: bool,
+    /// Truncated panic message of the crash (empty when `!crashed`);
+    /// bounded by [`PANIC_MSG_MAX`].
+    pub panic_msg: String,
 }
 
 /// Why a dump was taken.
@@ -85,6 +110,9 @@ pub enum DumpTrigger {
     MonitorTripped,
     /// Explicit request ([`FlightRecorder::dump`] callers).
     Manual,
+    /// A vehicle-cell stage crashed (injected panic) and the recovery
+    /// layer restarted or quarantined the cell.
+    CellCrash,
 }
 
 impl DumpTrigger {
@@ -94,6 +122,7 @@ impl DumpTrigger {
             DumpTrigger::SafeStop => "safe-stop",
             DumpTrigger::MonitorTripped => "monitor-tripped",
             DumpTrigger::Manual => "manual",
+            DumpTrigger::CellCrash => "cell-crash",
         }
     }
 }
@@ -110,6 +139,24 @@ pub struct FlightDump {
     pub frame: u64,
     /// Ring contents, oldest first.
     pub records: Vec<FrameRecord>,
+}
+
+/// Minimal JSON string escaping for panic-message excerpts (quotes,
+/// backslashes, control characters).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl FlightDump {
@@ -132,7 +179,8 @@ impl FlightDump {
             s.push_str(&format!(
                 "{{\"frame\": {}, \"stages_ms\": [{det}, {tra}, {loc}, {fus}, {mot}], \
                  \"e2e_ms\": {}, \"rung\": \"{}\", \"modes\": {}, \"monitors\": {}, \
-                 \"faults\": {}, \"digest\": \"{:#x}\", \"forecast_ms\": {}}}",
+                 \"faults\": {}, \"digest\": \"{:#x}\", \"forecast_ms\": {}, \
+                 \"crashed\": {}, \"panic_msg\": \"{}\"}}",
                 r.frame,
                 r.virtual_e2e_ms,
                 r.quality_rung,
@@ -141,6 +189,8 @@ impl FlightDump {
                 r.fault_bits,
                 r.payload_digest,
                 r.forecast_e2e_ms,
+                r.crashed,
+                escape_json(&r.panic_msg),
             ));
         }
         s.push_str("]}");
@@ -288,6 +338,7 @@ mod tests {
             fault_bits: FAULT_BLACKOUT | FAULT_SPIKE,
             payload_digest: 0xDEAD_BEEF,
             forecast_e2e_ms: 44.0,
+            ..FrameRecord::default()
         });
         let dump = r.dump(3, DumpTrigger::SafeStop, 41);
         let json = dump.to_json();
@@ -296,5 +347,40 @@ mod tests {
         assert!(json.contains("\"digest\": \"0xdeadbeef\""));
         assert_eq!(dump.records.len(), 1);
         assert_ne!(dump.records[0].fault_bits & FAULT_DATA_MASK, 0);
+    }
+
+    #[test]
+    fn crash_records_render_with_escaped_panic_message() {
+        let mut r = FlightRecorder::new(2);
+        r.push(FrameRecord {
+            frame: 12,
+            quality_rung: "full",
+            fault_bits: FAULT_CRASH,
+            crashed: true,
+            panic_msg: "injected crash: \"detection\" stage\npanicked".to_string(),
+            ..FrameRecord::default()
+        });
+        let dump = r.dump(9, DumpTrigger::CellCrash, 12);
+        let json = dump.to_json();
+        adsim_trace::validate_json(&json).expect("crash dump must be valid JSON");
+        assert!(json.contains("\"trigger\": \"cell-crash\""));
+        assert!(json.contains("\"crashed\": true"));
+        assert!(json.contains("\\\"detection\\\" stage\\npanicked"));
+    }
+
+    #[test]
+    fn panic_messages_truncate_on_char_boundaries() {
+        assert_eq!(truncate_panic_msg("short"), "short");
+        let exact = "x".repeat(PANIC_MSG_MAX);
+        assert_eq!(truncate_panic_msg(&exact), exact);
+        let long = "y".repeat(PANIC_MSG_MAX + 40);
+        let cut = truncate_panic_msg(&long);
+        assert!(cut.ends_with('…'));
+        assert_eq!(cut.chars().filter(|&c| c == 'y').count(), PANIC_MSG_MAX);
+        // Multi-byte chars straddling the limit back off to a boundary.
+        let multi = "é".repeat(PANIC_MSG_MAX); // 2 bytes each
+        let cut = truncate_panic_msg(&multi);
+        assert!(cut.ends_with('…'));
+        assert!(cut.len() <= PANIC_MSG_MAX + '…'.len_utf8());
     }
 }

@@ -40,11 +40,11 @@ mod recorder;
 mod registry;
 
 pub use flight::{
-    DumpTrigger, FlightDump, FlightRecorder, FrameRecord, FAULT_BLACKOUT, FAULT_CORRUPT,
-    FAULT_DATA_MASK, FAULT_DRIFT, FAULT_LOCK_LOSS, FAULT_SPIKE, FAULT_STALL, FAULT_STUCK,
-    FAULT_TIME_SKEW, FAULT_TRACKER_SHIFT, MODE_DEAD_RECKONING, MODE_QUALITY_REDUCED,
-    MODE_SAFE_STOP, MODE_SPEED_REDUCED, MODE_TRACKER_ONLY, MONITOR_DATA, MONITOR_DETECTION,
-    MONITOR_LOCALIZATION, MONITOR_PLANNER, MONITOR_TRACKER,
+    truncate_panic_msg, DumpTrigger, FlightDump, FlightRecorder, FrameRecord, FAULT_BLACKOUT,
+    FAULT_CORRUPT, FAULT_CRASH, FAULT_DATA_MASK, FAULT_DRIFT, FAULT_LOCK_LOSS, FAULT_SPIKE,
+    FAULT_STALL, FAULT_STUCK, FAULT_TIME_SKEW, FAULT_TRACKER_SHIFT, MODE_DEAD_RECKONING,
+    MODE_QUALITY_REDUCED, MODE_SAFE_STOP, MODE_SPEED_REDUCED, MODE_TRACKER_ONLY, MONITOR_DATA,
+    MONITOR_DETECTION, MONITOR_LOCALIZATION, MONITOR_PLANNER, MONITOR_TRACKER, PANIC_MSG_MAX,
 };
 pub use prometheus::{prometheus_text, validate_prometheus};
 pub use recorder::{

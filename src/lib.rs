@@ -22,6 +22,7 @@
 //! | [`fleet`] | Work-stealing fleet campaign engine with Arc-shared weights |
 //! | [`anytime`] | Predictive deadline governor: anytime perception over the latency-accuracy frontier |
 //! | [`telemetry`] | Fleet metrics registry (Prometheus/JSON export) and the black-box flight recorder |
+//! | [`recovery`] | Crash containment: deterministic checkpoint/restore and restart-replay recovery |
 //! | [`core`] | The end-to-end pipelines, supervisor, and design-constraint checker |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@ pub use adsim_guard as guard;
 pub use adsim_perception as perception;
 pub use adsim_planning as planning;
 pub use adsim_platform as platform;
+pub use adsim_recovery as recovery;
 pub use adsim_runtime as runtime;
 pub use adsim_slam as slam;
 pub use adsim_stats as stats;

@@ -224,7 +224,9 @@ fn open_modes(events: &[DegradationEvent]) -> Vec<DegradedMode> {
                     .unwrap_or_else(|| panic!("exit of {mode} at frame {} without enter", e.frame));
                 open.remove(i);
             }
-            DegradationEventKind::Retry { .. } => {}
+            // Retries and crash restarts are point events, not mode
+            // transitions — nothing to balance.
+            DegradationEventKind::Retry { .. } | DegradationEventKind::Restart { .. } => {}
         }
     }
     open
